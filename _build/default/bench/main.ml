@@ -1,0 +1,195 @@
+(* Benchmark harness.
+
+   Two sections:
+
+   1. The evaluation tables — one per experiment in the EXPERIMENTS.md
+      index (E1..E16), regenerated through the same Rt_expkit registry the
+      [experiments] binary uses. Reduced replication counts by default so
+      the whole run stays in CI territory; set RT_BENCH_FULL=1 for the
+      full-fidelity tables recorded in EXPERIMENTS.md.
+
+   2. Bechamel timing benches — one Test.make per experiment covering the
+      workhorse kernel behind that table, plus a size-scaling group for
+      the heuristics themselves. *)
+
+open Bechamel
+open Toolkit
+
+(* ---------------------------------------------------------------- *)
+(* Section 1: experiment tables *)
+
+let print_tables () =
+  let quick = Sys.getenv_opt "RT_BENCH_FULL" = None in
+  if quick then
+    print_endline
+      "(tables at reduced replication count; RT_BENCH_FULL=1 for the full \
+       EXPERIMENTS.md fidelity)";
+  List.iter (Rt_expkit.Registry.print ~quick) Rt_expkit.Registry.all
+
+(* ---------------------------------------------------------------- *)
+(* Section 2: timing kernels *)
+
+let proc =
+  Rt_power.Processor.xscale
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let instance ~seed ~n ~m ~load =
+  Rt_expkit.Instances.frame_instance ~proc ~seed ~n ~m ~load ()
+
+let kernel_tests =
+  let p_small = instance ~seed:1 ~n:8 ~m:2 ~load:1.4 in
+  let p_mid = instance ~seed:2 ~n:40 ~m:8 ~load:1.5 in
+  let p_big = instance ~seed:3 ~n:120 ~m:16 ~load:1.5 in
+  let levels =
+    Rt_power.Processor.xscale_levels ~dormancy:Rt_power.Processor.Dormant_disable
+  in
+  let hetero_items =
+    let rng = Rt_prelude.Rng.create ~seed:4 in
+    Rt_task.Gen.items rng ~n:12 ~weight_lo:0.02 ~weight_hi:0.07
+    |> Rt_task.Gen.heterogeneous_power_factors rng ~lo:0.5 ~hi:3.
+  in
+  let periodic_part =
+    let rng = Rt_prelude.Rng.create ~seed:5 in
+    let tasks =
+      Rt_task.Gen.periodic_tasks rng ~n:16 ~total_util:1.2
+        ~periods:Rt_task.Gen.default_periods
+    in
+    Rt_partition.Heuristics.ltf ~m:8 (Rt_task.Taskset.items_of_periodics tasks)
+  in
+  let e8_proc =
+    Rt_power.Processor.xscale
+      ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 5.; e_sw = 4. })
+  in
+  let jobs =
+    let rng = Rt_prelude.Rng.create ~seed:6 in
+    Rt_online.Job.stream rng ~n:40 ~rate:0.02 ~s_max:1. ~mean_cycles:25.
+      ~slack_lo:1.5 ~slack_hi:6. ~penalty_factor:1.2
+  in
+  let mig_items =
+    let rng = Rt_prelude.Rng.create ~seed:7 in
+    Rt_task.Gen.items rng ~n:20 ~weight_lo:0.05 ~weight_hi:0.4
+  in
+  let lp_problem =
+    {
+      Rt_lp.Simplex.minimize = [| -3.; -5.; 1.; 0.5 |];
+      constraints =
+        [
+          ([| 1.; 0.; 2.; 0. |], Rt_lp.Simplex.Le, 4.);
+          ([| 0.; 2.; 0.; 1. |], Rt_lp.Simplex.Le, 12.);
+          ([| 3.; 2.; 1.; 1. |], Rt_lp.Simplex.Le, 18.);
+          ([| 1.; 1.; 1.; 1. |], Rt_lp.Simplex.Ge, 1.);
+        ];
+    }
+  in
+  let qos_tasks =
+    List.map
+      (Rt_core.Qos.graceful ~steps:4 ~curve:2.)
+      p_mid.Rt_core.Problem.items
+  in
+  let qos_problem =
+    match
+      Rt_core.Problem.make ~proc ~m:8 ~horizon:1000. []
+    with
+    | Ok p -> p
+    | Error e -> invalid_arg e
+  in
+  [
+    Test.make ~name:"e1.kernel: branch&bound n=8 m=2"
+      (Staged.stage (fun () -> Rt_core.Exact.branch_and_bound p_small));
+    Test.make ~name:"e2.kernel: lower_bound n=120 m=16"
+      (Staged.stage (fun () -> Rt_core.Bounds.lower_bound p_big));
+    Test.make ~name:"e3.kernel: ltf-reject + local search n=40 m=8"
+      (Staged.stage (fun () ->
+           Rt_core.Local_search.with_local_search Rt_core.Greedy.ltf_reject
+             p_mid));
+    Test.make ~name:"e4.kernel: density_reject n=40 m=8"
+      (Staged.stage (fun () -> Rt_core.Greedy.density_reject p_mid));
+    Test.make ~name:"e5.kernel: two-level split plan (levels domain)"
+      (Staged.stage (fun () -> Rt_speed.Energy_rate.optimal levels ~u:0.55));
+    Test.make ~name:"e6.kernel: numeric critical speed (linear term)"
+      (Staged.stage
+         (let m =
+            Rt_power.Power_model.make ~p_ind:0.1 ~linear:0.2 ~coeff:1.52
+              ~alpha:3. ()
+          in
+          fun () -> Rt_power.Power_model.critical_speed m ~s_max:1.));
+    Test.make ~name:"e7.kernel: hetero KKT speeds (12 tasks)"
+      (Staged.stage (fun () ->
+           Rt_partition.Hetero.processor_speeds
+             (Rt_power.Processor.xscale
+                ~dormancy:Rt_power.Processor.Dormant_disable)
+             ~horizon:1000. hetero_items));
+    Test.make ~name:"e13.kernel: online admission, 40-job stream"
+      (Staged.stage (fun () ->
+           Rt_online.Admission.simulate ~proc
+             ~policy:Rt_online.Admission.Profitable jobs));
+    Test.make ~name:"e13.kernel: YDS decomposition, 40 jobs"
+      (Staged.stage (fun () -> Rt_online.Yds.blocks jobs));
+    Test.make ~name:"e11.kernel: two-phase simplex, 4 vars x 4 rows"
+      (Staged.stage (fun () -> Rt_lp.Simplex.solve lp_problem));
+    Test.make ~name:"e15.kernel: migratory optimum n=20 m=4"
+      (Staged.stage (fun () ->
+           Rt_partition.Migration.optimal ~proc:(Rt_power.Processor.cubic ())
+             ~m:4 ~frame:1000. mig_items));
+    Test.make ~name:"e16.kernel: greedy degradation n=40 m=8"
+      (Staged.stage (fun () ->
+           Rt_core.Qos.greedy_degrade qos_problem qos_tasks));
+    Test.make ~name:"e8.kernel: consolidate + policy energy m=8"
+      (Staged.stage (fun () ->
+           Rt_expkit.Exp_leakage.policy_energy ~proc:e8_proc ~horizon:2000.
+             ~jobs_on:(fun b -> 10 * List.length b)
+             { Rt_expkit.Exp_leakage.ff = true; procrastinate = false }
+             periodic_part));
+  ]
+
+let scaling_tests =
+  let sizes = [| 10; 100; 1000 |] in
+  let problems =
+    Array.map (fun n -> instance ~seed:(100 + n) ~n ~m:8 ~load:1.5) sizes
+  in
+  [
+    Test.make_indexed ~name:"ltf-reject" ~args:[ 0; 1; 2 ] (fun i ->
+        Staged.stage (fun () -> Rt_core.Greedy.ltf_reject problems.(i)));
+    Test.make_indexed ~name:"marginal" ~args:[ 0; 1; 2 ] (fun i ->
+        Staged.stage (fun () -> Rt_core.Greedy.marginal_greedy problems.(i)));
+    Test.make_indexed ~name:"unsorted" ~args:[ 0; 1; 2 ] (fun i ->
+        Staged.stage (fun () -> Rt_core.Greedy.unsorted_reject problems.(i)));
+  ]
+
+let run_timings () =
+  let tests =
+    Test.make_grouped ~name:"rt-reject"
+      [
+        Test.make_grouped ~name:"kernels" kernel_tests;
+        Test.make_grouped ~name:"scaling(n=10|100|1000)" scaling_tests;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let table =
+    List.fold_left
+      (fun t (name, ols) ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> Printf.sprintf "%.1f" x
+          | Some [] | None -> "n/a"
+        in
+        Rt_prelude.Tablefmt.add_row t [ name; ns ])
+      (Rt_prelude.Tablefmt.create
+         ~aligns:[ Rt_prelude.Tablefmt.Left; Rt_prelude.Tablefmt.Right ]
+         [ "benchmark"; "ns/run" ])
+      rows
+  in
+  print_endline "\n== timing (bechamel, monotonic clock, OLS ns/run) ==";
+  Rt_prelude.Tablefmt.print table
+
+let () =
+  print_tables ();
+  run_timings ();
+  print_endline "\nbench: done"

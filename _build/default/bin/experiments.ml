@@ -1,0 +1,75 @@
+(* Command-line driver for the experiment suite (EXPERIMENTS.md tables).
+
+   Usage:
+     experiments             run everything at full fidelity
+     experiments e1 e3      run selected experiments
+     experiments --quick    reduced replications (smoke run)
+     experiments --list     show the catalogue *)
+
+let list_experiments () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-4s %s\n" e.Rt_expkit.Registry.id
+        e.Rt_expkit.Registry.title)
+    Rt_expkit.Registry.all
+
+let run quick csv ids list_only =
+  if list_only then begin
+    list_experiments ();
+    Ok ()
+  end
+  else begin
+    let targets =
+      match ids with
+      | [] -> Ok Rt_expkit.Registry.all
+      | ids ->
+          List.fold_left
+            (fun acc id ->
+              match (acc, Rt_expkit.Registry.find id) with
+              | Error e, _ -> Error e
+              | Ok _, None -> Error (`Msg ("unknown experiment: " ^ id))
+              | Ok xs, Some e -> Ok (xs @ [ e ]))
+            (Ok []) ids
+    in
+    match targets with
+    | Error e -> Error e
+    | Ok targets ->
+        List.iter
+          (fun e ->
+            if csv then begin
+              Printf.printf "# %s\n%s\n" e.Rt_expkit.Registry.title
+                (Rt_prelude.Tablefmt.to_csv
+                   (if quick then e.Rt_expkit.Registry.run_quick ()
+                    else e.Rt_expkit.Registry.run ()))
+            end
+            else Rt_expkit.Registry.print ~quick e)
+          targets;
+        Ok ()
+  end
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced replication counts.")
+
+let csv =
+  Arg.(
+    value & flag
+    & info [ "csv" ] ~doc:"Emit tables as CSV instead of aligned text.")
+
+let list_only =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the experiment catalogue.")
+
+let ids =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:"Experiment ids to run (default: all). See --list.")
+
+let cmd =
+  let doc = "regenerate the evaluation tables of the rt-reject reproduction" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(term_result (const run $ quick $ csv $ ids $ list_only))
+
+let () = exit (Cmd.eval cmd)

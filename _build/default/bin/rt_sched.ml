@@ -1,0 +1,427 @@
+(* rt_sched: generate a synthetic rejection-scheduling instance, run one or
+   all algorithms on it, validate, and show the schedule.
+
+   Examples:
+     rt_sched solve --n 12 --m 4 --load 1.6 --alg ltf-ls --gantt
+     rt_sched compare --n 10 --m 2 --load 1.4 --exact
+     rt_sched describe --n 6 --m 2 --load 1.2 *)
+
+open Cmdliner
+
+let named_algorithms =
+  Rt_core.Greedy.named
+  @ [
+      ( "ltf-ls",
+        Rt_core.Local_search.with_local_search Rt_core.Greedy.ltf_reject );
+      ( "marginal-ls",
+        Rt_core.Local_search.with_local_search Rt_core.Greedy.marginal_greedy );
+      ( "density-ls",
+        Rt_core.Local_search.with_local_search Rt_core.Greedy.density_reject );
+    ]
+
+let processor_of_name name =
+  let enable = Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. } in
+  match name with
+  | "xscale" -> Ok (Rt_power.Processor.xscale ~dormancy:enable)
+  | "xscale-levels" -> Ok (Rt_power.Processor.xscale_levels ~dormancy:enable)
+  | "cubic" -> Ok (Rt_power.Processor.cubic ())
+  | other -> Error (`Msg ("unknown processor preset: " ^ other))
+
+let penalty_of_name name =
+  match List.assoc_opt name Rt_task.Penalty.default_models with
+  | Some m -> Ok m
+  | None -> Error (`Msg ("unknown penalty model: " ^ name))
+
+let build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load =
+  match (processor_of_name proc_name, penalty_of_name penalty_name) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok proc, Ok penalty_model ->
+      Ok
+        ( proc,
+          Rt_expkit.Instances.frame_instance ~penalty_model ~proc ~seed ~n ~m
+            ~load () )
+
+let print_cost p s =
+  match Rt_core.Solution.cost p s with
+  | Error e -> Printf.printf "  INVALID: %s\n" e
+  | Ok c ->
+      Printf.printf "  energy %.4f  penalty %.4f  total %.4f  accepted %d/%d\n"
+        c.Rt_core.Solution.energy c.Rt_core.Solution.penalty
+        c.Rt_core.Solution.total
+        (Rt_partition.Partition.size s.Rt_core.Solution.partition)
+        (List.length p.Rt_core.Problem.items)
+
+let validation_tag p s =
+  match Rt_core.Solution.validate p s with
+  | Ok () -> "valid (simulator-checked)"
+  | Error e -> "INVALID: " ^ e
+
+let describe proc_name penalty_name seed n m load =
+  match build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load with
+  | Error e -> Error e
+  | Ok (_, p) ->
+      Format.printf "%a@." Rt_core.Problem.pp p;
+      Ok ()
+
+let solve proc_name penalty_name seed n m load alg_name gantt =
+  match build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load with
+  | Error e -> Error e
+  | Ok (proc, p) -> (
+      match List.assoc_opt alg_name named_algorithms with
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown algorithm %s (have: %s)" alg_name
+                 (String.concat ", " (List.map fst named_algorithms))))
+      | Some alg ->
+          let s = alg p in
+          Printf.printf "algorithm %s on n=%d m=%d load=%.2f (seed %d)\n"
+            alg_name n m load seed;
+          print_cost p s;
+          Printf.printf "  rejected ids: [%s]\n"
+            (String.concat "; "
+               (List.map string_of_int (Rt_core.Solution.rejected_ids s)));
+          Printf.printf "  %s\n" (validation_tag p s);
+          if gantt then begin
+            match
+              Rt_sim.Frame_sim.build ~proc
+                ~frame_length:p.Rt_core.Problem.horizon
+                s.Rt_core.Solution.partition
+            with
+            | Ok sim -> print_endline (Rt_sim.Frame_sim.gantt sim)
+            | Error e -> Printf.printf "  (no gantt: %s)\n" e
+          end;
+          Ok ())
+
+let compare_all proc_name penalty_name seed n m load exact =
+  match build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load with
+  | Error e -> Error e
+  | Ok (_, p) ->
+      Printf.printf "instance: n=%d m=%d load=%.2f penalties=%s seed=%d\n" n m
+        load penalty_name seed;
+      let rows =
+        List.map
+          (fun (name, alg) ->
+            let s = alg p in
+            (name, Rt_expkit.Instances.solution_total p s, s))
+          named_algorithms
+      in
+      let rows =
+        if exact then begin
+          let s = Rt_core.Exact.branch_and_bound p in
+          rows @ [ ("OPTIMAL", Rt_expkit.Instances.solution_total p s, s) ]
+        end
+        else rows
+      in
+      let table =
+        List.fold_left
+          (fun t (name, total, s) ->
+            Rt_prelude.Tablefmt.add_row t
+              [
+                name;
+                Rt_prelude.Tablefmt.float_cell total;
+                string_of_int
+                  (Rt_partition.Partition.size s.Rt_core.Solution.partition);
+                validation_tag p s;
+              ])
+          (Rt_prelude.Tablefmt.create
+             ~aligns:
+               [
+                 Rt_prelude.Tablefmt.Left;
+                 Rt_prelude.Tablefmt.Right;
+                 Rt_prelude.Tablefmt.Right;
+                 Rt_prelude.Tablefmt.Left;
+               ]
+             [ "algorithm"; "total cost"; "accepted"; "validation" ])
+          rows
+      in
+      Rt_prelude.Tablefmt.print table;
+      Ok ()
+
+let periodic proc_name seed n m total_util =
+  match processor_of_name proc_name with
+  | Error e -> Error e
+  | Ok proc -> (
+      let problem, tasks =
+        Rt_expkit.Instances.periodic_instance ~proc ~seed ~n ~m ~total_util ()
+      in
+      Printf.printf
+        "periodic: n=%d m=%d total U=%.2f hyper-period=%g (seed %d)\n" n m
+        (Rt_task.Taskset.total_utilization tasks)
+        problem.Rt_core.Problem.horizon seed;
+      let s =
+        Rt_core.Local_search.with_local_search Rt_core.Greedy.ltf_reject
+          problem
+      in
+      print_cost problem s;
+      Printf.printf "  %s\n" (validation_tag problem s);
+      (* EDF check per core at the clamped sustained speed *)
+      let rec per_core core =
+        if core = m then Ok ()
+        else begin
+          let ids =
+            List.map
+              (fun (it : Rt_task.Task.item) -> it.Rt_task.Task.item_id)
+              (Rt_partition.Partition.bucket s.Rt_core.Solution.partition core)
+          in
+          let core_tasks =
+            List.filter
+              (fun (t : Rt_task.Task.periodic) ->
+                List.mem t.Rt_task.Task.id ids)
+              tasks
+          in
+          if core_tasks = [] then begin
+            Printf.printf "  core %d: idle\n" core;
+            per_core (core + 1)
+          end
+          else begin
+            let u = Rt_task.Taskset.total_utilization core_tasks in
+            let speed =
+              Float.min
+                (Rt_power.Processor.s_max proc)
+                (Float.max u (Rt_power.Processor.critical_speed proc))
+            in
+            match Rt_sim.Edf_sim.run ~proc ~speed core_tasks with
+            | Error e -> Error (`Msg e)
+            | Ok o ->
+                Printf.printf "  core %d: %d tasks, U=%.3f, EDF %s\n" core
+                  (List.length core_tasks) u
+                  (if o.Rt_sim.Edf_sim.misses = [] then "clean"
+                   else "MISSES!");
+                per_core (core + 1)
+          end
+        end
+      in
+      match per_core 0 with Error e -> Error e | Ok () -> Ok ())
+
+let online seed n load policy_name =
+  let policy =
+    match policy_name with
+    | "admit-all" -> Ok Rt_online.Admission.Admit_all
+    | "profitable" -> Ok Rt_online.Admission.Profitable
+    | other -> (
+        match float_of_string_opt other with
+        | Some theta -> Ok (Rt_online.Admission.Density_threshold theta)
+        | None ->
+            Error
+              (`Msg
+                "policy must be admit-all, profitable, or a numeric \
+                 threshold"))
+  in
+  match policy with
+  | Error e -> Error e
+  | Ok policy -> (
+      let proc =
+        Rt_power.Processor.xscale
+          ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+      in
+      let rng = Rt_prelude.Rng.create ~seed in
+      let mean_cycles = 25. in
+      let jobs =
+        Rt_online.Job.stream rng ~n ~rate:(load /. mean_cycles) ~s_max:1.
+          ~mean_cycles ~slack_lo:1.2 ~slack_hi:4. ~penalty_factor:1.3
+      in
+      match Rt_online.Admission.simulate ~proc ~policy jobs with
+      | Error e -> Error (`Msg e)
+      | Ok o ->
+          Printf.printf
+            "online: %d jobs at offered load %.2f, policy %s (seed %d)\n" n
+            load policy_name seed;
+          Printf.printf
+            "  energy %.1f  penalty %.1f  total %.1f  admitted %d  forced \
+             rejections %d\n"
+            o.Rt_online.Admission.energy o.Rt_online.Admission.penalty
+            o.Rt_online.Admission.total
+            (List.length o.Rt_online.Admission.admitted)
+            o.Rt_online.Admission.forced_rejections;
+          Printf.printf "  clairvoyant lower bound: %.1f (ratio %.2fx)\n"
+            (Rt_online.Admission.lower_bound ~proc jobs)
+            (o.Rt_online.Admission.total
+            /. Float.max 1e-9 (Rt_online.Admission.lower_bound ~proc jobs));
+          Ok ())
+
+let qos proc_name penalty_name seed n m load steps curve =
+  match build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load with
+  | Error e -> Error e
+  | Ok (proc, base) -> (
+      let empty =
+        Rt_core.Problem.make ~proc ~m ~horizon:base.Rt_core.Problem.horizon []
+      in
+      match empty with
+      | Error e -> Error (`Msg e)
+      | Ok p ->
+          Printf.printf "qos: n=%d m=%d load=%.2f, %d-level menus, curve %.1f\n"
+            n m load steps curve;
+          List.iter
+            (fun (name, tasks) ->
+              let s = Rt_core.Qos.greedy_degrade p tasks in
+              match Rt_core.Qos.cost p tasks s with
+              | Error e -> Printf.printf "  %-8s failed: %s\n" name e
+              | Ok total ->
+                  (* classify by the chosen level's weight, so binary and
+                     graceful menus are counted the same way *)
+                  let weight_of c =
+                    match
+                      List.find_opt
+                        (fun t -> t.Rt_core.Qos.id = c.Rt_core.Qos.task_id)
+                        tasks
+                    with
+                    | None -> 0.
+                    | Some t ->
+                        (List.nth t.Rt_core.Qos.levels c.Rt_core.Qos.level_index)
+                          .Rt_core.Qos.weight
+                  in
+                  let full_of c =
+                    match
+                      List.find_opt
+                        (fun t -> t.Rt_core.Qos.id = c.Rt_core.Qos.task_id)
+                        tasks
+                    with
+                    | None -> 0.
+                    | Some t -> (List.hd t.Rt_core.Qos.levels).Rt_core.Qos.weight
+                  in
+                  let dropped =
+                    List.length
+                      (List.filter (fun c -> weight_of c = 0.) s.Rt_core.Qos.choices)
+                  in
+                  let degraded =
+                    List.length
+                      (List.filter
+                         (fun c ->
+                           let w = weight_of c in
+                           w > 0. && w < full_of c)
+                         s.Rt_core.Qos.choices)
+                  in
+                  Printf.printf
+                    "  %-8s total %.1f   degraded %d   dropped %d\n" name
+                    total degraded dropped)
+            [
+              ( "binary",
+                List.map Rt_core.Qos.of_item base.Rt_core.Problem.items );
+              ( "graceful",
+                List.map
+                  (Rt_core.Qos.graceful ~steps ~curve)
+                  base.Rt_core.Problem.items );
+            ];
+          Ok ())
+
+(* ---------------------------------------------------------------- *)
+
+let proc_arg =
+  Arg.(
+    value & opt string "xscale"
+    & info [ "proc" ] ~docv:"PRESET"
+        ~doc:"Processor preset: xscale, xscale-levels, or cubic.")
+
+let penalty_arg =
+  Arg.(
+    value & opt string "proportional"
+    & info [ "penalties" ] ~docv:"MODEL"
+        ~doc:"Penalty model: uniform, proportional, inverse, bimodal.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let n_arg = Arg.(value & opt int 12 & info [ "n" ] ~doc:"Number of tasks.")
+let m_arg = Arg.(value & opt int 4 & info [ "m" ] ~doc:"Number of processors.")
+
+let load_arg =
+  Arg.(
+    value & opt float 1.5
+    & info [ "load" ] ~doc:"Normalized system load (1.0 = full capacity).")
+
+let alg_arg =
+  Arg.(
+    value & opt string "ltf-ls"
+    & info [ "alg" ] ~docv:"NAME" ~doc:"Algorithm to run (see compare).")
+
+let gantt_arg =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Print the frame schedule.")
+
+let exact_arg =
+  Arg.(
+    value & flag
+    & info [ "exact" ] ~doc:"Also run the exponential exact solver.")
+
+let describe_cmd =
+  Cmd.v
+    (Cmd.info "describe" ~doc:"print a generated instance")
+    Term.(
+      term_result
+        (const describe $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
+       $ load_arg))
+
+let solve_cmd =
+  Cmd.v
+    (Cmd.info "solve" ~doc:"run one algorithm on a generated instance")
+    Term.(
+      term_result
+        (const solve $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
+       $ load_arg $ alg_arg $ gantt_arg))
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"run every algorithm on a generated instance")
+    Term.(
+      term_result
+        (const compare_all $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
+       $ load_arg $ exact_arg))
+
+let util_arg =
+  Arg.(
+    value & opt float 5.
+    & info [ "util" ] ~doc:"Total utilization of the periodic task set.")
+
+let load_online_arg =
+  Arg.(
+    value & opt float 1.4
+    & info [ "rate-load" ]
+        ~doc:"Offered load of the job stream (1.0 = capacity).")
+
+let policy_arg =
+  Arg.(
+    value & opt string "profitable"
+    & info [ "policy" ]
+        ~doc:
+          "Admission policy: admit-all, profitable, or a numeric \
+           penalty-per-cycle threshold.")
+
+let steps_arg =
+  Arg.(value & opt int 4 & info [ "steps" ] ~doc:"Service levels per task.")
+
+let curve_arg =
+  Arg.(
+    value & opt float 2.
+    & info [ "curve" ] ~doc:"Penalty-loss exponent (>1: early losses cheap).")
+
+let periodic_cmd =
+  Cmd.v
+    (Cmd.info "periodic"
+       ~doc:"solve a periodic instance and EDF-check every core")
+    Term.(
+      term_result
+        (const periodic $ proc_arg $ seed_arg $ n_arg $ m_arg $ util_arg))
+
+let online_cmd =
+  Cmd.v
+    (Cmd.info "online" ~doc:"simulate online admission on a job stream")
+    Term.(
+      term_result
+        (const online $ seed_arg $ n_arg $ load_online_arg $ policy_arg))
+
+let qos_cmd =
+  Cmd.v
+    (Cmd.info "qos"
+       ~doc:"compare binary rejection against graceful QoS degradation")
+    Term.(
+      term_result
+        (const qos $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
+       $ load_arg $ steps_arg $ curve_arg))
+
+let cmd =
+  Cmd.group
+    (Cmd.info "rt_sched" ~version:"1.0.0"
+       ~doc:"energy-efficient real-time scheduling with task rejection")
+    [ describe_cmd; solve_cmd; compare_cmd; periodic_cmd; online_cmd; qos_cmd ]
+
+let () = exit (Cmd.eval cmd)

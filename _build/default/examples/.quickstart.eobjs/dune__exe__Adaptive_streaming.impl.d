@@ -1,0 +1,1 @@
+examples/adaptive_streaming.ml: List Printf Problem Qos Rt_core Rt_power Rt_task String Task Taskset

@@ -1,0 +1,1 @@
+examples/admission_control.ml: Admission Job List Printf Rt_online Rt_power Rt_prelude String

@@ -1,0 +1,1 @@
+examples/cpu_fpga.ml: List Printf Rt_power Rt_twope String Twope

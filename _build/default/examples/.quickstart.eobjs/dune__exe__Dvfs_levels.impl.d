@@ -1,0 +1,1 @@
+examples/dvfs_levels.ml: Float List Printf Rt_partition Rt_power Rt_prelude Rt_sim Rt_speed Rt_task String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Rt_core Rt_power Rt_sim Rt_task String Task

@@ -1,0 +1,1 @@
+examples/sensor_overload.ml: Float List Printf Rt_core Rt_partition Rt_power Rt_prelude Rt_sim Rt_task String Task Taskset

@@ -1,0 +1,1 @@
+examples/video_decoder.ml: List Printf Rt_core Rt_power Rt_prelude Rt_sim Rt_task Task

@@ -1,0 +1,83 @@
+(* Partitioning periodic work between a DVS CPU and an FPGA fabric.
+
+   A board carries one DVS processor and one FPGA whose power draw, once
+   configured, does not depend on what it hosts (the workload-independent
+   non-DVS PE of the model). Every task offloaded to the fabric frees the
+   CPU to run slower — cubically cheaper — but occupies fabric area. The
+   example shows the offload decision across the algorithm family, then
+   switches to a power-gated fabric (workload-dependent) where hosting is
+   no longer free and over-offloading backfires.
+
+   Run with: dune exec examples/cpu_fpga.exe *)
+
+open Rt_twope
+
+(* the CPU: ideal DVS, P(s) = 1.52 s^3 normalized, generous speed range *)
+let dvs =
+  Rt_power.Processor.make
+    ~model:(Rt_power.Power_model.make ~coeff:1.52 ~alpha:3. ())
+    ~domain:(Rt_power.Processor.Ideal { s_min = 0.; s_max = 4. })
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+(* (name, CPU utilization, fabric share in permille) *)
+let workload =
+  [
+    ("fft", 0.45, 180);         (* heavy on CPU, small on fabric: offload me *)
+    ("matrix-mul", 0.40, 220);
+    ("aes", 0.25, 120);
+    ("viterbi", 0.30, 350);     (* big fabric footprint *)
+    ("crc", 0.05, 40);
+    ("uart-proto", 0.08, 300);  (* light on CPU, greedy fabric hog *)
+    ("motor-ctl", 0.12, 150);
+    ("kalman", 0.35, 260);
+  ]
+
+let tasks =
+  List.mapi
+    (fun id (_, w, a) -> Twope.task ~id ~dvs_weight:w ~alt_permille:a)
+    workload
+
+let name_of id = match List.nth_opt workload id with
+  | Some (n, _, _) -> n
+  | None -> "?"
+
+let show sys label =
+  Printf.printf "\n-- %s --\n" label;
+  Printf.printf "%-10s %10s  offloaded to fabric\n" "algorithm" "energy";
+  List.iter
+    (fun (name, alg) ->
+      let a = alg sys tasks in
+      match Twope.cost sys a with
+      | Error e -> Printf.printf "%-10s %10s  (%s)\n" name "-" e
+      | Ok c ->
+          Printf.printf "%-10s %10.2f  %s\n" name c
+            (String.concat ", "
+               (List.map
+                  (fun t -> name_of t.Twope.id)
+                  (List.sort
+                     (fun a b -> compare a.Twope.id b.Twope.id)
+                     a.Twope.offloaded))))
+    (Twope.named @ [ ("OPTIMAL", Twope.exhaustive) ])
+
+let () =
+  Printf.printf
+    "8 periodic tasks, total CPU utilization %.2f, fabric capacity 1000\u{2030} \
+     (demand %d\u{2030})\n"
+    (List.fold_left (fun s t -> s +. t.Twope.dvs_weight) 0. tasks)
+    (List.fold_left (fun s t -> s + t.Twope.alt_permille) 0 tasks);
+
+  (match
+     Twope.system ~dvs ~alt_power:0.588
+       ~alt_kind:Twope.Workload_independent ~horizon:1000.
+   with
+  | Ok sys ->
+      show sys "always-on FPGA (workload-independent): fill the fabric wisely"
+  | Error e -> failwith e);
+
+  match
+    Twope.system ~dvs ~alt_power:0.588 ~alt_kind:Twope.Workload_dependent
+      ~horizon:1000.
+  with
+  | Ok sys ->
+      show sys "power-gated FPGA (workload-dependent): every offload must pay"
+  | Error e -> failwith e

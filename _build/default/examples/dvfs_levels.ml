@@ -1,0 +1,77 @@
+(* What a discrete DVFS grid costs, and how the two-level split works.
+
+   Real DVS silicon exposes a handful of frequency grades, not a
+   continuum. The optimal way to sustain a required speed between two
+   grades is to alternate between the adjacent grades (Ishihara–Yasuura);
+   with leakage and a sleep mode, idling or sleeping joins the mix and the
+   optimum is a point on the lower convex hull of the operating points.
+
+   This example prints the realized plans across the whole load range for
+   the 5-grade XScale processor and compares the energy against the ideal
+   continuous-spectrum processor.
+
+   Run with: dune exec examples/dvfs_levels.exe *)
+
+let ideal =
+  Rt_power.Processor.xscale
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let levels =
+  Rt_power.Processor.xscale_levels
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let plan_to_string (plan : Rt_speed.Energy_rate.plan) =
+  plan.Rt_speed.Energy_rate.segments
+  |> List.map (fun (s : Rt_speed.Energy_rate.segment) ->
+         if s.Rt_speed.Energy_rate.speed = 0. then
+           Printf.sprintf "sleep %.0f%%" (100. *. s.Rt_speed.Energy_rate.fraction)
+         else
+           Printf.sprintf "%.2f for %.0f%%" s.Rt_speed.Energy_rate.speed
+             (100. *. s.Rt_speed.Energy_rate.fraction))
+  |> String.concat " + "
+
+let () =
+  Printf.printf "XScale, 5 grades {0.15 0.4 0.6 0.8 1.0}, P(s)=0.08+1.52s^3, \
+                 critical speed %.3f\n\n"
+    (Rt_power.Processor.critical_speed ideal);
+  print_endline
+    "load   grid plan                      grid rate  ideal rate  overhead";
+  print_endline
+    "-----  ------------------------------ ---------  ----------  --------";
+  List.iter
+    (fun u ->
+      match
+        ( Rt_speed.Energy_rate.optimal levels ~u,
+          Rt_speed.Energy_rate.optimal ideal ~u )
+      with
+      | Some pl, Some pi ->
+          Printf.printf "%.2f   %-30s  %9.4f  %10.4f  %+7.1f%%\n" u
+            (plan_to_string pl) pl.Rt_speed.Energy_rate.rate
+            pi.Rt_speed.Energy_rate.rate
+            (100.
+            *. ((pl.Rt_speed.Energy_rate.rate
+                /. Float.max 1e-12 pi.Rt_speed.Energy_rate.rate)
+               -. 1.));
+      | _ -> Printf.printf "%.2f   (infeasible)\n" u)
+    [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ];
+
+  (* whole-system view: the same task set scheduled on both processors *)
+  print_endline "\nSame 12-task workload on 4 cores, both processor kinds:";
+  let rng = Rt_prelude.Rng.create ~seed:2024 in
+  let tasks =
+    Rt_task.Gen.frame_tasks_with_load rng ~n:12 ~m:4 ~s_max:1.
+      ~frame_length:1000. ~load:0.55
+  in
+  let items = Rt_task.Taskset.items_of_frames ~frame_length:1000. tasks in
+  let part = Rt_partition.Heuristics.ltf ~m:4 items in
+  List.iter
+    (fun (name, proc) ->
+      match Rt_sim.Frame_sim.build ~proc ~frame_length:1000. part with
+      | Ok sim ->
+          (match Rt_sim.Frame_sim.validate sim with
+          | Ok () -> ()
+          | Error e -> failwith e);
+          Printf.printf "  %-12s total energy %.2f\n" name
+            sim.Rt_sim.Frame_sim.total_energy
+      | Error e -> Printf.printf "  %-12s infeasible: %s\n" name e)
+    [ ("ideal", ideal); ("5-grade", levels) ]

@@ -1,0 +1,101 @@
+(* Scalable video decoding under an energy budget.
+
+   A layered video decoder processes, per 40ms display frame, one *base
+   layer* job per stream (dropping it loses the stream — high penalty) and
+   one or two *enhancement layer* jobs (dropping one only degrades quality
+   — low penalty). Under overload the scheduler must decide which layers
+   to decode this frame and at which DVS speeds: exactly the
+   energy-plus-rejection-penalty objective of the target paper.
+
+   The example sweeps the number of admitted streams on a 2-core decoder
+   SoC and shows how the scheduler sheds enhancement layers first and
+   starts dropping whole streams only deep into overload.
+
+   Run with: dune exec examples/video_decoder.exe *)
+
+open Rt_task
+
+let frame_length = 1000. (* one 40ms display frame, in normalized ticks *)
+
+let proc =
+  Rt_power.Processor.xscale
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+(* Per stream: one base job + two enhancement jobs. Cycle counts follow a
+   typical 60/25/15 split of decode work across layers. *)
+let stream_tasks ~stream ~cycles_per_stream =
+  let base = stream * 10 in
+  let share pct = max 1 (cycles_per_stream * pct / 100) in
+  [
+    Task.frame ~id:base ~cycles:(share 60)
+      ~penalty:5000. (* losing a whole stream is unacceptable-ish *) ();
+    Task.frame ~id:(base + 1) ~cycles:(share 25) ~penalty:120. ();
+    Task.frame ~id:(base + 2) ~cycles:(share 15) ~penalty:40. ();
+  ]
+
+let classify solution =
+  let rejected = Rt_core.Solution.rejected_ids solution in
+  let bases = List.filter (fun id -> id mod 10 = 0) rejected in
+  let enhancements = List.filter (fun id -> id mod 10 <> 0) rejected in
+  (List.length bases, List.length enhancements)
+
+let () =
+  print_endline "streams  load  base-drops  enh-drops  energy  penalty  total";
+  print_endline "-------  ----  ----------  ---------  ------  -------  -----";
+  List.iter
+    (fun streams ->
+      let tasks =
+        List.concat_map
+          (fun s -> stream_tasks ~stream:s ~cycles_per_stream:700)
+          (Rt_prelude.Math_util.range 0 (streams - 1))
+      in
+      let problem =
+        match Rt_core.Problem.of_frame ~proc ~m:2 ~frame_length tasks with
+        | Ok p -> p
+        | Error e -> failwith e
+      in
+      let solution =
+        Rt_core.Local_search.with_local_search Rt_core.Greedy.marginal_greedy
+          problem
+      in
+      (match Rt_core.Solution.validate problem solution with
+      | Ok () -> ()
+      | Error e -> failwith ("invalid schedule: " ^ e));
+      let cost =
+        match Rt_core.Solution.cost problem solution with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      let base_drops, enh_drops = classify solution in
+      Printf.printf "%7d  %4.2f  %10d  %9d  %6.1f  %7.1f  %5.1f\n" streams
+        (Rt_core.Problem.load_factor problem)
+        base_drops enh_drops cost.Rt_core.Solution.energy
+        cost.Rt_core.Solution.penalty cost.Rt_core.Solution.total)
+    [ 1; 2; 3; 4; 5; 6 ];
+  print_endline
+    "\nEnhancement layers are shed first (cheap penalties); base layers\n\
+     survive until the platform physically cannot decode them.";
+
+  (* zoom into the 4-stream case and show the realized schedule *)
+  let tasks =
+    List.concat_map
+      (fun s -> stream_tasks ~stream:s ~cycles_per_stream:700)
+      [ 0; 1; 2; 3 ]
+  in
+  let problem =
+    match Rt_core.Problem.of_frame ~proc ~m:2 ~frame_length tasks with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let solution =
+    Rt_core.Local_search.with_local_search Rt_core.Greedy.marginal_greedy
+      problem
+  in
+  match
+    Rt_sim.Frame_sim.build ~proc ~frame_length
+      solution.Rt_core.Solution.partition
+  with
+  | Ok sim ->
+      print_endline "\n4-stream schedule (one display frame, 2 cores):";
+      print_endline (Rt_sim.Frame_sim.gantt sim)
+  | Error e -> failwith e

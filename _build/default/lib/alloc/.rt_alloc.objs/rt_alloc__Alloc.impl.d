@@ -1,0 +1,1 @@
+lib/alloc/alloc.ml: Array Float List Rt_power Rt_prelude Rt_task

@@ -1,0 +1,1 @@
+lib/alloc/alloc.mli: Rt_power Rt_prelude

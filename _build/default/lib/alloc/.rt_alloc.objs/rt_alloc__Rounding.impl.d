@@ -1,0 +1,1 @@
+lib/alloc/rounding.ml: Alloc Array Float List Result Rt_lp Rt_prelude Simplex

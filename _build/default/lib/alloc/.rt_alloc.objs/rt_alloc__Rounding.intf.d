@@ -1,0 +1,1 @@
+lib/alloc/rounding.mli: Alloc

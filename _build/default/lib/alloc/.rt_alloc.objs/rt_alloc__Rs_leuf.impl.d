@@ -1,0 +1,1 @@
+lib/alloc/rs_leuf.ml: Array Float List Option Rt_partition Rt_power Rt_prelude Rt_task Task Taskset

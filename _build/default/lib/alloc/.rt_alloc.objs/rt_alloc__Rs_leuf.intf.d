@@ -1,0 +1,1 @@
+lib/alloc/rs_leuf.mli: Rt_power Rt_task

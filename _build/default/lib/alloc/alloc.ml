@@ -1,0 +1,230 @@
+type proc_type = {
+  type_id : int;
+  alloc_cost : float;
+  model : Rt_power.Power_model.t;
+  speeds : float array;
+}
+
+let proc_type ~type_id ~alloc_cost ~model ~speeds =
+  if alloc_cost <= 0. || not (Float.is_finite alloc_cost) then
+    invalid_arg "Alloc.proc_type: alloc_cost must be finite and > 0";
+  if Array.length speeds = 0 then
+    invalid_arg "Alloc.proc_type: empty speed set";
+  Array.iteri
+    (fun i s ->
+      if s <= 0. || not (Float.is_finite s) then
+        invalid_arg "Alloc.proc_type: speeds must be positive and finite";
+      if i > 0 && speeds.(i - 1) >= s then
+        invalid_arg "Alloc.proc_type: speeds must be strictly increasing")
+    speeds;
+  { type_id; alloc_cost; model; speeds = Array.copy speeds }
+
+type task = { id : int; cycles : float array }
+
+let task ~id ~cycles =
+  if Array.length cycles = 0 then invalid_arg "Alloc.task: no cycle counts";
+  Array.iter
+    (fun c ->
+      if c <= 0. || not (Float.is_finite c) then
+        invalid_arg "Alloc.task: cycles must be positive and finite")
+    cycles;
+  { id; cycles = Array.copy cycles }
+
+type instance = {
+  types : proc_type array;
+  tasks : task list;
+  frame : float;
+  energy_budget : float;
+}
+
+let instance ~types ~tasks ~frame ~energy_budget =
+  if Array.length types = 0 then Error "Alloc.instance: no processor types"
+  else if frame <= 0. || not (Float.is_finite frame) then
+    Error "Alloc.instance: frame must be finite and > 0"
+  else if energy_budget <= 0. || not (Float.is_finite energy_budget) then
+    Error "Alloc.instance: energy budget must be finite and > 0"
+  else if
+    List.exists
+      (fun t -> Array.length t.cycles <> Array.length types)
+      tasks
+  then Error "Alloc.instance: task cycle vector does not match the types"
+  else if
+    not (Rt_task.Task.distinct_ids (List.map (fun t -> t.id) tasks))
+  then Error "Alloc.instance: duplicate task ids"
+  else Ok { types; tasks; frame; energy_budget }
+
+let utilization inst t ~ti ~level =
+  t.cycles.(ti) /. (inst.types.(ti).speeds.(level) *. inst.frame)
+
+let energy inst t ~ti ~level =
+  let s = inst.types.(ti).speeds.(level) in
+  t.cycles.(ti) /. s *. Rt_power.Power_model.power inst.types.(ti).model s
+
+let kappa inst t ~ti =
+  let levels = Array.length inst.types.(ti).speeds in
+  let rec go l =
+    if l = levels then None
+    else if Rt_prelude.Float_cmp.leq (utilization inst t ~ti ~level:l) 1. then
+      Some l
+    else go (l + 1)
+  in
+  go 0
+
+(* per-task feasible energy extremes *)
+let per_task_extreme inst pick t =
+  let best = ref None in
+  Array.iteri
+    (fun ti _ ->
+      match kappa inst t ~ti with
+      | None -> ()
+      | Some k ->
+          for l = k to Array.length inst.types.(ti).speeds - 1 do
+            let e = energy inst t ~ti ~level:l in
+            match !best with
+            | Some b when not (pick e b) -> ()
+            | _ -> best := Some e
+          done)
+    inst.types;
+  !best
+
+let sum_extreme inst pick =
+  List.fold_left
+    (fun acc t ->
+      match per_task_extreme inst pick t with
+      | Some e -> acc +. e
+      | None -> acc (* task infeasible everywhere: contributes nothing *))
+    0. inst.tasks
+
+let e_min inst = sum_extreme inst (fun e b -> e < b)
+let e_max inst = sum_extreme inst (fun e b -> e > b)
+
+let with_gamma ~types ~tasks ~frame ~gamma =
+  if gamma < 0. || gamma > 1. then
+    invalid_arg "Alloc.with_gamma: gamma outside [0, 1]";
+  match instance ~types ~tasks ~frame ~energy_budget:1. with
+  | Error _ as e -> e
+  | Ok proto ->
+      let lo = e_min proto and hi = e_max proto in
+      let budget = lo +. (gamma *. (hi -. lo)) in
+      (* keep the budget strictly positive even at gamma = 0 *)
+      instance ~types ~tasks ~frame
+        ~energy_budget:(Float.max (lo *. (1. +. 1e-9)) budget)
+
+type placement = { task_id : int; ti : int; level : int }
+
+type build = {
+  placements : placement list;
+  counts : int array;
+  alloc_cost : float;
+  realized_energy : float;
+}
+
+let pack inst placements =
+  let n_types = Array.length inst.types in
+  let task_of id = List.find_opt (fun t -> t.id = id) inst.tasks in
+  let placed_ids = List.map (fun p -> p.task_id) placements in
+  if not (Rt_task.Task.distinct_ids placed_ids) then
+    Error "Alloc.pack: duplicate placements"
+  else if
+    List.sort compare placed_ids
+    <> List.sort compare (List.map (fun t -> t.id) inst.tasks)
+  then Error "Alloc.pack: placements do not cover the task set"
+  else begin
+    let utils_per_type = Array.make n_types [] in
+    let energy_total = ref 0. in
+    let bad = ref None in
+    List.iter
+      (fun p ->
+        match task_of p.task_id with
+        | None -> bad := Some "Alloc.pack: foreign task"
+        | Some t ->
+            if
+              p.ti < 0 || p.ti >= n_types || p.level < 0
+              || p.level >= Array.length inst.types.(p.ti).speeds
+            then bad := Some "Alloc.pack: placement out of range"
+            else begin
+              let u = utilization inst t ~ti:p.ti ~level:p.level in
+              if Rt_prelude.Float_cmp.gt u 1. then
+                bad := Some "Alloc.pack: placement misses its deadline"
+              else begin
+                utils_per_type.(p.ti) <- u :: utils_per_type.(p.ti);
+                energy_total :=
+                  !energy_total +. energy inst t ~ti:p.ti ~level:p.level
+              end
+            end)
+      placements;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+        let counts =
+          Array.map
+            (fun utils ->
+              (* first-fit over unit-capacity bins *)
+              let bins = ref [] in
+              List.iter
+                (fun u ->
+                  let rec place acc = function
+                    | [] -> List.rev ((u :: []) :: acc)
+                    | bin :: rest ->
+                        let load = List.fold_left ( +. ) 0. bin in
+                        if Rt_prelude.Float_cmp.leq (load +. u) 1. then
+                          List.rev_append acc ((u :: bin) :: rest)
+                        else place (bin :: acc) rest
+                  in
+                  bins := place [] !bins)
+                utils;
+              List.length !bins)
+            utils_per_type
+        in
+        let alloc_cost =
+          Array.to_list
+            (Array.mapi
+               (fun j c -> float_of_int c *. inst.types.(j).alloc_cost)
+               counts)
+          |> List.fold_left ( +. ) 0.
+        in
+        Ok
+          {
+            placements;
+            counts;
+            alloc_cost;
+            realized_energy = !energy_total;
+          }
+  end
+
+let gen rng ~n_types ~n_tasks ~instance_gamma =
+  if n_types < 1 || n_tasks < 1 then
+    invalid_arg "Alloc.gen: need at least one type and one task";
+  let types =
+    Array.init n_types (fun j ->
+        let n_levels = Rt_prelude.Rng.int rng ~lo:3 ~hi:5 in
+        let top = Rt_prelude.Rng.float rng ~lo:0.6 ~hi:1.0 in
+        let speeds =
+          Array.init n_levels (fun l ->
+              top *. float_of_int (l + 1) /. float_of_int n_levels)
+        in
+        let coeff = Rt_prelude.Rng.float rng ~lo:0.8 ~hi:2.2 in
+        let p_ind = Rt_prelude.Rng.float rng ~lo:0.02 ~hi:0.12 in
+        proc_type ~type_id:j
+          ~alloc_cost:(Rt_prelude.Rng.log_uniform rng ~lo:1. ~hi:8.)
+          ~model:(Rt_power.Power_model.make ~p_ind ~coeff ~alpha:3. ())
+          ~speeds)
+  in
+  let frame = 1000. in
+  let tasks =
+    List.map
+      (fun id ->
+        let base = Rt_prelude.Rng.float rng ~lo:0.05 ~hi:0.45 in
+        let cycles =
+          Array.init n_types (fun j ->
+              let skew = Rt_prelude.Rng.float rng ~lo:0.7 ~hi:1.4 in
+              base *. skew
+              *. types.(j).speeds.(Array.length types.(j).speeds - 1)
+              *. frame)
+        in
+        task ~id ~cycles)
+      (Rt_prelude.Math_util.range 0 (n_tasks - 1))
+  in
+  match with_gamma ~types ~tasks ~frame ~gamma:instance_gamma with
+  | Ok i -> Ok i
+  | Error e -> Error e

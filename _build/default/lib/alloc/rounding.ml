@@ -1,0 +1,191 @@
+open Rt_lp
+
+(* one LP variable: task index (into the sorted task array), type index,
+   speed level *)
+type var = { vi : int; vj : int; vl : int }
+
+type lp_solution = {
+  lp_value : float;  (** relaxation objective incl. the 4b constant *)
+  placements : Alloc.placement list;  (** rounded *)
+}
+
+(* [vj] is a position in the cost-sorted order; [order] maps it back to
+   the instance's type index *)
+let feasible_vars inst ~tasks ~order ~m' =
+  List.concat
+    (List.mapi
+       (fun vi t ->
+         List.concat
+           (List.filter_map
+              (fun vj ->
+                let ti = order vj in
+                match Alloc.kappa inst t ~ti with
+                | None -> None
+                | Some k ->
+                    Some
+                      (List.map
+                         (fun vl -> { vi; vj; vl })
+                         (Rt_prelude.Math_util.range k
+                            (Array.length inst.Alloc.types.(ti).Alloc.speeds - 1))))
+              (Rt_prelude.Math_util.range 0 (m' - 1))))
+       tasks)
+
+(* build and solve one of the 2m parametric LPs; [pin] = true is Eq. (4b) *)
+let solve_one inst ~tasks ~order ~m' ~pin =
+  let n_tasks = Array.length tasks in
+  let task_list = Array.to_list tasks in
+  let vars = Array.of_list (feasible_vars inst ~tasks:task_list ~order ~m') in
+  let nv = Array.length vars in
+  if nv = 0 then None
+  else begin
+    let u_of { vi; vj; vl } =
+      Alloc.utilization inst tasks.(vi) ~ti:(order vj) ~level:vl
+    in
+    let e_of { vi; vj; vl } =
+      Alloc.energy inst tasks.(vi) ~ti:(order vj) ~level:vl
+    in
+    let cost_of { vj; _ } = inst.Alloc.types.(order vj).Alloc.alloc_cost in
+    let objective =
+      Array.map
+        (fun v ->
+          if pin && v.vj = m' - 1 then 0. (* its processor is paid as a constant *)
+          else u_of v *. cost_of v)
+        vars
+    in
+    let row_of f = Array.map f vars in
+    let anchor_row =
+      row_of (fun v -> if v.vj = m' - 1 then u_of v else 0.)
+    in
+    let energy_row = row_of e_of in
+    let task_rows =
+      List.map
+        (fun i ->
+          ( row_of (fun v -> if v.vi = i then 1. else 0.),
+            Simplex.Eq,
+            1. ))
+        (Rt_prelude.Math_util.range 0 (n_tasks - 1))
+    in
+    let constraints =
+      (anchor_row, (if pin then Simplex.Le else Simplex.Ge), 1.)
+      :: (energy_row, Simplex.Le, inst.Alloc.energy_budget)
+      :: task_rows
+    in
+    match Simplex.solve { Simplex.minimize = objective; constraints } with
+    | Error _ | Ok Simplex.Infeasible | Ok Simplex.Unbounded -> None
+    | Ok (Simplex.Optimal { value; solution }) ->
+        let constant =
+          if pin then inst.Alloc.types.(order (m' - 1)).Alloc.alloc_cost
+          else 0.
+        in
+        (* rounding: integral tasks keep their variable; fractional tasks go
+           to the cheapest-energy supporting type at its slowest feasible
+           speed *)
+        let placements =
+          List.map
+            (fun i ->
+              let mine =
+                List.filter
+                  (fun (idx, _) -> vars.(idx).vi = i)
+                  (List.mapi (fun idx v -> (idx, v)) (Array.to_list vars))
+              in
+              let integral =
+                List.find_opt (fun (idx, _) -> solution.(idx) > 1. -. 1e-6) mine
+              in
+              match integral with
+              | Some (_, v) ->
+                  {
+                    Alloc.task_id = tasks.(i).Alloc.id;
+                    ti = order v.vj;
+                    level = v.vl;
+                  }
+              | None ->
+                  let supported =
+                    List.filter (fun (idx, _) -> solution.(idx) > 1e-9) mine
+                  in
+                  let candidates =
+                    match supported with [] -> mine | s -> s
+                  in
+                  let best =
+                    List.fold_left
+                      (fun acc (_, v) ->
+                        let ti = order v.vj in
+                        match Alloc.kappa inst tasks.(i) ~ti with
+                        | None -> acc
+                        | Some k ->
+                            let e = Alloc.energy inst tasks.(i) ~ti ~level:k in
+                            (match acc with
+                            | Some (_, _, eb) when eb <= e -> acc
+                            | _ -> Some (ti, k, e)))
+                      None candidates
+                  in
+                  (match best with
+                  | Some (ti, level, _) ->
+                      { Alloc.task_id = tasks.(i).Alloc.id; ti; level }
+                  | None ->
+                      (* cannot happen: mine is non-empty by construction *)
+                      assert false))
+            (Rt_prelude.Math_util.range 0 (n_tasks - 1))
+        in
+        Some { lp_value = value +. constant; placements }
+  end
+
+let parametric_solutions inst =
+  let tasks = Array.of_list inst.Alloc.tasks in
+  (* re-index types by non-decreasing allocation cost *)
+  let order_arr =
+    let idx =
+      Array.init (Array.length inst.Alloc.types) (fun j -> j)
+    in
+    Array.sort
+      (fun a b ->
+        Float.compare inst.Alloc.types.(a).Alloc.alloc_cost
+          inst.Alloc.types.(b).Alloc.alloc_cost)
+      idx;
+    idx
+  in
+  let order j = order_arr.(j) in
+  let m = Array.length inst.Alloc.types in
+  List.concat_map
+    (fun m' ->
+      List.filter_map
+        (fun pin -> solve_one inst ~tasks ~order ~m' ~pin)
+        [ false; true ])
+    (Rt_prelude.Math_util.range 1 m)
+
+let lp_lower_bound inst =
+  match parametric_solutions inst with
+  | [] -> None
+  | sols ->
+      Some (List.fold_left (fun acc s -> Float.min acc s.lp_value) Float.infinity sols)
+
+let rounding inst =
+  match parametric_solutions inst with
+  | [] -> Error "Rounding: no feasible parametric relaxation"
+  | sols ->
+      let best =
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | Some b when b.lp_value <= s.lp_value -> acc
+            | _ -> Some s)
+          None sols
+      in
+      (match best with
+      | None -> Error "Rounding: no feasible parametric relaxation"
+      | Some s -> Alloc.pack inst s.placements)
+
+let e_rounding inst =
+  let sols = parametric_solutions inst in
+  let builds =
+    List.filter_map
+      (fun s -> Result.to_option (Alloc.pack inst s.placements))
+      sols
+  in
+  match builds with
+  | [] -> Error "E-Rounding: no feasible parametric relaxation"
+  | b :: rest ->
+      Ok
+        (List.fold_left
+           (fun best x ->
+             if x.Alloc.alloc_cost < best.Alloc.alloc_cost then x else best)
+           b rest)

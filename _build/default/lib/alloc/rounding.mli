@@ -1,0 +1,26 @@
+(** Algorithms ROUNDING and E-ROUNDING: parametric LP relaxation plus
+    LP-guided rounding and first-fit packing.
+
+    The naive LP relaxation of the synthesis ILP is unbounded, so the
+    published fix restricts the solution shape: for each parameter [m']
+    (after re-indexing types by non-decreasing allocation cost) the
+    relaxation either treats type [m'] as fractionally allocatable like
+    the cheaper types (Equation 4a) or pins {e exactly one} processor of
+    type [m'] (Equation 4b). Solving all [2m] LPs, rounding the best
+    solution (fractional tasks go to their cheapest-energy supporting
+    type at its slowest feasible speed) and first-fit packing gives the
+    published (m+2)-approximation. E-ROUNDING rounds {e every} feasible
+    LP solution and keeps the cheapest realized build. *)
+
+val rounding : Alloc.instance -> (Alloc.build, string) result
+(** Round the single LP solution with the best relaxation value. Errors
+    when no parametric LP is feasible (energy budget too tight even
+    fractionally) or rounding produces an unpackable placement. *)
+
+val e_rounding : Alloc.instance -> (Alloc.build, string) result
+(** Best realized build over all feasible parametric LPs; never worse
+    than {!rounding} on realized allocation cost. *)
+
+val lp_lower_bound : Alloc.instance -> float option
+(** The best parametric-relaxation value — the normalization reference of
+    the published figures. [None] when every LP is infeasible. *)

@@ -1,0 +1,42 @@
+(** Processor-count minimization for one {e ideal} processor type under an
+    energy budget: Algorithm RS-LEUF and its First-Fit baseline.
+
+    Both start from the {e pooled} relaxation: pretend the [m] processors
+    form one time pool of [m × frame] (tasks still individually capped at
+    one frame). The smallest [m] whose pooled optimum meets the energy
+    budget, [m*], is a sound lower bound on any partitioned allocation.
+    The pooled solution's per-task execution times give {e estimated
+    utilizations} [u*_i = t*_i / frame]:
+
+    - {b First-Fit} packs the estimated utilizations into unit bins and
+      allocates that many processors, never revisiting speeds;
+    - {b RS-LEUF} packs largest-estimated-utilization-first onto [m̂]
+      processors starting at [m* ] and {e re-optimizes speeds per
+      processor} (the KKT assignment of {!Rt_partition.Hetero}); if the
+      re-optimized energy still exceeds the budget, it adds a processor
+      and retries.
+
+    Items carry [weight = cycles / frame] as everywhere else in the item
+    view. *)
+
+type outcome = {
+  processors : int;
+  energy : float;  (** realized energy of the returned allocation *)
+}
+
+val pooled_min_processors :
+  proc:Rt_power.Processor.t -> frame:float -> budget:float ->
+  Rt_task.Task.item list -> (int * (int * float) list, string) result
+(** [(m*, estimated times)] — the lower bound and the pooled per-task
+    execution times at [m*]. Errors when the budget is unreachable even
+    with one processor per task, or the instance is infeasible at top
+    speed. @raise Invalid_argument on non-ideal processors or linear
+    power terms (inherited from {!Rt_partition.Hetero}). *)
+
+val first_fit :
+  proc:Rt_power.Processor.t -> frame:float -> budget:float ->
+  Rt_task.Task.item list -> (outcome, string) result
+
+val rs_leuf :
+  proc:Rt_power.Processor.t -> frame:float -> budget:float ->
+  Rt_task.Task.item list -> (outcome, string) result

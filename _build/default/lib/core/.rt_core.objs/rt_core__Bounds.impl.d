@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Float List Problem Rt_prelude Rt_task Task Taskset

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Problem Rt_exact Rt_prelude Solution

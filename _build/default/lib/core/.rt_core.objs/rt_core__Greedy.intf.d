@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Problem Rt_prelude Solution

@@ -1,0 +1,1 @@
+lib/core/hardness.ml: List Problem Result Rt_power Rt_task Task

@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Float List Option Problem Rt_partition Rt_prelude Rt_task Solution Task

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Float Format List Printf Rt_power Rt_speed Rt_task Task Taskset

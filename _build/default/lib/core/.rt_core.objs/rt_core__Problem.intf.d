@@ -1,0 +1,1 @@
+lib/core/problem.mli: Format Rt_power Rt_task

@@ -1,0 +1,1 @@
+lib/core/qos.ml: Array Float List Problem Result Rt_exact Rt_partition Rt_prelude Rt_sim Rt_task Task

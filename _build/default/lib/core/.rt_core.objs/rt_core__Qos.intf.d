@@ -1,0 +1,1 @@
+lib/core/qos.mli: Problem Rt_partition Rt_task

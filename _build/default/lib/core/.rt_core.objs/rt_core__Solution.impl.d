@@ -1,0 +1,1 @@
+lib/core/solution.ml: Array Format List Problem Result Rt_partition Rt_prelude Rt_sim Rt_task Task Taskset

@@ -1,0 +1,1 @@
+lib/core/uni_dp.ml: Array Float Greedy List Problem Result Rt_exact Rt_partition Rt_power Rt_task Solution Task

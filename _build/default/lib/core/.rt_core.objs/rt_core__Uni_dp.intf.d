@@ -1,0 +1,1 @@
+lib/core/uni_dp.mli: Problem Rt_power Rt_task Solution

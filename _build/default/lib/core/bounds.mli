@@ -1,0 +1,28 @@
+(** Lower bounds on the optimal cost (the large-instance yardstick).
+
+    For instances too big for exhaustive search, experiments normalize
+    against [lower_bound], which relaxes the problem in two sound ways at
+    once:
+
+    - {e pooling}: any partition of accepted weight [W] onto [m] processors
+      costs at least [m · horizon · rate(W/m)], because the optimal
+      sustained-power rate is convex in the load (balancing is best) —
+      so the energy term is bounded below by the perfectly balanced value;
+    - {e fractional rejection}: allowing items to be accepted fractionally,
+      the cheapest way to reject down to accepted weight [W] keeps the
+      highest penalty-density items, a fractional-knapsack argument.
+
+    The resulting one-dimensional function of [W] is convex, so a
+    golden-section scan over [W ∈ [0, min(total, m·s_max)]] finds the
+    relaxation's optimum. Every feasible solution costs at least this. *)
+
+val lower_bound : Problem.t -> float
+(** The pooled + fractional-rejection bound described above. *)
+
+val balanced_energy : Problem.t -> accepted_weight:float -> float
+(** [m · horizon · rate(W/m)] — the pooled energy term alone.
+    @raise Invalid_argument if [W] is negative or above [m · s_max]. *)
+
+val min_rejected_penalty : Problem.t -> accepted_weight:float -> float
+(** Fractional-knapsack minimum total penalty over rejections that bring
+    the accepted weight down to [W] (0 when [W >=] total weight). *)

@@ -1,0 +1,27 @@
+let to_solution (s : Rt_exact.Search.solution) =
+  { Solution.partition = s.partition; rejected = s.rejected }
+
+let run solver (p : Problem.t) =
+  let sol =
+    solver ~m:p.m ~capacity:(Problem.capacity p)
+      ~bucket_cost:(Problem.bucket_energy p) p.items
+  in
+  let solution = to_solution sol in
+  (* cross-check the search's internal cost against the official one *)
+  (match Solution.cost p solution with
+  | Ok c ->
+      if not (Rt_prelude.Float_cmp.approx_eq ~eps:1e-6 c.total sol.cost) then
+        invalid_arg "Exact: search cost disagrees with Solution.cost"
+  | Error msg -> invalid_arg ("Exact: invalid optimal solution: " ^ msg));
+  solution
+
+let exhaustive p = run Rt_exact.Search.exhaustive p
+
+let branch_and_bound ?node_limit p =
+  run (Rt_exact.Search.branch_and_bound ?node_limit) p
+
+let optimal_cost ?node_limit p =
+  let s = branch_and_bound ?node_limit p in
+  match Solution.cost p s with
+  | Ok c -> c.Solution.total
+  | Error msg -> invalid_arg ("Exact.optimal_cost: " ^ msg)

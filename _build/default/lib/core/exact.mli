@@ -1,0 +1,17 @@
+(** Ground-truth optima for small instances (wraps {!Rt_exact.Search}).
+
+    The selection+partition problem is NP-hard (it embeds both
+    multiprocessor makespan feasibility and knapsack — see {!Hardness}),
+    so these solvers are exponential; experiments use them up to a dozen
+    items to normalize heuristic costs against the true optimum. *)
+
+val exhaustive : Problem.t -> Solution.t
+(** Full symmetry-broken enumeration. @raise Invalid_argument beyond 16
+    items. *)
+
+val branch_and_bound : ?node_limit:int -> Problem.t -> Solution.t
+(** Same optimum, pruned; the default oracle for experiment E1. *)
+
+val optimal_cost : ?node_limit:int -> Problem.t -> float
+(** Total cost of [branch_and_bound] (recomputed through
+    {!Solution.cost}, so a disagreement raises). *)

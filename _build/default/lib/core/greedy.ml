@@ -1,0 +1,163 @@
+open Rt_task
+
+type algorithm = Problem.t -> Solution.t
+
+(* least-loaded processor on which the item still fits, if any *)
+let feasible_min_load (p : Problem.t) partition (it : Task.item) =
+  let cap = Problem.capacity p in
+  let loads = Rt_partition.Partition.loads partition in
+  let best = ref None in
+  Array.iteri
+    (fun j l ->
+      if Rt_prelude.Float_cmp.leq (l +. it.weight) cap then
+        match !best with
+        | Some (_, lbest) when lbest <= l -> ()
+        | _ -> best := Some (j, l))
+    loads;
+  Option.map fst !best
+
+let place_or_reject (p : Problem.t) ~accept items =
+  List.fold_left
+    (fun (partition, rejected) it ->
+      match feasible_min_load p partition it with
+      | Some j when accept partition j it ->
+          (Rt_partition.Partition.add partition j it, rejected)
+      | Some _ | None -> (partition, it :: rejected))
+    (Rt_partition.Partition.empty ~m:p.m, [])
+    items
+  |> fun (partition, rejected) ->
+  { Solution.partition; rejected = List.rev rejected }
+
+let always _ _ _ = true
+
+let ltf_reject (p : Problem.t) =
+  place_or_reject p ~accept:always
+    (List.sort Task.compare_item_weight_desc p.items)
+
+let unsorted_reject (p : Problem.t) = place_or_reject p ~accept:always p.items
+
+let marginal_accept (p : Problem.t) partition j (it : Task.item) =
+  let l = Rt_partition.Partition.load partition j in
+  let marginal =
+    Problem.bucket_energy p (l +. it.weight) -. Problem.bucket_energy p l
+  in
+  Rt_prelude.Float_cmp.leq marginal it.item_penalty
+
+let marginal_greedy (p : Problem.t) =
+  place_or_reject p ~accept:(marginal_accept p)
+    (List.sort Task.compare_item_weight_desc p.items)
+
+let random_reject rng (p : Problem.t) =
+  let cap = Problem.capacity p in
+  let items = Rt_prelude.Rng.shuffle rng p.items in
+  List.fold_left
+    (fun (partition, rejected) (it : Task.item) ->
+      let feasible =
+        List.filter
+          (fun j ->
+            Rt_prelude.Float_cmp.leq
+              (Rt_partition.Partition.load partition j +. it.weight)
+              cap)
+          (Rt_prelude.Math_util.range 0 (p.m - 1))
+      in
+      match feasible with
+      | [] -> (partition, it :: rejected)
+      | _ ->
+          let j = Rt_prelude.Rng.choice rng feasible in
+          (Rt_partition.Partition.add partition j it, rejected))
+    (Rt_partition.Partition.empty ~m:p.m, [])
+    items
+  |> fun (partition, rejected) ->
+  { Solution.partition; rejected = List.rev rejected }
+
+let total_cost (p : Problem.t) solution =
+  match Solution.cost p solution with
+  | Ok c -> c.Solution.total
+  | Error msg -> invalid_arg ("Greedy: internal solution invalid: " ^ msg)
+
+let density_asc (a : Task.item) (b : Task.item) =
+  let c =
+    Float.compare (a.item_penalty /. a.weight) (b.item_penalty /. b.weight)
+  in
+  if c <> 0 then c else compare a.item_id b.item_id
+
+(* pack by LTF; if some item does not fit, drop the cheapest-density item
+   and retry *)
+let density_reject (p : Problem.t) =
+  let cap = Problem.capacity p in
+  let pack accepted =
+    place_or_reject p ~accept:always
+      (List.sort Task.compare_item_weight_desc accepted)
+  in
+  (* phase 1: repair to feasibility (ltf_reject already force-rejects
+     overflow; we instead choose *which* item to drop by density) *)
+  let rec repair accepted rejected =
+    let trial = pack accepted in
+    if trial.Solution.rejected = [] then (trial, rejected)
+    else begin
+      match List.sort density_asc accepted with
+      | [] -> (trial, rejected)
+      | cheapest :: _ ->
+          repair
+            (List.filter
+               (fun (x : Task.item) -> x.item_id <> cheapest.item_id)
+               accepted)
+            (cheapest :: rejected)
+    end
+  in
+  let fitting, oversize =
+    List.partition
+      (fun (it : Task.item) -> Rt_prelude.Float_cmp.leq it.weight cap)
+      p.items
+  in
+  let packed, dropped = repair fitting oversize in
+  let base =
+    { packed with Solution.rejected = packed.Solution.rejected @ dropped }
+  in
+  (* phase 2: trimming — reject any further item that still pays off *)
+  let rec trim solution =
+    let current = total_cost p solution in
+    let accepted = Rt_partition.Partition.all_items solution.Solution.partition in
+    let try_drop (it : Task.item) =
+      let remaining =
+        List.filter
+          (fun (x : Task.item) -> x.item_id <> it.item_id)
+          accepted
+      in
+      let repacked = pack remaining in
+      if repacked.Solution.rejected <> [] then None
+      else begin
+        let candidate =
+          {
+            repacked with
+            Solution.rejected = it :: solution.Solution.rejected;
+          }
+        in
+        let c = total_cost p candidate in
+        if c < current -. (1e-12 *. Float.max 1. current) then Some candidate
+        else None
+      end
+    in
+    match List.find_map try_drop (List.sort density_asc accepted) with
+    | Some better -> trim better
+    | None -> solution
+  in
+  trim base
+
+let best_of algorithms (p : Problem.t) =
+  match algorithms with
+  | [] -> invalid_arg "Greedy.best_of: empty list"
+  | a :: rest ->
+      List.fold_left
+        (fun best alg ->
+          let s = alg p in
+          if total_cost p s < total_cost p best then s else best)
+        (a p) rest
+
+let named =
+  [
+    ("ltf-reject", ltf_reject);
+    ("marginal", marginal_greedy);
+    ("density", density_reject);
+    ("unsorted", unsorted_reject);
+  ]

@@ -1,0 +1,55 @@
+open Rt_task
+
+type gadget = {
+  problem : Problem.t;
+  all_accepted_cost : float option;
+}
+
+let partition_gadget numbers =
+  let ( let* ) = Result.bind in
+  let* () =
+    if numbers = [] then Error "partition_gadget: empty list"
+    else if List.exists (fun a -> a <= 0) numbers then
+      Error "partition_gadget: entries must be positive"
+    else if List.fold_left ( + ) 0 numbers mod 2 <> 0 then
+      Error "partition_gadget: sum must be even"
+    else Ok ()
+  in
+  let total = List.fold_left ( + ) 0 numbers in
+  let b = float_of_int (total / 2) in
+  let proc = Rt_power.Processor.cubic ~s_max:b () in
+  let penalty = 10. *. (float_of_int total ** 3.) in
+  let items =
+    List.mapi
+      (fun id a -> Task.item ~penalty ~id ~weight:(float_of_int a) ())
+      numbers
+  in
+  let* problem = Problem.make ~proc ~m:2 ~horizon:1. items in
+  (* both processors perfectly balanced at load B, energy 2·B^3 each side *)
+  Ok { problem; all_accepted_cost = Some (2. *. (b ** 3.)) }
+
+let knapsack_gadget ~capacity pairs =
+  let ( let* ) = Result.bind in
+  let* () =
+    if pairs = [] then Error "knapsack_gadget: empty input"
+    else if capacity <= 0 then Error "knapsack_gadget: capacity <= 0"
+    else if List.exists (fun (c, _) -> c <= 0) pairs then
+      Error "knapsack_gadget: cycles must be positive"
+    else if List.exists (fun (_, p) -> p < 0.) pairs then
+      Error "knapsack_gadget: penalties must be >= 0"
+    else Ok ()
+  in
+  let proc =
+    Rt_power.Processor.make
+      ~model:(Rt_power.Power_model.make ~coeff:1e-9 ~alpha:3. ())
+      ~domain:
+        (Rt_power.Processor.Ideal { s_min = 0.; s_max = float_of_int capacity })
+      ~dormancy:Rt_power.Processor.Dormant_disable
+  in
+  let items =
+    List.mapi
+      (fun id (c, p) -> Task.item ~penalty:p ~id ~weight:(float_of_int c) ())
+      pairs
+  in
+  let* problem = Problem.make ~proc ~m:1 ~horizon:1. items in
+  Ok { problem; all_accepted_cost = None }

@@ -1,0 +1,185 @@
+open Rt_task
+
+type state = {
+  buckets : Task.item list array;
+  loads : float array;
+  mutable rejected : Task.item list;
+}
+
+let state_of_solution (s : Solution.t) =
+  let m = Rt_partition.Partition.m s.partition in
+  {
+    buckets = Array.init m (fun j -> Rt_partition.Partition.bucket s.partition j);
+    loads = Rt_partition.Partition.loads s.partition;
+    rejected = s.rejected;
+  }
+
+let solution_of_state st =
+  {
+    Solution.partition = Rt_partition.Partition.of_buckets st.buckets;
+    rejected = st.rejected;
+  }
+
+let remove_item st j (it : Task.item) =
+  st.buckets.(j) <-
+    List.filter (fun (x : Task.item) -> x.item_id <> it.item_id) st.buckets.(j);
+  st.loads.(j) <- st.loads.(j) -. it.weight
+
+let add_item st j (it : Task.item) =
+  st.buckets.(j) <- it :: st.buckets.(j);
+  st.loads.(j) <- st.loads.(j) +. it.weight
+
+let improve ?(max_moves = 10_000) (p : Problem.t) (s : Solution.t) =
+  (match Solution.cost p s with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Local_search.improve: " ^ msg));
+  let cap = Problem.capacity p in
+  let st = state_of_solution s in
+  let energy l = Problem.bucket_energy p l in
+  let eps = 1e-9 *. Float.max 1. (energy (Float.min cap (Array.fold_left Float.max 0. st.loads)) +. 1.) in
+  let m = Array.length st.loads in
+  let fits l w = Rt_prelude.Float_cmp.leq (l +. w) cap in
+
+  let try_reject () =
+    let found = ref false in
+    let j = ref 0 in
+    while (not !found) && !j < m do
+      (match
+         List.find_opt
+           (fun (it : Task.item) ->
+             energy st.loads.(!j) -. energy (st.loads.(!j) -. it.weight)
+             -. it.item_penalty
+             > eps)
+           st.buckets.(!j)
+       with
+      | Some it ->
+          remove_item st !j it;
+          st.rejected <- it :: st.rejected;
+          found := true
+      | None -> ());
+      incr j
+    done;
+    !found
+  in
+
+  let min_load_feasible w =
+    let best = ref None in
+    Array.iteri
+      (fun j l ->
+        if fits l w then
+          match !best with
+          | Some (_, lb) when lb <= l -> ()
+          | _ -> best := Some (j, l))
+      st.loads;
+    Option.map fst !best
+  in
+
+  let try_accept () =
+    let pick =
+      List.find_map
+        (fun (it : Task.item) ->
+          match min_load_feasible it.weight with
+          | None -> None
+          | Some j ->
+              let marginal =
+                energy (st.loads.(j) +. it.weight) -. energy st.loads.(j)
+              in
+              if it.item_penalty -. marginal > eps then Some (it, j) else None)
+        st.rejected
+    in
+    match pick with
+    | None -> false
+    | Some (it, j) ->
+        st.rejected <-
+          List.filter
+            (fun (x : Task.item) -> x.item_id <> it.item_id)
+            st.rejected;
+        add_item st j it;
+        true
+  in
+
+  let try_move () =
+    let found = ref false in
+    let j = ref 0 in
+    while (not !found) && !j < m do
+      (match
+         List.find_map
+           (fun (it : Task.item) ->
+             let l_j = st.loads.(!j) in
+             let best = ref None in
+             Array.iteri
+               (fun k l_k ->
+                 if k <> !j && fits l_k it.weight then begin
+                   let gain =
+                     energy l_j +. energy l_k
+                     -. energy (l_j -. it.weight)
+                     -. energy (l_k +. it.weight)
+                   in
+                   match !best with
+                   | Some (_, g) when g >= gain -> ()
+                   | _ -> best := Some (k, gain)
+                 end)
+               st.loads;
+             match !best with
+             | Some (k, gain) when gain > eps -> Some (it, k)
+             | _ -> None)
+           st.buckets.(!j)
+       with
+      | Some (it, k) ->
+          remove_item st !j it;
+          add_item st k it;
+          found := true
+      | None -> ());
+      incr j
+    done;
+    !found
+  in
+
+  let try_swap () =
+    let result = ref None in
+    (try
+       for j = 0 to m - 2 do
+         for k = j + 1 to m - 1 do
+           List.iter
+             (fun (a : Task.item) ->
+               List.iter
+                 (fun (b : Task.item) ->
+                   let lj = st.loads.(j) -. a.weight +. b.weight in
+                   let lk = st.loads.(k) -. b.weight +. a.weight in
+                   if
+                     Rt_prelude.Float_cmp.leq lj cap
+                     && Rt_prelude.Float_cmp.leq lk cap
+                   then begin
+                     let gain =
+                       energy st.loads.(j) +. energy st.loads.(k) -. energy lj
+                       -. energy lk
+                     in
+                     if gain > eps then begin
+                       result := Some (j, k, a, b);
+                       raise Exit
+                     end
+                   end)
+                 st.buckets.(k))
+             st.buckets.(j)
+         done
+       done
+     with Exit -> ());
+    match !result with
+    | None -> false
+    | Some (j, k, a, b) ->
+        remove_item st j a;
+        remove_item st k b;
+        add_item st j b;
+        add_item st k a;
+        true
+  in
+
+  let moves = ref 0 in
+  let progress = ref true in
+  while !progress && !moves < max_moves do
+    progress := try_reject () || try_accept () || try_move () || try_swap ();
+    if !progress then incr moves
+  done;
+  solution_of_state st
+
+let with_local_search ?max_moves algorithm p = improve ?max_moves p (algorithm p)

@@ -1,0 +1,25 @@
+(** First-improvement local search over accept/reject/placement decisions.
+
+    Starting from any feasible solution, four move families are scanned in
+    order and the first strictly improving move is applied, until a full
+    scan finds nothing (or [max_moves] fires):
+
+    + {e reject}: drop an accepted item (pay its penalty, save its
+      marginal energy);
+    + {e accept}: place a rejected item on the least-loaded feasible
+      processor (pay marginal energy, save its penalty);
+    + {e move}: relocate an accepted item to another processor;
+    + {e swap}: exchange two accepted items between processors.
+
+    Moves 3–4 do not change the objective's penalty term; they rebalance
+    loads, which strictly helps because the rate function is convex — and
+    they unlock further accept moves by creating room. Each applied move
+    strictly decreases the total cost, so the search terminates. *)
+
+val improve : ?max_moves:int -> Problem.t -> Solution.t -> Solution.t
+(** [max_moves] defaults to 10_000 (a safety valve; typical instances
+    converge in far fewer). The input must be feasible ([Solution.cost]
+    must succeed). @raise Invalid_argument otherwise. *)
+
+val with_local_search : ?max_moves:int -> Greedy.algorithm -> Greedy.algorithm
+(** Compose: run the algorithm, then polish with [improve]. *)

@@ -1,0 +1,61 @@
+open Rt_task
+
+type t = {
+  proc : Rt_power.Processor.t;
+  m : int;
+  horizon : float;
+  items : Task.item list;
+}
+
+let make ~proc ~m ~horizon items =
+  if m < 1 then Error "Problem.make: m < 1"
+  else if horizon <= 0. || not (Float.is_finite horizon) then
+    Error "Problem.make: horizon must be finite and > 0"
+  else if
+    not (Task.distinct_ids (List.map (fun (i : Task.item) -> i.item_id) items))
+  then Error "Problem.make: duplicate item ids"
+  else if List.exists (fun (i : Task.item) -> i.item_power_factor <> 1.) items
+  then Error "Problem.make: non-unit power factors (see Rt_partition.Hetero)"
+  else Ok { proc; m; horizon; items }
+
+let of_frame ~proc ~m ~frame_length tasks =
+  match Taskset.well_formed_frame tasks with
+  | Error e -> Error ("Problem.of_frame: " ^ e)
+  | Ok () ->
+      if frame_length <= 0. then Error "Problem.of_frame: frame_length <= 0"
+      else
+        make ~proc ~m ~horizon:frame_length
+          (Taskset.items_of_frames ~frame_length tasks)
+
+let of_periodic ~proc ~m tasks =
+  match Taskset.well_formed_periodic tasks with
+  | Error e -> Error ("Problem.of_periodic: " ^ e)
+  | Ok () -> (
+      match tasks with
+      | [] -> Error "Problem.of_periodic: empty task set"
+      | _ ->
+          make ~proc ~m
+            ~horizon:(float_of_int (Taskset.hyper_period tasks))
+            (Taskset.items_of_periodics tasks))
+
+let capacity t = Rt_power.Processor.s_max t.proc
+
+let load_factor t =
+  Taskset.load_factor ~m:t.m ~s_max:(capacity t) t.items
+
+let total_penalty t = Taskset.total_penalty_items t.items
+
+let item t id = Taskset.item_by_id t.items id
+
+let bucket_energy t load =
+  match Rt_speed.Energy_rate.energy t.proc ~u:load ~horizon:t.horizon with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Problem.bucket_energy: load %.6g exceeds capacity %.6g"
+           load (capacity t))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>m=%d, horizon=%g, proc=%a@,load factor %.3f@,%a@]"
+    t.m t.horizon Rt_power.Processor.pp t.proc (load_factor t)
+    Taskset.pp_items t.items

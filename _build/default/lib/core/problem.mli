@@ -1,0 +1,57 @@
+(** Problem instances for energy-efficient scheduling with task rejection.
+
+    An instance is [m] identical DVS processors, a horizon (the frame
+    length, or one hyper-period for periodic sets), and a set of items —
+    tasks reduced to their required-speed contribution plus a rejection
+    penalty (see {!Rt_task.Task.item}). A solution accepts a subset,
+    partitions it so that no processor's load exceeds [s_max], and pays
+
+    {v Σ_j horizon · rate(load_j)  +  Σ_rejected penalty v}
+
+    where [rate] is the optimal sustained-power primitive
+    {!Rt_speed.Energy_rate.rate}. Because the maximum speed is finite,
+    instances with load factor above 1 {e force} rejections — the regime
+    the target paper introduces. *)
+
+type t = private {
+  proc : Rt_power.Processor.t;
+  m : int;
+  horizon : float;
+  items : Rt_task.Task.item list;
+}
+
+val make :
+  proc:Rt_power.Processor.t -> m:int -> horizon:float ->
+  Rt_task.Task.item list -> (t, string) result
+(** Checks [m >= 1], [horizon > 0], distinct item ids, and unit power
+    factors (the core problem is homogeneous; heterogeneous power is the
+    {!Rt_partition.Hetero} substrate). *)
+
+val of_frame :
+  proc:Rt_power.Processor.t -> m:int -> frame_length:float ->
+  Rt_task.Task.frame list -> (t, string) result
+(** Frame tasks: weights are [cycles / frame_length]. *)
+
+val of_periodic :
+  proc:Rt_power.Processor.t -> m:int -> Rt_task.Task.periodic list ->
+  (t, string) result
+(** Periodic tasks: weights are utilizations; the horizon is the
+    hyper-period. Errors on an empty set (no hyper-period). *)
+
+val capacity : t -> float
+(** Per-processor load capacity: [s_max]. *)
+
+val load_factor : t -> float
+(** Total weight over [m · s_max]; above 1.0 rejection is forced. *)
+
+val total_penalty : t -> float
+
+val item : t -> int -> Rt_task.Task.item option
+(** Lookup by id. *)
+
+val bucket_energy : t -> float -> float
+(** [horizon · rate(load)] — the cost one processor contributes at the
+    given load. @raise Invalid_argument when [load] exceeds the capacity
+    (no feasible plan). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+open Rt_task
+
+type outcome = {
+  problem : Problem.t;
+  solution : Solution.t;
+  cost : float;
+}
+
+let run ~solve ~proc ~frame_length tasks =
+  let ( let* ) = Result.bind in
+  let* problem = Problem.of_frame ~proc ~m:1 ~frame_length tasks in
+  let s_max = Rt_power.Processor.s_max proc in
+  let capacity =
+    int_of_float (Float.floor ((s_max *. frame_length) +. 1e-9))
+  in
+  let arr = Array.of_list tasks in
+  let cycles = Array.map (fun (t : Task.frame) -> t.cycles) arr in
+  let penalties = Array.map (fun (t : Task.frame) -> t.penalty) arr in
+  let accept_cost w =
+    Problem.bucket_energy problem (float_of_int w /. frame_length)
+  in
+  let choice : Rt_exact.Knapsack.choice =
+    solve ~capacity ~cycles ~penalties ~accept_cost
+  in
+  let item_of (t : Task.frame) =
+    match Problem.item problem t.id with
+    | Some it -> it
+    | None -> assert false (* of_frame preserves ids *)
+  in
+  let bucket = ref [] and rejected = ref [] in
+  Array.iteri
+    (fun i t ->
+      if choice.accepted.(i) then bucket := item_of t :: !bucket
+      else rejected := item_of t :: !rejected)
+    arr;
+  let solution =
+    {
+      Solution.partition = Rt_partition.Partition.of_buckets [| !bucket |];
+      rejected = List.rev !rejected;
+    }
+  in
+  let* c = Solution.cost problem solution in
+  Ok { problem; solution; cost = c.Solution.total }
+
+let exact ~proc ~frame_length tasks =
+  run ~solve:Rt_exact.Knapsack.solve ~proc ~frame_length tasks
+
+let scaled ~epsilon ~proc ~frame_length tasks =
+  match tasks with
+  | [] -> exact ~proc ~frame_length tasks
+  | _ -> (
+      let cycles =
+        Array.of_list (List.map (fun (t : Task.frame) -> t.cycles) tasks)
+      in
+      let scale = Rt_exact.Knapsack.scale_for_epsilon ~epsilon ~cycles in
+      match
+        run ~solve:(Rt_exact.Knapsack.solve_scaled ~scale) ~proc ~frame_length
+          tasks
+      with
+      | Error _ as e -> e
+      | Ok dp ->
+          (* guard against coarse-grid mispricing: the density greedy is
+             cheap and often rescues small-n instances *)
+          let greedy_solution = Greedy.density_reject dp.problem in
+          (match Solution.cost dp.problem greedy_solution with
+          | Ok c when c.Solution.total < dp.cost ->
+              Ok
+                {
+                  dp with
+                  solution = greedy_solution;
+                  cost = c.Solution.total;
+                }
+          | Ok _ | Error _ -> Ok dp))

@@ -1,0 +1,33 @@
+(** Uniprocessor rejection: exact dynamic programming and its scaled dial.
+
+    On a single processor the only decision is the accept set: the optimal
+    energy depends just on the accepted cycle total (run at the uniform
+    speed [W/D], clamped per the processor's dormancy/domain). A DP over
+    integer cycles ({!Rt_exact.Knapsack}) therefore solves the m = 1 case
+    of the rejection problem {e exactly} in pseudo-polynomial time
+    [O(n · s_max · D)]; the scaled variant trades accuracy for speed the
+    way the DATE-family "DP / (1+δ)" algorithms do. *)
+
+type outcome = {
+  problem : Problem.t;  (** the m = 1 instance the tasks induce *)
+  solution : Solution.t;
+  cost : float;  (** recomputed through {!Solution.cost} *)
+}
+
+val exact :
+  proc:Rt_power.Processor.t -> frame_length:float -> Rt_task.Task.frame list ->
+  (outcome, string) result
+(** [frame_length] must be positive; its product with [s_max] is the DP
+    capacity in cycles (floored). Tasks follow the frame model: integer
+    cycles, shared deadline. *)
+
+val scaled :
+  epsilon:float -> proc:Rt_power.Processor.t -> frame_length:float ->
+  Rt_task.Task.frame list -> (outcome, string) result
+(** DP on cycles coarsened by {!Rt_exact.Knapsack.scale_for_epsilon}, then
+    the better of that choice and the {!Greedy.density_reject} solution.
+    Always feasible and never below the exact optimum; the realized gap is
+    an {e empirical} accuracy/speed dial (measured by the benchmark suite),
+    not a proven (1+ε) ratio — coarsening the {e weight} axis can misprice
+    acceptance thresholds on adversarial instances. With [epsilon] small
+    enough that the scale is 1, this {e is} {!exact}. *)

@@ -1,0 +1,1 @@
+lib/exact/search.ml: Array Float List Rt_partition Rt_prelude Rt_task Task Taskset

@@ -1,0 +1,1 @@
+lib/exact/search.mli: Rt_partition Rt_task

@@ -1,0 +1,95 @@
+type choice = { accepted : bool array; total_cycles : int; cost : float }
+
+let validate ~capacity ~cycles ~penalties =
+  if Array.length cycles <> Array.length penalties then
+    invalid_arg "Knapsack: cycles/penalties length mismatch";
+  if capacity < 0 then invalid_arg "Knapsack: capacity < 0";
+  Array.iter
+    (fun c -> if c <= 0 then invalid_arg "Knapsack: cycles must be > 0")
+    cycles;
+  Array.iter
+    (fun p ->
+      if p < 0. || not (Float.is_finite p) then
+        invalid_arg "Knapsack: penalties must be finite and >= 0")
+    penalties
+
+(* dp.(w) = least total rejected penalty over subsets whose accepted cycles
+   sum to exactly w (infinity when w is unreachable); keep.(i).(w) records
+   whether item i is accepted on the optimal path reaching w after item i. *)
+let solve ~capacity ~cycles ~penalties ~accept_cost =
+  validate ~capacity ~cycles ~penalties;
+  let n = Array.length cycles in
+  let dp = Array.make (capacity + 1) Float.infinity in
+  dp.(0) <- 0.;
+  let keep = Array.make_matrix n (capacity + 1) false in
+  for i = 0 to n - 1 do
+    let c = cycles.(i) and p = penalties.(i) in
+    (* iterate weights downward: 0/1 knapsack *)
+    for w = capacity downto 0 do
+      let reject = dp.(w) +. p in
+      let accept = if w >= c then dp.(w - c) else Float.infinity in
+      if accept < reject then begin
+        dp.(w) <- accept;
+        keep.(i).(w) <- true
+      end
+      else dp.(w) <- reject
+    done
+  done;
+  let best_w = ref 0 and best_cost = ref Float.infinity in
+  for w = 0 to capacity do
+    if Float.is_finite dp.(w) then begin
+      let cost = dp.(w) +. accept_cost w in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best_w := w
+      end
+    end
+  done;
+  let accepted = Array.make n false in
+  let w = ref !best_w in
+  for i = n - 1 downto 0 do
+    if keep.(i).(!w) then begin
+      accepted.(i) <- true;
+      w := !w - cycles.(i)
+    end
+  done;
+  { accepted; total_cycles = !best_w; cost = !best_cost }
+
+let solve_scaled ~scale ~capacity ~cycles ~penalties ~accept_cost =
+  if scale < 1 then invalid_arg "Knapsack.solve_scaled: scale < 1";
+  if scale = 1 then solve ~capacity ~cycles ~penalties ~accept_cost
+  else begin
+    validate ~capacity ~cycles ~penalties;
+    let scaled_cycles =
+      Array.map (fun c -> (c + scale - 1) / scale) cycles
+    in
+    let scaled_capacity = capacity / scale in
+    (* cost the scaled DP with the true accept_cost of the *upper bound* of
+       the represented true weight, keeping the estimate conservative *)
+    let scaled_accept_cost w = accept_cost (min capacity (w * scale)) in
+    let choice =
+      solve ~capacity:scaled_capacity ~cycles:scaled_cycles ~penalties
+        ~accept_cost:scaled_accept_cost
+    in
+    (* re-cost the chosen subset exactly *)
+    let total = ref 0 and penalty = ref 0. in
+    Array.iteri
+      (fun i acc ->
+        if acc then total := !total + cycles.(i)
+        else penalty := !penalty +. penalties.(i))
+      choice.accepted;
+    {
+      accepted = choice.accepted;
+      total_cycles = !total;
+      cost = accept_cost !total +. !penalty;
+    }
+  end
+
+let scale_for_epsilon ~epsilon ~cycles =
+  if epsilon <= 0. then invalid_arg "Knapsack.scale_for_epsilon: epsilon <= 0";
+  if Array.length cycles = 0 then
+    invalid_arg "Knapsack.scale_for_epsilon: no items";
+  let c_max = Array.fold_left max 0 cycles in
+  let n = Array.length cycles in
+  max 1
+    (int_of_float (epsilon *. float_of_int c_max /. float_of_int n))

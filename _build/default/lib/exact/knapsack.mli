@@ -1,0 +1,37 @@
+(** Dynamic programming over integer cycles: the exact uniprocessor
+    rejection solver and its scaled (FPTAS-style) variant.
+
+    On one processor the partition disappears and the problem becomes:
+    choose an accept-set [A] with total cycles [W(A) <= capacity] minimizing
+    [accept_cost(W(A)) + Σ_{i ∉ A} penalty_i]. Because [accept_cost] is
+    evaluated only on the {e total}, a subset-sum table over cycles
+    suffices: [dp.(w)] = least rejected-penalty over subsets whose accepted
+    cycles sum to exactly [w]. *)
+
+type choice = { accepted : bool array; total_cycles : int; cost : float }
+(** [accepted.(i)] follows the input order. *)
+
+val solve :
+  capacity:int -> cycles:int array -> penalties:float array ->
+  accept_cost:(int -> float) -> choice
+(** Exact optimum.
+    @raise Invalid_argument on mismatched array lengths, non-positive
+    cycle entries, negative penalties, or [capacity < 0]. Items with
+    [cycles > capacity] are implicitly rejected. *)
+
+val solve_scaled :
+  scale:int -> capacity:int -> cycles:int array -> penalties:float array ->
+  accept_cost:(int -> float) -> choice
+(** DP on cycles divided by [scale] (rounded {e up}, so the returned
+    accept-set always fits the true capacity), then re-costed exactly. With
+    [scale = 1] this is {!solve}. Rounding up can only shrink the feasible
+    set, so the result is feasible but may be up to the scaled-rounding gap
+    above the optimum — the classic accuracy/speed dial. The benchmark
+    suite measures the realized gap against {!solve}.
+    @raise Invalid_argument if [scale < 1]. *)
+
+val scale_for_epsilon : epsilon:float -> cycles:int array -> int
+(** The scale [max 1 (floor (ε · c_max / n))] that keeps the per-item
+    rounding loss below [ε/n] of the largest task, the standard FPTAS
+    schedule. @raise Invalid_argument if [epsilon <= 0] or there are no
+    items. *)

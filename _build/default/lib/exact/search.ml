@@ -1,0 +1,95 @@
+open Rt_task
+
+type solution = {
+  partition : Rt_partition.Partition.t;
+  rejected : Task.item list;
+  cost : float;
+}
+
+let check_args ~m ~capacity =
+  if m < 1 then invalid_arg "Search: m < 1";
+  if capacity <= 0. then invalid_arg "Search: capacity <= 0"
+
+(* Shared engine. Items too large for any processor are forced rejections;
+   the rest are explored largest-first: for each item, try every used
+   bucket, the first unused bucket (symmetry breaking), and rejection. *)
+let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
+  check_args ~m ~capacity;
+  let forced, placeable =
+    List.partition
+      (fun (it : Task.item) -> Rt_prelude.Float_cmp.gt it.weight capacity)
+      items
+  in
+  let forced_penalty = Taskset.total_penalty_items forced in
+  let arr =
+    Array.of_list (List.sort Task.compare_item_weight_desc placeable)
+  in
+  let n = Array.length arr in
+  let loads = Array.make m 0. in
+  let buckets = Array.make m [] in
+  let rejected = ref [] in
+  let best_cost = ref Float.infinity in
+  let best = ref None in
+  let nodes = ref 0 in
+  let buckets_cost () =
+    let acc = ref 0. in
+    for j = 0 to m - 1 do
+      acc := !acc +. bucket_cost loads.(j)
+    done;
+    !acc
+  in
+  let rec go i used penalty_so_far =
+    incr nodes;
+    if !nodes > node_limit then
+      failwith "Search: node limit exceeded";
+    if i = n then begin
+      let cost = buckets_cost () +. penalty_so_far +. forced_penalty in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best :=
+          Some
+            ( Array.map (fun b -> b) (Array.copy buckets) |> Array.map List.rev,
+              !rejected )
+      end
+    end
+    else begin
+      let bound = buckets_cost () +. penalty_so_far +. forced_penalty in
+      if (not prune) || bound < !best_cost then begin
+        let it = arr.(i) in
+        let try_bucket j =
+          if Rt_prelude.Float_cmp.leq (loads.(j) +. it.weight) capacity then begin
+            loads.(j) <- loads.(j) +. it.weight;
+            buckets.(j) <- it :: buckets.(j);
+            go (i + 1) (max used (j + 1)) penalty_so_far;
+            buckets.(j) <- List.tl buckets.(j);
+            loads.(j) <- loads.(j) -. it.weight
+          end
+        in
+        for j = 0 to min (m - 1) used do
+          try_bucket j
+        done;
+        (* rejection branch *)
+        rejected := it :: !rejected;
+        go (i + 1) used (penalty_so_far +. it.item_penalty);
+        rejected := List.tl !rejected
+      end
+    end
+  in
+  go 0 0 0.;
+  match !best with
+  | None -> assert false (* the all-reject leaf always reaches i = n *)
+  | Some (bs, rej) ->
+      {
+        partition = Rt_partition.Partition.of_buckets bs;
+        rejected = rej @ forced;
+        cost = !best_cost;
+      }
+
+let exhaustive ~m ~capacity ~bucket_cost items =
+  if List.length items > 16 then
+    invalid_arg "Search.exhaustive: more than 16 items";
+  search ~prune:false ~node_limit:max_int ~m ~capacity ~bucket_cost items
+
+let branch_and_bound ?(node_limit = 50_000_000) ~m ~capacity ~bucket_cost items
+    =
+  search ~prune:true ~node_limit ~m ~capacity ~bucket_cost items

@@ -1,0 +1,38 @@
+(** Exact solvers for select-and-partition problems.
+
+    The problem: place each item on one of [m] identical processors or
+    reject it (paying its penalty); a processor's load (weight sum) must
+    stay within [capacity]; the objective is
+
+    {v Σ_j bucket_cost(load_j)  +  Σ_rejected penalty v}
+
+    with [bucket_cost] non-decreasing (energy of sustaining a load). Both
+    solvers enumerate assignments with processor-symmetry breaking (an item
+    may only open the lowest-indexed empty processor), so identical
+    processors are never counted twice. [branch_and_bound] additionally
+    prunes with the monotonicity bound: committed bucket energies and
+    committed penalties never decrease as the remaining items are placed.
+
+    Complexity is exponential — these are the ground-truth oracles for the
+    small instances of experiment E1 and for the property tests, not
+    production algorithms. *)
+
+type solution = {
+  partition : Rt_partition.Partition.t;
+  rejected : Rt_task.Task.item list;
+  cost : float;
+}
+
+val exhaustive :
+  m:int -> capacity:float -> bucket_cost:(float -> float) ->
+  Rt_task.Task.item list -> solution
+(** Full enumeration ((m+1)^n with symmetry breaking).
+    @raise Invalid_argument if [m < 1], [capacity <= 0] or [n > 16]. *)
+
+val branch_and_bound :
+  ?node_limit:int -> m:int -> capacity:float -> bucket_cost:(float -> float) ->
+  Rt_task.Task.item list -> solution
+(** Same optimum with pruning; items are explored largest-first. The
+    optional [node_limit] (default 50 million) guards runaway instances.
+    @raise Invalid_argument if [m < 1] or [capacity <= 0].
+    @raise Failure if the node limit is hit. *)

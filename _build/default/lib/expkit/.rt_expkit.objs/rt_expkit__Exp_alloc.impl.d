@@ -1,0 +1,1 @@
+lib/expkit/exp_alloc.ml: Float List Printf Rt_alloc Rt_power Rt_prelude Rt_task Runner

@@ -1,0 +1,1 @@
+lib/expkit/exp_alloc.mli: Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/exp_dp_dial.ml: Array List Printf Rt_core Rt_exact Rt_power Rt_prelude Rt_task Runner Task

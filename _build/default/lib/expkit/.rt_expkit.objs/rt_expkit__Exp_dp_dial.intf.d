@@ -1,0 +1,1 @@
+lib/expkit/exp_dp_dial.mli: Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/exp_homog.ml: Bounds Exact Float Greedy Instances List Local_search Printf Rt_core Rt_power Rt_prelude Rt_task Runner Solution

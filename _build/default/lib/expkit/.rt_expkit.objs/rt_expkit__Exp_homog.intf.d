@@ -1,0 +1,1 @@
+lib/expkit/exp_homog.mli: Rt_core Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/exp_leakage.ml: Float Gen List Printf Rt_partition Rt_power Rt_prelude Rt_speed Rt_task Runner Task Taskset

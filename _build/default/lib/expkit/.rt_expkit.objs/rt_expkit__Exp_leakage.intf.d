@@ -1,0 +1,1 @@
+lib/expkit/exp_leakage.mli: Rt_partition Rt_power Rt_prelude Rt_task

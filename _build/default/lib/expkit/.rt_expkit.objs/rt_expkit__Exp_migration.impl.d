@@ -1,0 +1,1 @@
+lib/expkit/exp_migration.ml: Array Float Instances List Printf Rt_partition Rt_power Rt_prelude Rt_speed Rt_task Runner

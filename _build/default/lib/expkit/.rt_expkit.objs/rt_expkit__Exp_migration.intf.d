@@ -1,0 +1,1 @@
+lib/expkit/exp_migration.mli: Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/exp_online.ml: Float List Printf Rt_online Rt_power Rt_prelude Runner

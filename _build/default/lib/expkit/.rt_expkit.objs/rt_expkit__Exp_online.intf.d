@@ -1,0 +1,1 @@
+lib/expkit/exp_online.mli: Rt_prelude

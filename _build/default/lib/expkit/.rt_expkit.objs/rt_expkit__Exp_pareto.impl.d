@@ -1,0 +1,1 @@
+lib/expkit/exp_pareto.ml: Instances List Printf Rt_core Rt_power Rt_prelude Rt_task Runner Task

@@ -1,0 +1,1 @@
+lib/expkit/exp_pareto.mli: Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/exp_proc.mli: Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/exp_qos.ml: Float List Printf Problem Qos Rt_core Rt_power Rt_prelude Rt_task Runner

@@ -1,0 +1,1 @@
+lib/expkit/exp_qos.mli: Rt_prelude

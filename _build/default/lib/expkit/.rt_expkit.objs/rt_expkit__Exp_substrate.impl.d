@@ -1,0 +1,1 @@
+lib/expkit/exp_substrate.ml: Array Float Gen Instances List Printf Rt_exact Rt_partition Rt_power Rt_prelude Rt_speed Rt_task Runner Task Taskset

@@ -1,0 +1,1 @@
+lib/expkit/exp_substrate.mli: Rt_prelude

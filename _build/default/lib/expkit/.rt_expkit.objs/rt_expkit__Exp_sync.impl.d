@@ -1,0 +1,1 @@
+lib/expkit/exp_sync.ml: Array Float List Printf Rt_power Rt_prelude Rt_speed Runner

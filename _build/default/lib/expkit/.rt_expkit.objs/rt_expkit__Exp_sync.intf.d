@@ -1,0 +1,1 @@
+lib/expkit/exp_sync.mli: Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/exp_twope.ml: Float List Printf Rt_power Rt_prelude Rt_twope Runner

@@ -1,0 +1,1 @@
+lib/expkit/exp_twope.mli: Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/instances.ml: Gen Penalty Rt_core Rt_power Rt_prelude Rt_task Taskset

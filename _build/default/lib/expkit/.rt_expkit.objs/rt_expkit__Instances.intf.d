@@ -1,0 +1,1 @@
+lib/expkit/instances.mli: Rt_core Rt_power Rt_task

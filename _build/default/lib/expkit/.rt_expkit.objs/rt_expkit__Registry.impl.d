@@ -1,0 +1,1 @@
+lib/expkit/registry.ml: Exp_alloc Exp_dp_dial Exp_homog Exp_leakage Exp_migration Exp_online Exp_pareto Exp_proc Exp_qos Exp_substrate Exp_sync Exp_twope List Printf Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/registry.mli: Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/runner.ml: Float List Rt_prelude

@@ -1,0 +1,1 @@
+lib/expkit/runner.mli: Rt_prelude

@@ -1,0 +1,17 @@
+(** Experiments E11–E12: allocation-cost minimization under an energy
+    constraint (companion Figure 9 shapes).
+
+    E11 sweeps the processor-type count / task count grid and the
+    energy-constraint ratio γ for ROUNDING vs E-ROUNDING, normalized to
+    the parametric LP bound. E12 compares First-Fit against RS-LEUF for a
+    single ideal processor type, normalized to the pooled lower bound
+    m*. *)
+
+val e11_rounding : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: (#types, #tasks) at γ = 0.2, then γ sweep at (4 types, 20
+    tasks). Expected: both close to the bound, E-ROUNDING never worse,
+    the gap widening with more types. *)
+
+val e12_rs_leuf : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: (#tasks, γ). Expected: RS-LEUF at or below First-Fit
+    everywhere, with the biggest wins at large γ and small n. *)

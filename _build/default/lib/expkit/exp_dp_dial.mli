@@ -1,0 +1,13 @@
+(** Experiment E17: the uniprocessor DP's accuracy/speed dial.
+
+    The paper family advertises a DP whose approximation quality trades
+    against running time through a scaling parameter. This experiment
+    sweeps ε for {!Rt_core.Uni_dp.scaled} and reports the realized cost
+    gap against the exact DP together with the DP-table shrink factor —
+    making the advertised dial a measured artifact instead of a claim. *)
+
+val e17_dp_dial : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: ε. Columns: mean cost ratio to the exact optimum, worst ratio
+    observed, and the cycle-scale (table shrink) factor the ε induces.
+    Expected: ratio 1.0 at ε small enough that the scale collapses to 1,
+    growing mildly with ε while the table shrinks linearly. *)

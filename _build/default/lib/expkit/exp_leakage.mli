@@ -1,0 +1,30 @@
+(** Experiment E8: leakage-aware scheduling with sleep-transition
+    overheads — the LA+LTF family ordering of the companion's Figure 6.
+
+    Periodic tasks on dormant-enable processors; per-processor loads are
+    deliberately light so the critical-speed clamp leaves idle time. The
+    four evaluated policies combine two independent levers:
+
+    - {b +FF}: consolidate below-critical processors
+      ({!Rt_partition.La_ltf.consolidate}) so whole processors sleep;
+    - {b +PROC}: procrastination coalesces a processor's idle time into
+      one long gap (modelled as gap-count 1 versus one gap per job).
+
+    Energies are normalized to the everything-at-critical-speed lower
+    bound. Expected shape (as published): LA+LTF+FF+PROC best everywhere;
+    PROC's margin is larger when the sleep transition is cheap. *)
+
+type policy = { ff : bool; procrastinate : bool }
+
+val policy_energy :
+  proc:Rt_power.Processor.t -> horizon:float ->
+  jobs_on:(Rt_task.Task.item list -> int) -> policy ->
+  Rt_partition.Partition.t -> float
+(** Total energy of running the partition under the policy: execution at
+    [max(load, s_crit)] per processor plus idle energy with the policy's
+    gap structure ([jobs_on bucket] = number of idle gaps without
+    procrastination). Exposed for tests. *)
+
+val e8_leakage_aware : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows sweep the task count at two sleep-overhead settings; columns are
+    the four policies, normalized to the lower bound. *)

@@ -1,0 +1,13 @@
+(** Experiment E15 (ablation): what forbidding migration costs.
+
+    Measures LTF partition energy over the migratory optimum of
+    {!Rt_partition.Migration} across task granularities. The ratio folds
+    together LTF's own suboptimality (published bound: 1.13 vs the optimal
+    partition) and the intrinsic cost of forbidding migration (up to 4/3
+    on coarse tasks); with many small tasks both vanish. *)
+
+val e15_partition_vs_migration : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: tasks-per-processor ratio. Columns: LTF/migratory and
+    unsorted-greedy/migratory energy ratios. Expected: both converge to
+    1.0 as granularity rises; the unsorted baseline converges more
+    slowly. *)

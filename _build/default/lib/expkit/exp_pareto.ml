@@ -1,0 +1,86 @@
+open Rt_task
+
+let proc =
+  Rt_power.Processor.xscale
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let scale_penalties lambda items =
+  List.map
+    (fun (it : Task.item) ->
+      Task.item
+        ~penalty:(lambda *. it.item_penalty)
+        ~power_factor:it.item_power_factor ~id:it.item_id ~weight:it.weight ())
+    items
+
+let e18_penalty_frontier ?(seeds = 20) () =
+  let seed_list = Runner.seeds ~base:2000 ~n:seeds in
+  let t =
+    Rt_prelude.Tablefmt.create
+      ~aligns:
+        [
+          Rt_prelude.Tablefmt.Left;
+          Rt_prelude.Tablefmt.Right;
+          Rt_prelude.Tablefmt.Right;
+          Rt_prelude.Tablefmt.Right;
+          Rt_prelude.Tablefmt.Right;
+        ]
+      [
+        "lambda";
+        "acceptance %";
+        "energy";
+        "unscaled penalty paid";
+        "unscaled total";
+      ]
+  in
+  let alg = Rt_core.Local_search.with_local_search Rt_core.Greedy.ltf_reject in
+  List.fold_left
+    (fun t lambda ->
+      let samples =
+        List.filter_map
+          (fun seed ->
+            let base =
+              Instances.frame_instance ~proc ~seed ~n:30 ~m:6 ~load:1.6 ()
+            in
+            let scaled_items =
+              scale_penalties lambda base.Rt_core.Problem.items
+            in
+            match
+              Rt_core.Problem.make ~proc ~m:6 ~horizon:1000. scaled_items
+            with
+            | Error _ -> None
+            | Ok p -> (
+                let s = alg p in
+                match Rt_core.Solution.cost p s with
+                | Error _ -> None
+                | Ok c ->
+                    (* re-price the rejections at the unscaled penalties so
+                       rows are comparable *)
+                    let unscaled_penalty =
+                      List.fold_left
+                        (fun acc id ->
+                          match Rt_core.Problem.item base id with
+                          | Some it -> acc +. it.Task.item_penalty
+                          | None -> acc)
+                        0.
+                        (Rt_core.Solution.rejected_ids s)
+                    in
+                    Some
+                      ( 100. *. Rt_core.Solution.acceptance_ratio p s,
+                        c.Rt_core.Solution.energy,
+                        unscaled_penalty )))
+          seed_list
+      in
+      match samples with
+      | [] -> t
+      | _ ->
+          let mean f =
+            Rt_prelude.Stats.mean (List.map f samples)
+          in
+          let acc = mean (fun (a, _, _) -> a) in
+          let energy = mean (fun (_, e, _) -> e) in
+          let pen = mean (fun (_, _, p) -> p) in
+          Rt_prelude.Tablefmt.add_float_row t
+            (Printf.sprintf "%.2f" lambda)
+            [ acc; energy; pen; energy +. pen ])
+    t
+    [ 0.1; 0.25; 0.5; 1.0; 2.0; 4.0; 10.0 ]

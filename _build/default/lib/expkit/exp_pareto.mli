@@ -1,0 +1,16 @@
+(** Experiment E18 (analysis): the penalty-calibration Pareto frontier.
+
+    A system integrator does not receive penalties from nature — they
+    {e choose} them to steer the scheduler. Scaling every penalty by a
+    factor λ traces the frontier between energy spent and work accepted:
+    small λ means the scheduler sheds aggressively (low energy, low
+    acceptance), large λ forces it to absorb everything it can. This
+    experiment tabulates that frontier for the polished LTF heuristic on
+    a fixed overloaded workload family. *)
+
+val e18_penalty_frontier : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: the penalty scale λ. Columns: acceptance %, mean energy, mean
+    paid penalty (at the {e unscaled} penalties, so rows are comparable),
+    and their sum — the operating point λ buys. Expected: acceptance and
+    energy rise monotonically with λ while unscaled-penalty losses fall —
+    the frontier the integrator picks from. *)

@@ -1,0 +1,17 @@
+(** Experiments E5–E6: processor-model ablations.
+
+    E5 quantifies what a coarse DVFS grid costs relative to an ideal
+    continuous spectrum (the two-adjacent-level split makes the loss the
+    interpolation gap of the convex power curve). E6 quantifies the value
+    of the critical-speed clamp as leakage grows: running "as slowly as the
+    deadline allows" is optimal only when leakage is negligible. *)
+
+val e5_discrete_levels : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: speed-domain granularity (ideal, k evenly spaced levels, the
+    XScale grid). Columns: accept-all energy normalized to the ideal
+    domain, at light (0.4) and moderate (0.7) load. *)
+
+val e6_leakage : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: leakage power [p_ind]. Columns: energy of the
+    stretch-to-deadline policy over the critical-speed-clamped policy
+    (>= 1, growing with leakage), plus the critical speed itself. *)

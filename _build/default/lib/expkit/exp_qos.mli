@@ -1,0 +1,15 @@
+(** Experiment E16 (extension): graceful degradation vs binary rejection.
+
+    The core problem's accept/reject decision generalized to service-level
+    menus ({!Rt_core.Qos}): each task can also run at 2/3 or 1/3 service.
+    Penalties follow a concave loss (curve 2: the first quality losses are
+    cheap, as with video enhancement layers), which is the regime where
+    degradation pays. The experiment measures
+    how much of the binary-rejection cost the richer menu recovers as the
+    system moves deeper into overload. *)
+
+val e16_graceful_degradation : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: normalized load. Columns: greedy multi-level cost over greedy
+    binary cost (<= 1 means degradation helped), the same for the exact
+    optima on small instances, and the mean fraction of tasks running
+    degraded-but-not-rejected. *)

@@ -1,0 +1,12 @@
+(** Experiment E14 (ablation): what sharing one voltage rail costs.
+
+    Chip multiprocessors that force a common speed across cores pay a
+    convexity penalty relative to per-core rails; the optimal
+    synchronized profile is the staircase of {!Rt_speed.Sync_global}
+    (companion Eq. (2)). This ablation quantifies the gap — a design-space
+    datum for anyone trading rail count against energy. *)
+
+val e14_sync_rails : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** Rows: core count × workload imbalance (spread of per-core loads).
+    Column: optimal synchronized energy over independent-rail energy
+    (>= 1; grows with imbalance, 1.0 for perfectly balanced loads). *)

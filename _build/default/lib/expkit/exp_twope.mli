@@ -1,0 +1,18 @@
+(** Experiments E9–E10: the heterogeneous two-PE system (companion
+    Figures 7 and 8 shapes).
+
+    An ideal DVS processor paired with a non-DVS PE (FPGA-like, constant
+    588 mW in the published setup — normalized here). Both the
+    {e inverse} and {e proportional} couplings between a task's DVS demand
+    and its non-DVS footprint are swept over the total offloadable
+    utilization U₂*. *)
+
+val e9_workload_independent : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** GREEDY / E-GREEDY / DP normalized to the exhaustive optimum, for the
+    workload-independent non-DVS PE. Expected: DP ≈ 1.0 everywhere,
+    E-GREEDY ≤ GREEDY, all degrading as U₂* grows. *)
+
+val e10_workload_dependent : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** GREEDY vs S-GREEDY for the workload-dependent non-DVS PE. Expected:
+    S-GREEDY close to optimal; GREEDY substantially worse, especially at
+    small U₂* under the inverse coupling (it over-offloads). *)

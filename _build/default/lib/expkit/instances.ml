@@ -1,0 +1,46 @@
+open Rt_task
+
+let default_frame_length = 1000.
+
+let default_penalties =
+  Penalty.Proportional { factor = 1.5; jitter = 0.3 }
+
+let ok_or_invalid = function
+  | Ok v -> v
+  | Error e -> invalid_arg ("Instances: " ^ e)
+
+let frame_instance ?(penalty_model = default_penalties) ~proc ~seed ~n ~m
+    ~load () =
+  let rng = Rt_prelude.Rng.create ~seed in
+  let tasks =
+    Gen.frame_tasks_with_load rng ~n ~m
+      ~s_max:(Rt_power.Processor.s_max proc)
+      ~frame_length:default_frame_length ~load
+  in
+  let items =
+    Taskset.items_of_frames ~frame_length:default_frame_length tasks
+    |> Penalty.assign penalty_model rng ~proc ~horizon:default_frame_length
+  in
+  ok_or_invalid
+    (Rt_core.Problem.make ~proc ~m ~horizon:default_frame_length items)
+
+let periodic_instance ?(penalty_model = default_penalties) ~proc ~seed ~n ~m
+    ~total_util () =
+  let rng = Rt_prelude.Rng.create ~seed in
+  let tasks =
+    Gen.periodic_tasks rng ~n ~total_util ~periods:Gen.default_periods
+  in
+  let horizon = float_of_int (Taskset.hyper_period tasks) in
+  let items =
+    Taskset.items_of_periodics tasks
+    |> Penalty.assign penalty_model rng ~proc ~horizon
+  in
+  let problem =
+    ok_or_invalid (Rt_core.Problem.make ~proc ~m ~horizon items)
+  in
+  (problem, tasks)
+
+let solution_total p s =
+  match Rt_core.Solution.cost p s with
+  | Ok c -> c.Rt_core.Solution.total
+  | Error e -> invalid_arg ("Instances.solution_total: " ^ e)

@@ -1,0 +1,26 @@
+(** Standard synthetic instances used across experiments, examples and
+    benches — one place so every consumer generates identical workloads for
+    a given seed. *)
+
+val default_frame_length : float
+(** 1000. time units. *)
+
+val frame_instance :
+  ?penalty_model:Rt_task.Penalty.t -> proc:Rt_power.Processor.t -> seed:int ->
+  n:int -> m:int -> load:float -> unit -> Rt_core.Problem.t
+(** Frame tasks targeting the given normalized load, penalties from
+    [penalty_model] (default: proportional, factor 1.5, jitter 0.3).
+    @raise Invalid_argument on generator/problem errors (these are
+    programming errors in experiment definitions, not data errors). *)
+
+val periodic_instance :
+  ?penalty_model:Rt_task.Penalty.t -> proc:Rt_power.Processor.t -> seed:int ->
+  n:int -> m:int -> total_util:float -> unit ->
+  Rt_core.Problem.t * Rt_task.Task.periodic list
+(** UUniFast periodic tasks over {!Rt_task.Gen.default_periods}; returns
+    both the reduced problem and the concrete tasks (for EDF
+    simulation). *)
+
+val solution_total : Rt_core.Problem.t -> Rt_core.Solution.t -> float
+(** The solution's total cost; raises on invalid solutions (experiment
+    definitions must only produce valid ones). *)

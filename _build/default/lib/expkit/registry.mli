@@ -1,0 +1,20 @@
+(** The experiment catalogue: everything EXPERIMENTS.md records, runnable
+    by id from the [experiments] binary and the benchmark harness. *)
+
+type experiment = {
+  id : string;  (** e.g. "e1" *)
+  title : string;
+  expectation : string;
+      (** the qualitative shape the experiment is supposed to show *)
+  run : unit -> Rt_prelude.Tablefmt.t;  (** full-fidelity run *)
+  run_quick : unit -> Rt_prelude.Tablefmt.t;
+      (** reduced replication count, for smoke runs and timing benches *)
+}
+
+val all : experiment list
+(** In id order: e1 … e8. *)
+
+val find : string -> experiment option
+
+val print : ?quick:bool -> experiment -> unit
+(** Render title, table and expectation to stdout. *)

@@ -1,0 +1,12 @@
+let seeds ~base ~n =
+  List.map (fun i -> base + (7919 * i)) (Rt_prelude.Math_util.range 0 (n - 1))
+
+let replicate ~seeds ~f =
+  let values =
+    List.filter (fun v -> not (Float.is_nan v)) (List.map f seeds)
+  in
+  if values = [] then
+    invalid_arg "Runner.replicate: every replication returned NaN";
+  Rt_prelude.Stats.summarize values
+
+let mean_over ~seeds ~f = (replicate ~seeds ~f).Rt_prelude.Stats.mean

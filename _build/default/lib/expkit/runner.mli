@@ -1,0 +1,13 @@
+(** Seeded replication helpers shared by the experiment suite. *)
+
+val seeds : base:int -> n:int -> int list
+(** [n] distinct deterministic seeds derived from [base]. *)
+
+val replicate :
+  seeds:int list -> f:(int -> float) -> Rt_prelude.Stats.summary
+(** Evaluate [f seed] for every seed and summarize. Skips NaN results (an
+    experiment may declare a replication inapplicable that way) —
+    @raise Invalid_argument if {e every} replication was NaN. *)
+
+val mean_over : seeds:int list -> f:(int -> float) -> float
+(** [replicate] then the mean. *)

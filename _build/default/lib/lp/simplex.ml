@@ -1,0 +1,257 @@
+type relation = Le | Ge | Eq
+
+type problem = {
+  minimize : float array;
+  constraints : (float array * relation * float) list;
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+let validate p =
+  let n = Array.length p.minimize in
+  if n = 0 then Error "Simplex: empty objective"
+  else if not (Array.for_all Float.is_finite p.minimize) then
+    Error "Simplex: non-finite objective coefficient"
+  else if
+    List.exists
+      (fun (row, _, b) ->
+        Array.length row <> n
+        || (not (Array.for_all Float.is_finite row))
+        || not (Float.is_finite b))
+      p.constraints
+  then Error "Simplex: ragged or non-finite constraint row"
+  else Ok n
+
+let value p x =
+  let acc = ref 0. in
+  Array.iteri (fun j c -> acc := !acc +. (c *. x.(j))) p.minimize;
+  !acc
+
+let feasible ?(eps = 1e-7) p x =
+  Array.length x = Array.length p.minimize
+  && Array.for_all (fun v -> v >= -.eps) x
+  && List.for_all
+       (fun (row, rel, b) ->
+         let lhs = ref 0. in
+         Array.iteri (fun j a -> lhs := !lhs +. (a *. x.(j))) row;
+         let scale = Float.max 1. (Float.abs b) in
+         match rel with
+         | Le -> !lhs <= b +. (eps *. scale)
+         | Ge -> !lhs >= b -. (eps *. scale)
+         | Eq -> Float.abs (!lhs -. b) <= eps *. scale)
+       p.constraints
+
+(* mutable tableau state *)
+type tableau = {
+  rows : float array array;  (** m rows × (ncols) coefficient matrix *)
+  rhs : float array;  (** m right-hand sides, kept >= 0 *)
+  basis : int array;  (** column index basic in each row *)
+  mutable cost : float array;  (** reduced-cost row, ncols *)
+  mutable cost_rhs : float;  (** negated objective value *)
+  banned : bool array;  (** columns that may never (re-)enter *)
+}
+
+let pivot t ~row ~col =
+  let piv = t.rows.(row).(col) in
+  let ncols = Array.length t.cost in
+  for j = 0 to ncols - 1 do
+    t.rows.(row).(j) <- t.rows.(row).(j) /. piv
+  done;
+  t.rhs.(row) <- t.rhs.(row) /. piv;
+  Array.iteri
+    (fun i r ->
+      if i <> row then begin
+        let f = r.(col) in
+        if Float.abs f > 0. then begin
+          for j = 0 to ncols - 1 do
+            r.(j) <- r.(j) -. (f *. t.rows.(row).(j))
+          done;
+          t.rhs.(i) <- t.rhs.(i) -. (f *. t.rhs.(row))
+        end
+      end)
+    t.rows;
+  let f = t.cost.(col) in
+  if Float.abs f > 0. then begin
+    for j = 0 to ncols - 1 do
+      t.cost.(j) <- t.cost.(j) -. (f *. t.rows.(row).(j))
+    done;
+    t.cost_rhs <- t.cost_rhs -. (f *. t.rhs.(row))
+  end;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering = lowest-index improving column; leaving = lowest
+   basis index among the minimum-ratio rows *)
+let iterate ?(max_iter = 10_000) t =
+  let ncols = Array.length t.cost in
+  let m = Array.length t.rows in
+  let rec go iter =
+    if iter > max_iter then Error "Simplex: pivot limit reached"
+    else begin
+      let entering = ref (-1) in
+      (try
+         for j = 0 to ncols - 1 do
+           if (not t.banned.(j)) && t.cost.(j) < -.eps then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then Ok `Optimal
+      else begin
+        let col = !entering in
+        let best = ref (-1) in
+        let best_ratio = ref Float.infinity in
+        for i = 0 to m - 1 do
+          if t.rows.(i).(col) > eps then begin
+            let ratio = t.rhs.(i) /. t.rows.(i).(col) in
+            if
+              ratio < !best_ratio -. eps
+              || (Float.abs (ratio -. !best_ratio) <= eps
+                 && !best >= 0
+                 && t.basis.(i) < t.basis.(!best))
+            then begin
+              best := i;
+              best_ratio := ratio
+            end
+          end
+        done;
+        if !best < 0 then Ok `Unbounded
+        else begin
+          pivot t ~row:!best ~col;
+          go (iter + 1)
+        end
+      end
+    end
+  in
+  go 0
+
+let set_cost t full_cost =
+  let ncols = Array.length full_cost in
+  t.cost <- Array.copy full_cost;
+  t.cost_rhs <- 0.;
+  (* make the reduced costs of basic columns zero *)
+  Array.iteri
+    (fun i b ->
+      let cb = t.cost.(b) in
+      if Float.abs cb > 0. then begin
+        for j = 0 to ncols - 1 do
+          t.cost.(j) <- t.cost.(j) -. (cb *. t.rows.(i).(j))
+        done;
+        t.cost_rhs <- t.cost_rhs -. (cb *. t.rhs.(i))
+      end)
+    t.basis
+
+let solve ?(max_iter = 10_000) p =
+  match validate p with
+  | Error _ as e -> e
+  | Ok n ->
+      let cons =
+        List.map
+          (fun (row, rel, b) ->
+            if b < 0. then
+              ( Array.map (fun a -> -.a) row,
+                (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
+                -.b )
+            else (Array.copy row, rel, b))
+          p.constraints
+      in
+      let m = List.length cons in
+      let n_slack =
+        List.length (List.filter (fun (_, r, _) -> r <> Eq) cons)
+      in
+      let n_art =
+        List.length (List.filter (fun (_, r, _) -> r <> Le) cons)
+      in
+      let ncols = n + n_slack + n_art in
+      let rows = Array.init m (fun _ -> Array.make ncols 0.) in
+      let rhs = Array.make m 0. in
+      let basis = Array.make m 0 in
+      let next_slack = ref n in
+      let next_art = ref (n + n_slack) in
+      List.iteri
+        (fun i (row, rel, b) ->
+          Array.blit row 0 rows.(i) 0 n;
+          rhs.(i) <- b;
+          (match rel with
+          | Le ->
+              rows.(i).(!next_slack) <- 1.;
+              basis.(i) <- !next_slack;
+              incr next_slack
+          | Ge ->
+              rows.(i).(!next_slack) <- -1.;
+              incr next_slack;
+              rows.(i).(!next_art) <- 1.;
+              basis.(i) <- !next_art;
+              incr next_art
+          | Eq ->
+              rows.(i).(!next_art) <- 1.;
+              basis.(i) <- !next_art;
+              incr next_art))
+        cons;
+      let t =
+        {
+          rows;
+          rhs;
+          basis;
+          cost = Array.make ncols 0.;
+          cost_rhs = 0.;
+          banned = Array.make ncols false;
+        }
+      in
+      let art_start = n + n_slack in
+      (* phase 1: minimize the artificial total *)
+      let phase1_cost = Array.make ncols 0. in
+      for j = art_start to ncols - 1 do
+        phase1_cost.(j) <- 1.
+      done;
+      set_cost t phase1_cost;
+      let ( let* ) = Result.bind in
+      let* outcome1 = iterate ~max_iter t in
+      let phase1_value = -.t.cost_rhs in
+      (match outcome1 with
+      | `Unbounded -> Error "Simplex: phase 1 unbounded (internal error)"
+      | `Optimal -> Ok ())
+      |> fun check ->
+      let* () = check in
+      if phase1_value > 1e-7 then Ok Infeasible
+      else begin
+        (* drive artificials out of the basis where possible *)
+        Array.iteri
+          (fun i b ->
+            if b >= art_start then begin
+              let found = ref (-1) in
+              (try
+                 for j = 0 to art_start - 1 do
+                   if Float.abs t.rows.(i).(j) > eps then begin
+                     found := j;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !found >= 0 then pivot t ~row:i ~col:!found
+              (* otherwise the row is redundant; the artificial stays basic
+                 at value 0 and is harmless once banned from re-entry *)
+            end)
+          t.basis;
+        for j = art_start to ncols - 1 do
+          t.banned.(j) <- true
+        done;
+        (* phase 2 *)
+        let phase2_cost = Array.make ncols 0. in
+        Array.blit p.minimize 0 phase2_cost 0 n;
+        set_cost t phase2_cost;
+        let* outcome2 = iterate ~max_iter t in
+        match outcome2 with
+        | `Unbounded -> Ok Unbounded
+        | `Optimal ->
+            let x = Array.make n 0. in
+            Array.iteri
+              (fun i b -> if b < n then x.(b) <- t.rhs.(i))
+              t.basis;
+            Ok (Optimal { value = -.t.cost_rhs; solution = x })
+      end

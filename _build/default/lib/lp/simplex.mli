@@ -1,0 +1,34 @@
+(** A dense two-phase primal simplex solver.
+
+    Solves {v minimize c·x  subject to  A_i·x (<=|>=|=) b_i,  x >= 0 v}
+
+    This is the substrate for the allocation-synthesis LP relaxations
+    (Equations (4a)/(4b) of the companion text). It is a textbook tableau
+    implementation with Bland's anti-cycling rule — dimensions in this
+    repository are tiny (tens of variables), so clarity wins over sparse
+    cleverness. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  minimize : float array;  (** objective coefficients, length n *)
+  constraints : (float array * relation * float) list;
+      (** each row: coefficients (length n), relation, right-hand side *)
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_iter:int -> problem -> (outcome, string) result
+(** Errors on malformed input (ragged rows, non-finite numbers, empty
+    objective). [max_iter] (default 10_000 pivots per phase) guards
+    pathological inputs; hitting it is reported as an error. *)
+
+val feasible : ?eps:float -> problem -> float array -> bool
+(** Does a point satisfy all constraints and non-negativity? (Used by the
+    tests to cross-check [Optimal] solutions.) *)
+
+val value : problem -> float array -> float
+(** [c·x]. *)

@@ -1,0 +1,1 @@
+lib/online/admission.ml: Array Float Job List Option Power_model Printf Processor Rt_power Rt_prelude Rt_task

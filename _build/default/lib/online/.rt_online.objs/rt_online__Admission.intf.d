@@ -1,0 +1,1 @@
+lib/online/admission.mli: Job Rt_power

@@ -1,0 +1,1 @@
+lib/online/job.ml: Float List Rt_prelude

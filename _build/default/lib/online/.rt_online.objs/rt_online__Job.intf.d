@@ -1,0 +1,1 @@
+lib/online/job.mli: Rt_prelude

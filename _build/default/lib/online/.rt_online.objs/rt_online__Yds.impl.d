@@ -1,0 +1,1 @@
+lib/online/yds.ml: Float Job List Rt_power Rt_prelude Rt_task

@@ -1,0 +1,1 @@
+lib/online/yds.mli: Job Rt_power

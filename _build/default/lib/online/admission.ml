@@ -1,0 +1,257 @@
+open Rt_power
+
+type policy =
+  | Admit_all
+  | Profitable
+  | Density_threshold of float
+
+type outcome = {
+  energy : float;
+  penalty : float;
+  total : float;
+  admitted : int list;
+  rejected : int list;
+  forced_rejections : int;
+  makespan : float;
+}
+
+type active = { job : Job.t; mutable remaining : float }
+
+let eps = 1e-9
+
+(* the minimum constant speed meeting every pending commitment from [now]:
+   max over deadlines of cumulative-work-due / time-to-deadline *)
+let density_speed actives ~now =
+  let sorted =
+    List.sort
+      (fun a b -> Float.compare a.job.Job.deadline b.job.Job.deadline)
+      actives
+  in
+  let _, best =
+    List.fold_left
+      (fun (work, best) a ->
+        let work = work +. a.remaining in
+        let slack = a.job.Job.deadline -. now in
+        if slack <= eps then (work, Float.infinity)
+        else (work, Float.max best (work /. slack)))
+      (0., 0.) sorted
+  in
+  best
+
+let critical (proc : Processor.t) =
+  match proc.dormancy with
+  | Processor.Dormant_enable _ -> Processor.critical_speed proc
+  | Processor.Dormant_disable -> Processor.s_min proc
+
+let idle_power (proc : Processor.t) =
+  match proc.dormancy with
+  | Processor.Dormant_enable _ -> 0.
+  | Processor.Dormant_disable -> Processor.idle_power proc
+
+(* run EDF from [now] to [until] (or to work exhaustion), returning the new
+   time, accumulated energy, and the completion time of the last finished
+   job; fails if an admitted job misses its deadline *)
+let advance (proc : Processor.t) actives ~now ~until =
+  let s_max = Processor.s_max proc in
+  let s_crit = critical proc in
+  let energy = ref 0. in
+  let last_completion = ref Float.neg_infinity in
+  let now = ref now in
+  let err = ref None in
+  let rec run () =
+    if !err <> None then ()
+    else if !now >= until -. eps then ()
+    else begin
+      match !actives with
+      | [] ->
+          (* idle to the horizon of this segment *)
+          energy := !energy +. (idle_power proc *. (until -. !now));
+          now := until
+      | jobs ->
+          let speed =
+            Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:s_max
+              (Float.max s_crit (density_speed jobs ~now:!now))
+          in
+          if speed <= 0. then begin
+            (* zero density with work pending cannot happen (cycles > 0) *)
+            err := Some "Admission: zero speed with pending work"
+          end
+          else begin
+            let ed =
+              List.fold_left
+                (fun best a ->
+                  match best with
+                  | None -> Some a
+                  | Some b ->
+                      if
+                        a.job.Job.deadline < b.job.Job.deadline
+                        || (a.job.Job.deadline = b.job.Job.deadline
+                           && a.job.Job.id < b.job.Job.id)
+                      then Some a
+                      else best)
+                None jobs
+              |> Option.get
+            in
+            let finish = !now +. (ed.remaining /. speed) in
+            let t_next = Float.min finish until in
+            let dt = t_next -. !now in
+            energy := !energy +. (dt *. Power_model.power proc.model speed);
+            ed.remaining <- ed.remaining -. (dt *. speed);
+            now := t_next;
+            if ed.remaining <= eps *. Float.max 1. ed.job.Job.cycles then begin
+              if !now > ed.job.Job.deadline +. 1e-6 then
+                err :=
+                  Some
+                    (Printf.sprintf "Admission: job %d missed its deadline"
+                       ed.job.Job.id)
+              else begin
+                last_completion := Float.max !last_completion !now;
+                actives :=
+                  List.filter (fun a -> a.job.Job.id <> ed.job.Job.id) !actives
+              end
+            end;
+            run ()
+          end
+    end
+  in
+  run ();
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (!now, !energy, !last_completion)
+
+let marginal_estimate (proc : Processor.t) actives ~now (j : Job.t) =
+  let trial = { job = j; remaining = j.Job.cycles } :: actives in
+  let s =
+    Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:(Processor.s_max proc)
+      (Float.max (critical proc) (density_speed trial ~now))
+  in
+  if s <= 0. then Float.infinity
+  else j.Job.cycles *. Power_model.power proc.model s /. s
+
+let simulate_mp ~(proc : Processor.t) ~m ~policy jobs =
+  if m < 1 then Error "Admission.simulate_mp: m < 1"
+  else if not (Processor.is_ideal proc) then
+    Error "Admission.simulate: ideal processors only"
+  else if
+    not (Rt_task.Task.distinct_ids (List.map (fun (j : Job.t) -> j.Job.id) jobs))
+  then Error "Admission.simulate: duplicate job ids"
+  else begin
+    let jobs = Job.by_arrival jobs in
+    let processors = Array.init m (fun _ -> ref []) in
+    let energy = ref 0. in
+    let penalty = ref 0. in
+    let admitted = ref [] in
+    let rejected = ref [] in
+    let forced = ref 0 in
+    let makespan = ref 0. in
+    let now = ref 0. in
+    let s_max = Processor.s_max proc in
+    (* advance every processor to [until]; they do not interact *)
+    let advance_all ~until =
+      Array.fold_left
+        (fun acc actives ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () -> (
+              match advance proc actives ~now:!now ~until with
+              | Error e -> Error e
+              | Ok (_, e, last) ->
+                  energy := !energy +. e;
+                  if last > 0. then makespan := Float.max !makespan last;
+                  Ok ()))
+        (Ok ()) processors
+    in
+    let rec process = function
+      | [] -> Ok ()
+      | (j : Job.t) :: rest -> (
+          match advance_all ~until:j.Job.arrival with
+          | Error e -> Error e
+          | Ok () ->
+              now := j.Job.arrival;
+              (* feasible processor with the cheapest marginal estimate *)
+              let best = ref None in
+              Array.iter
+                (fun actives ->
+                  let trial =
+                    { job = j; remaining = j.Job.cycles } :: !actives
+                  in
+                  if
+                    Rt_prelude.Float_cmp.leq
+                      (density_speed trial ~now:!now)
+                      s_max
+                  then begin
+                    let est = marginal_estimate proc !actives ~now:!now j in
+                    match !best with
+                    | Some (_, eb) when eb <= est -> ()
+                    | _ -> best := Some (actives, est)
+                  end)
+                processors;
+              (match !best with
+              | None ->
+                  incr forced;
+                  rejected := j.Job.id :: !rejected;
+                  penalty := !penalty +. j.Job.penalty
+              | Some (actives, est) ->
+                  let accept =
+                    match policy with
+                    | Admit_all -> true
+                    | Profitable ->
+                        Rt_prelude.Float_cmp.leq est j.Job.penalty
+                    | Density_threshold theta ->
+                        j.Job.penalty /. j.Job.cycles >= theta
+                  in
+                  if accept then begin
+                    actives :=
+                      { job = j; remaining = j.Job.cycles } :: !actives;
+                    admitted := j.Job.id :: !admitted
+                  end
+                  else begin
+                    rejected := j.Job.id :: !rejected;
+                    penalty := !penalty +. j.Job.penalty
+                  end);
+              process rest)
+    in
+    match process jobs with
+    | Error e -> Error e
+    | Ok () -> (
+        (* drain the remaining work on every processor *)
+        let horizon =
+          Array.fold_left
+            (fun acc actives ->
+              List.fold_left
+                (fun acc a -> Float.max acc a.job.Job.deadline)
+                acc !actives)
+            !now processors
+        in
+        match advance_all ~until:(horizon +. 1.) with
+        | Error e -> Error e
+        | Ok () ->
+            if Array.exists (fun actives -> !actives <> []) processors then
+              Error "Admission.simulate: work left after the last deadline"
+            else
+              Ok
+                {
+                  energy = !energy;
+                  penalty = !penalty;
+                  total = !energy +. !penalty;
+                  admitted = List.sort compare !admitted;
+                  rejected = List.sort compare !rejected;
+                  forced_rejections = !forced;
+                  makespan = !makespan;
+                })
+  end
+
+let simulate ~proc ~policy jobs = simulate_mp ~proc ~m:1 ~policy jobs
+
+let lower_bound ~(proc : Processor.t) jobs =
+  let s_max = Processor.s_max proc in
+  let s_crit = critical proc in
+  List.fold_left
+    (fun acc (j : Job.t) ->
+      let s =
+        Rt_prelude.Float_cmp.clamp ~lo:1e-9 ~hi:s_max
+          (Float.max s_crit (Job.laxity_speed j))
+      in
+      let run_cost = j.Job.cycles *. Power_model.power proc.model s /. s in
+      acc +. Float.min j.Job.penalty run_cost)
+    0. jobs

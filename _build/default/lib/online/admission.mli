@@ -1,0 +1,69 @@
+(** Online admission control with DVS speed scaling on one processor.
+
+    The executor runs admitted jobs under preemptive EDF; between events
+    it holds the {e density speed} — the largest, over pending deadlines
+    [d], of (remaining work due by [d]) / (d − now) — which is the
+    minimum constant speed that keeps every commitment, clamped from
+    below by the critical speed (sleep when idle) and capped at [s_max].
+    This is the online analogue of the uniform-speed optimality the
+    static problem enjoys.
+
+    At each arrival the controller runs an exact admission test (is the
+    density with the new job at most [s_max]?) and, if the job {e can} be
+    admitted, a policy decides whether it {e should} be:
+
+    - {!Admit_all}: accept whenever feasible (the clamping baseline);
+    - {!Profitable}: accept iff the estimated marginal energy — running
+      the job's cycles at the post-admission density speed — is below
+      its penalty (the online marginal-greedy);
+    - {!Density_threshold}: accept iff penalty per cycle clears a fixed
+      threshold (the cheapest controller: no energy model needed at
+      admission time).
+
+    Admitted jobs are guaranteed to meet their deadlines (the test is
+    exact for EDF over the {e current} commitments), which the simulator
+    re-checks. Note the online/offline gap: because the executor runs at
+    the current density, it procrastinates relative to a clairvoyant
+    schedule ({!Yds}) that would pre-clear work before a burst — streams
+    that are offline-feasible can therefore still suffer forced online
+    rejections. The property tests pin this down. *)
+
+type policy =
+  | Admit_all
+  | Profitable
+  | Density_threshold of float  (** minimum accepted penalty per cycle *)
+
+type outcome = {
+  energy : float;
+  penalty : float;  (** Σ over rejected jobs *)
+  total : float;
+  admitted : int list;  (** job ids, ascending *)
+  rejected : int list;
+  forced_rejections : int;  (** rejections where admission was infeasible *)
+  makespan : float;  (** time the last admitted job completed *)
+}
+
+val simulate :
+  proc:Rt_power.Processor.t -> policy:policy -> Job.t list ->
+  (outcome, string) result
+(** Jobs may be given in any order (sorted internally). Errors on
+    duplicate ids, a non-ideal processor (discrete-level online scaling
+    is out of scope), or — defensively — if an admitted job misses its
+    deadline, which the admission test is supposed to make impossible. *)
+
+val simulate_mp :
+  proc:Rt_power.Processor.t -> m:int -> policy:policy -> Job.t list ->
+  (outcome, string) result
+(** The partitioned multiprocessor form: [m] identical processors, each
+    running its own density-speed EDF executor. An arriving job is tried
+    on the feasible processor with the smallest marginal-energy estimate
+    (equivalently the least-loaded, by convexity); the policy then decides
+    as in {!simulate}. With [m = 1] this coincides with {!simulate}.
+    Errors as {!simulate} plus [m < 1]. *)
+
+val lower_bound : proc:Rt_power.Processor.t -> Job.t list -> float
+(** An unreachable-but-sound reference: each job independently pays
+    [min(penalty, cycles × best-feasible-per-cycle-energy)], where the
+    per-cycle energy is evaluated at the better of the critical speed and
+    the job's own laxity speed — interference between jobs can only make
+    reality costlier. *)

@@ -1,0 +1,58 @@
+type t = {
+  id : int;
+  arrival : float;
+  cycles : float;
+  deadline : float;
+  penalty : float;
+}
+
+let make ~id ~arrival ~cycles ~deadline ~penalty =
+  if arrival < 0. || not (Float.is_finite arrival) then
+    invalid_arg "Job.make: arrival must be finite and >= 0";
+  if cycles <= 0. || not (Float.is_finite cycles) then
+    invalid_arg "Job.make: cycles must be finite and > 0";
+  if deadline <= arrival || not (Float.is_finite deadline) then
+    invalid_arg "Job.make: deadline must be after the arrival";
+  if penalty < 0. || not (Float.is_finite penalty) then
+    invalid_arg "Job.make: penalty must be finite and >= 0";
+  { id; arrival; cycles; deadline; penalty }
+
+let laxity_speed t = t.cycles /. (t.deadline -. t.arrival)
+
+let by_arrival jobs =
+  List.sort
+    (fun a b ->
+      let c = Float.compare a.arrival b.arrival in
+      if c <> 0 then c else compare a.id b.id)
+    jobs
+
+let exponential rng ~mean =
+  let u = Rt_prelude.Rng.float rng ~lo:1e-9 ~hi:1. in
+  -.mean *. log u
+
+let stream rng ~n ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
+    ~penalty_factor =
+  if n < 0 then invalid_arg "Job.stream: n < 0";
+  if rate <= 0. || s_max <= 0. || mean_cycles <= 0. then
+    invalid_arg "Job.stream: non-positive parameter";
+  if slack_lo < 1. || slack_hi < slack_lo then
+    invalid_arg "Job.stream: need 1 <= slack_lo <= slack_hi";
+  let rec go i now acc =
+    if i = n then List.rev acc
+    else begin
+      let arrival = now +. exponential rng ~mean:(1. /. rate) in
+      let cycles = Float.max 1. (exponential rng ~mean:mean_cycles) in
+      let laxity = cycles /. s_max in
+      let slack = Rt_prelude.Rng.float rng ~lo:slack_lo ~hi:slack_hi in
+      let deadline = arrival +. (laxity *. slack) in
+      (* reference energy: the job at top speed on the normalized cubic
+         curve, s_max^2 per cycle *)
+      let penalty =
+        penalty_factor *. cycles *. (s_max ** 2.)
+        *. Rt_prelude.Rng.float rng ~lo:0.6 ~hi:1.4
+      in
+      go (i + 1) arrival
+        (make ~id:i ~arrival ~cycles ~deadline ~penalty :: acc)
+    end
+  in
+  go 0 0. []

@@ -1,0 +1,41 @@
+(** Aperiodic jobs for the online-rejection extension.
+
+    The target paper's setting is static (everything known at time 0); its
+    natural extension — and the regime real admission controllers live in
+    — is {e online}: jobs arrive over time, each with cycles, an absolute
+    deadline and a rejection penalty, and the accept/reject decision is
+    irrevocable at arrival. *)
+
+type t = private {
+  id : int;
+  arrival : float;  (** >= 0 *)
+  cycles : float;  (** > 0 *)
+  deadline : float;  (** absolute; > arrival *)
+  penalty : float;  (** >= 0, finite *)
+}
+
+val make :
+  id:int -> arrival:float -> cycles:float -> deadline:float ->
+  penalty:float -> t
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val laxity_speed : t -> float
+(** [cycles / (deadline - arrival)] — the constant speed the job needs if
+    it runs alone from arrival to deadline. *)
+
+val by_arrival : t list -> t list
+(** Sorted by arrival (ties by id); the order {!Admission.simulate}
+    expects. *)
+
+val stream :
+  Rt_prelude.Rng.t -> n:int -> rate:float -> s_max:float ->
+  mean_cycles:float -> slack_lo:float -> slack_hi:float ->
+  penalty_factor:float -> t list
+(** A Poisson-ish workload: exponential inter-arrivals at [rate] jobs per
+    unit time, cycles exponential around [mean_cycles], deadline =
+    arrival + laxity·slack where slack is uniform in
+    [\[slack_lo, slack_hi\]] (laxity = cycles / s_max, so slack 1.0 is the
+    tightest schedulable-alone deadline), penalty = [penalty_factor] ×
+    the job's top-speed energy on a normalized cubic processor, jittered.
+    The offered load (expected utilization demand) is
+    [rate × mean_cycles / s_max]. *)

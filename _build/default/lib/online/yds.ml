@@ -1,0 +1,105 @@
+type block = { intensity : float; length : float; work : float }
+
+(* internal mutable job view on the compressed timeline *)
+type jv = { mutable a : float; mutable d : float; c : float }
+
+let check jobs =
+  if
+    not
+      (Rt_task.Task.distinct_ids (List.map (fun (j : Job.t) -> j.Job.id) jobs))
+  then invalid_arg "Yds: duplicate job ids"
+
+(* the maximum-intensity interval over the candidate endpoints (arrivals ×
+   deadlines); ties broken toward the earliest interval for determinism *)
+let critical_interval jvs =
+  let starts = List.sort_uniq compare (List.map (fun j -> j.a) jvs) in
+  let ends = List.sort_uniq compare (List.map (fun j -> j.d) jvs) in
+  let best = ref None in
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          if t2 > t1 then begin
+            let work =
+              List.fold_left
+                (fun acc j -> if j.a >= t1 && j.d <= t2 then acc +. j.c else acc)
+                0. jvs
+            in
+            if work > 0. then begin
+              let intensity = work /. (t2 -. t1) in
+              match !best with
+              | Some (bi, _, _, _) when bi >= intensity -. 1e-15 -> ()
+              | _ -> best := Some (intensity, t1, t2, work)
+            end
+          end)
+        ends)
+    starts;
+  !best
+
+let blocks jobs =
+  check jobs;
+  let jvs =
+    List.map
+      (fun (j : Job.t) -> { a = j.Job.arrival; d = j.Job.deadline; c = j.Job.cycles })
+      jobs
+  in
+  let rec go jvs acc =
+    match critical_interval jvs with
+    | None -> List.rev acc
+    | Some (intensity, t1, t2, work) ->
+        let length = t2 -. t1 in
+        let survivors =
+          List.filter (fun j -> not (j.a >= t1 && j.d <= t2)) jvs
+        in
+        (* excise [t1, t2]: times inside the window collapse onto t1 *)
+        let squeeze t =
+          if t <= t1 then t else if t >= t2 then t -. length else t1
+        in
+        List.iter
+          (fun j ->
+            j.a <- squeeze j.a;
+            j.d <- squeeze j.d)
+          survivors;
+        go survivors ({ intensity; length; work } :: acc)
+  in
+  go jvs []
+
+let peak_intensity jobs =
+  match blocks jobs with [] -> 0. | b :: _ -> b.intensity
+
+let energy ~(proc : Rt_power.Processor.t) jobs =
+  if not (Rt_power.Processor.is_ideal proc) then
+    Error "Yds.energy: ideal processors only"
+  else begin
+    let bs = blocks jobs in
+    let s_max = Rt_power.Processor.s_max proc in
+    match bs with
+    | b :: _ when Rt_prelude.Float_cmp.gt b.intensity s_max ->
+        Error "Yds.energy: infeasible (peak intensity above s_max)"
+    | _ ->
+        let model = proc.Rt_power.Processor.model in
+        let s_crit =
+          match proc.Rt_power.Processor.dormancy with
+          | Rt_power.Processor.Dormant_enable _ ->
+              Rt_power.Processor.critical_speed proc
+          | Rt_power.Processor.Dormant_disable -> 0.
+        in
+        let leak_while_idle =
+          match proc.Rt_power.Processor.dormancy with
+          | Rt_power.Processor.Dormant_enable _ -> 0.
+          | Rt_power.Processor.Dormant_disable ->
+              Rt_power.Power_model.power model 0.
+        in
+        Ok
+          (List.fold_left
+             (fun acc b ->
+               let s = Float.min s_max (Float.max s_crit b.intensity) in
+               if s <= 0. then acc
+               else begin
+                 let busy = b.work /. s in
+                 acc
+                 +. (busy *. Rt_power.Power_model.power model s)
+                 +. ((b.length -. busy) *. leak_while_idle)
+               end)
+             0. bs)
+  end

@@ -1,0 +1,38 @@
+(** The Yao–Demers–Shenker offline-optimal speed schedule.
+
+    Given aperiodic jobs (arrival, deadline, cycles) known in advance, the
+    YDS algorithm repeatedly finds the {e critical interval} — the window
+    [\[t1, t2\]] maximizing intensity
+    [Σ cycles of jobs contained in the window / (t2 − t1)] — schedules the
+    contained jobs across that window at exactly the intensity, removes
+    them, excises the window from the timeline, and recurses. The result
+    is the minimum-energy feasible speed profile for any convex power
+    function; with leakage and a sleep mode the blocks whose intensity
+    falls below the critical speed run at the critical speed and sleep
+    (Irani et al.), which is how {!energy} prices them.
+
+    This is the optimality oracle for {!Admission}: when the online
+    executor admits everything, its energy can never beat YDS. *)
+
+type block = {
+  intensity : float;  (** cycles per unit time across the block *)
+  length : float;  (** block duration in original (un-excised) time *)
+  work : float;  (** = intensity × length *)
+}
+
+val blocks : Job.t list -> block list
+(** The critical-interval decomposition, in extraction order (intensities
+    non-increasing). Total [work] equals the jobs' total cycles. Empty
+    input gives []. @raise Invalid_argument on duplicate ids. *)
+
+val peak_intensity : Job.t list -> float
+(** Intensity of the first block (0. for no jobs) — the minimum top speed
+    any feasible schedule needs. *)
+
+val energy :
+  proc:Rt_power.Processor.t -> Job.t list -> (float, string) result
+(** Offline-optimal energy on an ideal processor: each block runs at
+    [max(intensity, critical speed)] (sleeping through the slack when the
+    clamp is active; dormant-disable processors instead pay leakage over
+    the block). Errors when the peak intensity exceeds [s_max] (no
+    feasible schedule) or the processor has discrete levels. *)

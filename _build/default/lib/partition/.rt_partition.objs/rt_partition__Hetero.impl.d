@@ -1,0 +1,1 @@
+lib/partition/hetero.ml: Array Float List Partition Power_model Processor Rt_power Rt_prelude Rt_task Task

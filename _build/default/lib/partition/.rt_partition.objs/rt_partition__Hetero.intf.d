@@ -1,0 +1,1 @@
+lib/partition/hetero.mli: Partition Rt_power Rt_task

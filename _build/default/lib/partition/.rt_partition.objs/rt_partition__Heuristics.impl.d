@@ -1,0 +1,1 @@
+lib/partition/heuristics.ml: Array List Partition Rt_prelude Rt_task Task

@@ -1,0 +1,1 @@
+lib/partition/heuristics.mli: Partition Rt_prelude Rt_task

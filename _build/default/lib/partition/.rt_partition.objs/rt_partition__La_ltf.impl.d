@@ -1,0 +1,1 @@
+lib/partition/la_ltf.ml: Array Heuristics List Partition Rt_power Rt_prelude Rt_task Task

@@ -1,0 +1,1 @@
+lib/partition/la_ltf.mli: Partition Rt_power

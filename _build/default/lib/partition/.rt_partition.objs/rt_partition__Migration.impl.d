@@ -1,0 +1,1 @@
+lib/partition/migration.ml: Float Hetero List Option Printf Result Rt_power Rt_prelude Rt_task Task Taskset

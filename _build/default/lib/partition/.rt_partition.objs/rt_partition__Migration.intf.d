@@ -1,0 +1,1 @@
+lib/partition/migration.mli: Rt_power Rt_task

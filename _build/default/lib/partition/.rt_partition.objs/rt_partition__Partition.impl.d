@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Float Format List Rt_task Task Taskset

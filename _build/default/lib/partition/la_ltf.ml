@@ -1,0 +1,60 @@
+open Rt_task
+
+let critical_processors ~proc p =
+  let s_crit = Rt_power.Processor.critical_speed proc in
+  List.filter
+    (fun j ->
+      let l = Partition.load p j in
+      l > 0. && Rt_prelude.Float_cmp.lt l s_crit)
+    (Rt_prelude.Math_util.range 0 (Partition.m p - 1))
+
+let consolidate ~proc p =
+  let s_crit = Rt_power.Processor.critical_speed proc in
+  if s_crit <= 0. then p
+  else begin
+    let critical = critical_processors ~proc p in
+    match critical with
+    | [] | [ _ ] -> p (* nothing to merge *)
+    | _ ->
+        let collected =
+          List.concat_map (fun j -> Partition.bucket p j) critical
+        in
+        let n_slots = List.length critical in
+        (* first-fit the collected tasks into the freed slots with the
+           critical speed as capacity, largest first for tighter packing *)
+        let packed, leftover =
+          Heuristics.first_fit_decreasing ~m:n_slots ~capacity:s_crit collected
+        in
+        if leftover <> [] then p
+        else begin
+          let buckets =
+            Array.init (Partition.m p) (fun j ->
+                if List.mem j critical then [] else Partition.bucket p j)
+          in
+          (* place the packed groups onto the freed indices, densest first,
+             so freed processors are at the end *)
+          let groups =
+            Rt_prelude.Math_util.range 0 (n_slots - 1)
+            |> List.map (fun g -> Partition.bucket packed g)
+            |> List.filter (fun b -> b <> [])
+          in
+          List.iteri
+            (fun i group ->
+              let j = List.nth critical i in
+              buckets.(j) <- group)
+            groups;
+          (* sanity: same item multiset *)
+          let before =
+            List.sort compare
+              (List.map (fun (it : Task.item) -> it.item_id) (Partition.all_items p))
+          in
+          let candidate = Partition.of_buckets buckets in
+          let after =
+            List.sort compare
+              (List.map
+                 (fun (it : Task.item) -> it.item_id)
+                 (Partition.all_items candidate))
+          in
+          if before = after then candidate else p
+        end
+  end

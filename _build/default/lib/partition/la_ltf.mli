@@ -1,0 +1,25 @@
+(** Leakage-aware consolidation (the FF step of Algorithm LA+LTF+FF).
+
+    On dormant-enable processors, any processor whose load sits below the
+    critical speed runs at the critical speed anyway (the clamp) — so two
+    half-idle "critical" processors waste two shares of idle overhead where
+    one consolidated processor would do. The LA+LTF+FF refinement collects
+    the tasks of all below-critical processors and re-packs them first-fit
+    with capacity equal to the critical speed, freeing whole processors to
+    sleep through the horizon.
+
+    If re-packing cannot place every collected task (first-fit is not
+    optimal), the original partition is returned unchanged — the 2-approx
+    guarantee of the published algorithm comes from exactly this
+    fall-back. *)
+
+val consolidate :
+  proc:Rt_power.Processor.t -> Partition.t -> Partition.t
+(** Re-pack the below-critical processors of a partition as described.
+    Loads at or above the critical speed are left untouched. The result
+    has the same [m] (freed processors keep empty buckets). *)
+
+val critical_processors :
+  proc:Rt_power.Processor.t -> Partition.t -> int list
+(** Indices of non-empty processors whose load is strictly below the
+    critical speed. *)

@@ -1,0 +1,72 @@
+open Rt_task
+
+type t = { m : int; buckets : Task.item list array }
+
+let empty ~m =
+  if m < 1 then invalid_arg "Partition.empty: m < 1";
+  { m; buckets = Array.make m [] }
+
+let add t j it =
+  if j < 0 || j >= t.m then invalid_arg "Partition.add: processor out of range";
+  let buckets = Array.copy t.buckets in
+  buckets.(j) <- it :: buckets.(j);
+  { t with buckets }
+
+let all_items t = Array.to_list t.buckets |> List.concat
+
+let of_buckets buckets =
+  if Array.length buckets = 0 then invalid_arg "Partition.of_buckets: empty";
+  let t = { m = Array.length buckets; buckets = Array.copy buckets } in
+  let ids = List.map (fun (it : Task.item) -> it.item_id) (all_items t) in
+  if not (Task.distinct_ids ids) then
+    invalid_arg "Partition.of_buckets: duplicate item ids";
+  t
+
+let m t = t.m
+
+let bucket t j =
+  if j < 0 || j >= t.m then invalid_arg "Partition.bucket: out of range";
+  t.buckets.(j)
+
+let size t = Array.fold_left (fun acc b -> acc + List.length b) 0 t.buckets
+
+let loads t =
+  Array.map
+    (fun b -> List.fold_left (fun acc (it : Task.item) -> acc +. it.weight) 0. b)
+    t.buckets
+
+let load t j =
+  List.fold_left (fun acc (it : Task.item) -> acc +. it.weight) 0. (bucket t j)
+
+let makespan t = Array.fold_left Float.max 0. (loads t)
+
+let min_load_index t =
+  let ls = loads t in
+  let best = ref 0 in
+  Array.iteri (fun j l -> if l < ls.(!best) then best := j) ls;
+  !best
+
+let processor_of t id =
+  let found = ref None in
+  Array.iteri
+    (fun j b ->
+      if !found = None && List.exists (fun (it : Task.item) -> it.item_id = id) b
+      then found := Some j)
+    t.buckets;
+  !found
+
+let id_set b =
+  List.map (fun (it : Task.item) -> it.item_id) b |> List.sort compare
+
+let equal_shape a b =
+  a.m = b.m
+  && Array.for_all2 (fun x y -> id_set x = id_set y) a.buckets b.buckets
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun j b ->
+      Format.fprintf ppf "P%d (load %.4g): %a@," j (load t j) Taskset.pp_items
+        (List.rev b))
+    t.buckets;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/power/power_model.ml: Float Format Rt_prelude

@@ -1,0 +1,1 @@
+lib/power/processor.ml: Array Float Format List Power_model Printf Rt_prelude String

@@ -1,0 +1,1 @@
+lib/power/processor.mli: Format Power_model

@@ -1,0 +1,59 @@
+(** DVS power-consumption models.
+
+    The model follows the paper family's convention: the power drawn at
+    speed [s] is split into a speed-independent part [P_ind] (leakage and
+    other always-on consumers) and a speed-dependent convex part [P_d(s)]
+    (gate switching plus short-circuit):
+
+    {v P(s) = p_ind + coeff * s^alpha + linear * s v}
+
+    with [alpha] in [\[2, 3\]] for CMOS, [coeff > 0], [linear >= 0]. The
+    evaluation sections of the DATE'05–'07 papers normalize the Intel XScale
+    to [P(s) = 0.08 + 1.52 s^3] W with the top speed scaled to 1; the same
+    normalization is available as {!Presets.xscale}.
+
+    Speeds are in (normalized) cycles per time unit; energy of running for
+    [t] time units at speed [s] is [t * P(s)]. *)
+
+type t = private {
+  p_ind : float;  (** speed-independent power (leakage); >= 0 *)
+  coeff : float;  (** coefficient of the [s^alpha] term; > 0 *)
+  alpha : float;  (** exponent of the dynamic term; > 1 *)
+  linear : float;  (** short-circuit term, proportional to speed; >= 0 *)
+}
+
+val make : ?p_ind:float -> ?linear:float -> coeff:float -> alpha:float -> unit -> t
+(** Build a model; [p_ind] and [linear] default to [0.].
+    @raise Invalid_argument when a parameter is out of the documented range
+    (including non-finite values). *)
+
+val power : t -> float -> float
+(** [power m s] is [P(s)] for [s >= 0]. @raise Invalid_argument on
+    negative speed. *)
+
+val dynamic_power : t -> float -> float
+(** The speed-dependent part [P_d(s) = P(s) - p_ind]. *)
+
+val energy : t -> speed:float -> time:float -> float
+(** [energy m ~speed ~time] is [time * P(speed)]; the workload completed is
+    [speed * time] cycles. @raise Invalid_argument on negative time. *)
+
+val energy_cycles : t -> speed:float -> cycles:float -> float
+(** Energy to execute [cycles] cycles at constant [speed > 0]:
+    [cycles / speed * P(speed)]. *)
+
+val energy_per_cycle : t -> float -> float
+(** [P(s)/s] for [s > 0] — the per-cycle energy whose minimizer is the
+    critical speed. *)
+
+val critical_speed : t -> s_max:float -> float
+(** The speed in [(0, s_max\]] minimizing [P(s)/s]. Closed form
+    [(p_ind / ((alpha-1) coeff))^(1/alpha)] when [linear = 0]; numeric
+    (golden-section, [P(s)/s] is unimodal for this model family) otherwise.
+    Returns [s_max] when the unconstrained minimizer exceeds it. With
+    [p_ind = 0] and [linear = 0] the per-cycle energy is increasing, so the
+    critical speed degenerates to 0; we return 0 in that case and callers
+    treat it as "no lower clamp". *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

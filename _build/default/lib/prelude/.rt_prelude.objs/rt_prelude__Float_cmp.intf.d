@@ -1,0 +1,1 @@
+lib/prelude/float_cmp.mli:

@@ -1,0 +1,1 @@
+lib/prelude/math_util.mli:

@@ -1,0 +1,1 @@
+lib/prelude/tablefmt.ml: Array Buffer Float List Printf String

@@ -1,0 +1,22 @@
+let default_eps = 1e-9
+
+let scale a b = Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let approx_eq ?(eps = default_eps) a b = Float.abs (a -. b) <= eps *. scale a b
+
+let leq ?(eps = default_eps) a b = a <= b +. (eps *. scale a b)
+
+let geq ?eps a b = leq ?eps b a
+
+let lt ?eps a b = not (geq ?eps a b)
+
+let gt ?eps a b = not (leq ?eps a b)
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Float_cmp.clamp: lo > hi";
+  if x < lo then lo else if x > hi then hi else x
+
+let is_finite x = Float.is_finite x
+
+let compare_approx ?eps a b =
+  if approx_eq ?eps a b then 0 else Float.compare a b

@@ -1,0 +1,106 @@
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let lcm a b =
+  if a <= 0 || b <= 0 then invalid_arg "Math_util.lcm: non-positive argument";
+  let g = gcd a b in
+  let q = a / g in
+  if q > max_int / b then invalid_arg "Math_util.lcm: overflow";
+  q * b
+
+let lcm_list = function
+  | [] -> invalid_arg "Math_util.lcm_list: empty list"
+  | x :: xs -> List.fold_left lcm x xs
+
+let pow_int b e =
+  if e < 0 then invalid_arg "Math_util.pow_int: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then acc * b else acc in
+      if acc <> 0 && abs acc > max_int / (max 1 (abs b)) && e > 1 then
+        invalid_arg "Math_util.pow_int: overflow";
+      go acc (if e > 1 then b * b else b) (e lsr 1)
+    end
+  in
+  go 1 b e
+
+let range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  go hi []
+
+let frange ~lo ~hi ~steps =
+  if steps < 1 then invalid_arg "Math_util.frange: steps < 1";
+  List.map
+    (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int steps))
+    (range 0 steps)
+
+(* inverse golden ratio *)
+let invphi = (sqrt 5. -. 1.) /. 2.
+
+let golden_section_min ?(tol = 1e-10) ?(max_iter = 200) ~f ~lo ~hi () =
+  if lo > hi then invalid_arg "Math_util.golden_section_min: lo > hi";
+  (* invariant: the minimum lies in [a, b]; xa < xb are the interior probes
+     with cached values fa, fb *)
+  let a = ref lo and b = ref hi in
+  let xa = ref (!b -. (invphi *. (!b -. !a))) in
+  let xb = ref (!a +. (invphi *. (!b -. !a))) in
+  let fa = ref (f !xa) and fb = ref (f !xb) in
+  let iter = ref 0 in
+  while
+    !iter < max_iter
+    && !b -. !a > tol *. Float.max 1. (Float.abs !a +. Float.abs !b)
+  do
+    incr iter;
+    if !fa < !fb then begin
+      b := !xb;
+      xb := !xa;
+      fb := !fa;
+      xa := !b -. (invphi *. (!b -. !a));
+      fa := f !xa
+    end
+    else begin
+      a := !xa;
+      xa := !xb;
+      fa := !fb;
+      xb := !a +. (invphi *. (!b -. !a));
+      fb := f !xb
+    end
+  done;
+  let x = (!a +. !b) /. 2. in
+  (x, f x)
+
+let bisect_root ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then
+    invalid_arg "Math_util.bisect_root: endpoints do not bracket a root"
+  else begin
+    let a = ref lo and b = ref hi and fa = ref flo in
+    let iter = ref 0 in
+    while
+      !iter < max_iter
+      && !b -. !a > tol *. Float.max 1. (Float.abs !a +. Float.abs !b)
+    do
+      incr iter;
+      let m = (!a +. !b) /. 2. in
+      let fm = f m in
+      if fm = 0. then begin
+        a := m;
+        b := m
+      end
+      else if !fa *. fm < 0. then b := m
+      else begin
+        a := m;
+        fa := fm
+      end
+    done;
+    (!a +. !b) /. 2.
+  end
+
+let bisect_decreasing ?(tol = 1e-12) ?(max_iter = 200) ~f ~target ~lo ~hi () =
+  if f lo <= target then lo
+  else if f hi >= target then hi
+  else bisect_root ~tol ~max_iter ~f:(fun x -> f x -. target) ~lo ~hi ()

@@ -1,0 +1,54 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
+
+let split t =
+  Random.State.make
+    [| Random.State.bits t; Random.State.bits t; Random.State.bits t |]
+
+let int t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int: lo > hi";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.float: lo > hi";
+  lo +. Random.State.float t (hi -. lo)
+
+let bool t = Random.State.bool t
+
+let log_uniform t ~lo ~hi =
+  if lo <= 0. || hi <= 0. then invalid_arg "Rng.log_uniform: bounds <= 0";
+  if lo > hi then invalid_arg "Rng.log_uniform: lo > hi";
+  exp (float t ~lo:(log lo) ~hi:(log hi))
+
+let choice t = function
+  | [] -> invalid_arg "Rng.choice: empty list"
+  | xs -> List.nth xs (Random.State.int t (List.length xs))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let uunifast t ~n ~total =
+  if n < 1 then invalid_arg "Rng.uunifast: n < 1";
+  if total < 0. then invalid_arg "Rng.uunifast: negative total";
+  (* Bini & Buttazzo: peel off each share with sum_{i+1} = sum_i * U^(1/rem) *)
+  if n = 1 then [ total ]
+  else begin
+    let rec loop i sum acc =
+      if i = n - 1 then List.rev (sum :: acc)
+      else begin
+        let next =
+          sum *. (Random.State.float t 1. ** (1. /. float_of_int (n - 1 - i)))
+        in
+        loop (i + 1) next ((sum -. next) :: acc)
+      end
+    in
+    loop 0 total []
+  end

@@ -1,0 +1,39 @@
+(** Seeded randomness for reproducible experiments.
+
+    Every generator in the repository threads an explicit [t] so that any
+    experiment row can be regenerated from its seed. The module wraps
+    [Random.State] and adds the task-set-generation primitives the
+    literature uses (UUniFast, log-uniform choices). *)
+
+type t
+
+val create : seed:int -> t
+(** Deterministic state from an integer seed. *)
+
+val split : t -> t
+(** Derive an independent child state (consumes randomness from the parent);
+    used to give each replication of an experiment its own stream. *)
+
+val int : t -> lo:int -> hi:int -> int
+(** Uniform integer in [\[lo, hi\]] inclusive. @raise Invalid_argument if
+    [lo > hi]. *)
+
+val float : t -> lo:float -> hi:float -> float
+(** Uniform float in [\[lo, hi)]. @raise Invalid_argument if [lo > hi]. *)
+
+val bool : t -> bool
+
+val log_uniform : t -> lo:float -> hi:float -> float
+(** Log-uniformly distributed in [\[lo, hi)]; both bounds must be positive. *)
+
+val choice : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. @raise Invalid_argument on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates permutation. *)
+
+val uunifast : t -> n:int -> total:float -> float list
+(** [uunifast t ~n ~total] draws [n] non-negative values summing to [total],
+    uniformly over the simplex (Bini & Buttazzo's UUniFast). Standard
+    generator for per-task utilizations given a target system utilization.
+    @raise Invalid_argument if [n < 1] or [total < 0]. *)

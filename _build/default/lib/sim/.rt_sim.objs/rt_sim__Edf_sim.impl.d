@@ -1,0 +1,1 @@
+lib/sim/edf_sim.ml: Float Gantt List Power_model Printf Processor Result Rt_power Rt_speed Rt_task Task Taskset

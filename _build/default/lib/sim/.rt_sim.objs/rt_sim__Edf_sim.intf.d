@@ -1,0 +1,1 @@
+lib/sim/edf_sim.mli: Rt_power Rt_task

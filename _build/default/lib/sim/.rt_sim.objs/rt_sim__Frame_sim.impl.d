@@ -1,0 +1,1 @@
+lib/sim/frame_sim.ml: Energy_rate Float Gantt Hashtbl List Option Power_model Printf Processor Result Rt_partition Rt_power Rt_prelude Rt_speed Rt_task String Task

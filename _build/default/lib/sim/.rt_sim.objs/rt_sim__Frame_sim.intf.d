@@ -1,0 +1,1 @@
+lib/sim/frame_sim.mli: Rt_partition Rt_power

@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Bytes List Printf String

@@ -1,0 +1,215 @@
+open Rt_power
+open Rt_task
+
+type miss = { task_id : int; deadline : float; late_by : float }
+type gap = { g0 : float; g1 : float }
+
+type outcome = {
+  horizon : float;
+  misses : miss list;
+  busy_time : float;
+  gaps : gap list;
+  exec_energy : float;
+  idle_energy_awake : float;
+  idle_energy_sleep : float;
+  idle_energy_proc : float;
+  preemptions : int;
+}
+
+type job = {
+  jtask : int;
+  release : float;
+  deadline : float;
+  mutable remaining : float;  (** execution time left at the given speed *)
+}
+
+type exec_slice = { x0 : float; x1 : float; xtask : int }
+
+let feasible_speed tasks = Taskset.total_utilization tasks
+
+let build_jobs ~horizon ~speed tasks =
+  List.concat_map
+    (fun (t : Task.periodic) ->
+      let p = float_of_int t.period in
+      let exec = float_of_int t.cycles /. speed in
+      let rec go k acc =
+        let release = float_of_int k *. p in
+        if release >= horizon -. 1e-9 then List.rev acc
+        else
+          go (k + 1)
+            ({ jtask = t.id; release; deadline = release +. p; remaining = exec }
+            :: acc)
+      in
+      go 0 [])
+    tasks
+
+let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
+  let jobs = build_jobs ~horizon ~speed tasks in
+  let future =
+    List.sort
+      (fun a b ->
+        let c = Float.compare a.release b.release in
+        if c <> 0 then c else compare a.jtask b.jtask)
+      jobs
+  in
+  let pick ready =
+    (* earliest deadline first; ties by task id then release for determinism *)
+    List.fold_left
+      (fun best j ->
+        match best with
+        | None -> Some j
+        | Some b ->
+            if
+              j.deadline < b.deadline
+              || (j.deadline = b.deadline && j.jtask < b.jtask)
+            then Some j
+            else best)
+      None ready
+  in
+  let slices = ref [] in
+  let gaps = ref [] in
+  let misses = ref [] in
+  let busy = ref 0. in
+  let preemptions = ref 0 in
+  let rec loop t ready future =
+    if t >= horizon -. 1e-9 then
+      (* account unfinished jobs whose deadlines passed *)
+      List.iter
+        (fun j ->
+          if j.remaining > 1e-9 && j.deadline <= horizon +. 1e-9 then
+            misses :=
+              {
+                task_id = j.jtask;
+                deadline = j.deadline;
+                late_by = horizon -. j.deadline;
+              }
+              :: !misses)
+        ready
+    else
+      match (pick ready, future) with
+      | None, [] ->
+          if horizon -. t > 1e-9 then gaps := { g0 = t; g1 = horizon } :: !gaps
+      | None, next :: _ ->
+          let t' = Float.min horizon next.release in
+          if t' -. t > 1e-9 then gaps := { g0 = t; g1 = t' } :: !gaps;
+          let arrived, future' =
+            List.partition (fun j -> j.release <= t' +. 1e-12) future
+          in
+          loop t' (arrived @ ready) future'
+      | Some j, _ ->
+          let next_release =
+            match future with [] -> Float.infinity | n :: _ -> n.release
+          in
+          let finish = t +. j.remaining in
+          let t' = Float.min (Float.min finish next_release) horizon in
+          let ran = t' -. t in
+          if ran > 0. then begin
+            busy := !busy +. ran;
+            slices := { x0 = t; x1 = t'; xtask = j.jtask } :: !slices;
+            j.remaining <- j.remaining -. ran
+          end;
+          let completed = j.remaining <= 1e-9 in
+          if completed && t' > j.deadline +. 1e-9 then
+            misses :=
+              {
+                task_id = j.jtask;
+                deadline = j.deadline;
+                late_by = t' -. j.deadline;
+              }
+              :: !misses;
+          let ready' = if completed then List.filter (fun x -> x != j) ready else ready in
+          let arrived, future' =
+            List.partition (fun x -> x.release <= t' +. 1e-12) future
+          in
+          (* a preemption happens when the job is unfinished and a newly
+             arrived job takes over *)
+          let ready'' = arrived @ ready' in
+          (if (not completed) && t' < horizon then
+             match pick ready'' with
+             | Some nxt when nxt != j -> incr preemptions
+             | _ -> ());
+          loop t' ready'' future'
+  in
+  let arrived, future' = List.partition (fun j -> j.release <= 1e-12) future in
+  loop 0. arrived future';
+  let gaps = List.rev !gaps in
+  let idle_total =
+    List.fold_left (fun acc g -> acc +. (g.g1 -. g.g0)) 0. gaps
+  in
+  let p_idle = Processor.idle_power proc in
+  let idle_energy_sleep =
+    List.fold_left
+      (fun acc g ->
+        acc +. Rt_speed.Procrastinate.idle_energy proc ~interval:(g.g1 -. g.g0))
+      0. gaps
+  in
+  let idle_energy_proc =
+    if idle_total = 0. then 0.
+    else Rt_speed.Procrastinate.idle_energy proc ~interval:idle_total
+  in
+  let exec_energy =
+    if !busy = 0. then 0. else !busy *. Power_model.power proc.model speed
+  in
+  let outcome =
+    {
+      horizon;
+      misses = List.rev !misses;
+      busy_time = !busy;
+      gaps;
+      exec_energy;
+      idle_energy_awake = p_idle *. idle_total;
+      idle_energy_sleep;
+      idle_energy_proc;
+      preemptions = !preemptions;
+    }
+  in
+  (outcome, List.rev !slices)
+
+let prepare ?horizon ~proc ~speed tasks =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Taskset.well_formed_periodic tasks with
+    | Ok () -> Ok ()
+    | Error e -> Error ("Edf_sim: " ^ e)
+  in
+  let* horizon =
+    match horizon with
+    | Some h -> if h > 0. then Ok h else Error "Edf_sim: horizon <= 0"
+    | None -> (
+        match tasks with
+        | [] -> Error "Edf_sim: empty task set needs an explicit horizon"
+        | _ -> Ok (float_of_int (Taskset.hyper_period tasks)))
+  in
+  let* () =
+    if tasks = [] then Ok ()
+    else if speed <= 0. then Error "Edf_sim: speed <= 0"
+    else if not (Processor.speed_feasible proc speed) then
+      Error
+        (Printf.sprintf "Edf_sim: speed %.6g not available on this processor"
+           speed)
+    else Ok ()
+  in
+  Ok horizon
+
+let run ?horizon ~proc ~speed tasks =
+  Result.map
+    (fun horizon -> fst (simulate ~horizon ~proc ~speed tasks))
+    (prepare ?horizon ~proc ~speed tasks)
+
+let gantt ?horizon ~proc ~speed tasks =
+  Result.map
+    (fun horizon ->
+      let _, slices = simulate ~horizon ~proc ~speed tasks in
+      let segments =
+        List.map
+          (fun s ->
+            {
+              Gantt.t0 = s.x0;
+              t1 = s.x1;
+              row = Printf.sprintf "τ%d" s.xtask;
+              glyph = '#';
+            })
+          slices
+      in
+      Gantt.render ~horizon segments)
+    (prepare ?horizon ~proc ~speed tasks)

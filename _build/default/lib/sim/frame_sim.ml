@@ -1,0 +1,228 @@
+open Rt_power
+open Rt_task
+open Rt_speed
+
+type slice = { task_id : int option; t0 : float; t1 : float; speed : float }
+
+type proc_timeline = {
+  proc_index : int;
+  slices : slice list;
+  proc_energy : float;
+}
+
+type t = {
+  frame_length : float;
+  proc : Processor.t;
+  partition : Rt_partition.Partition.t;
+  timelines : proc_timeline list;
+  total_energy : float;
+}
+
+let idle_power_of (proc : Processor.t) =
+  match proc.dormancy with
+  | Processor.Dormant_enable _ -> 0.
+  | Processor.Dormant_disable -> Processor.idle_power proc
+
+let energy_of_slices ~(proc : Processor.t) slices =
+  List.fold_left
+    (fun acc s ->
+      let dt = s.t1 -. s.t0 in
+      let p =
+        if s.task_id = None || s.speed = 0. then idle_power_of proc
+        else Power_model.power proc.model s.speed
+      in
+      acc +. (dt *. p))
+    0. slices
+
+(* Walk the bucket's tasks through the plan's segments (fastest first),
+   splitting tasks across segment boundaries. *)
+let lay_out ~frame_length bucket (plan : Energy_rate.plan) =
+  let running =
+    List.filter (fun (s : Energy_rate.segment) -> s.speed > 0.) plan.segments
+    |> List.map (fun (s : Energy_rate.segment) ->
+           (s.speed, s.fraction *. frame_length))
+  in
+  let rec go t segments tasks acc =
+    match (tasks, segments) with
+    | [], _ -> (t, List.rev acc)
+    | _ :: _, [] ->
+        (* throughput matches load up to rounding; any residual cycles are
+           below tolerance and dropped here — validation re-checks *)
+        (t, List.rev acc)
+    | (it, cycles) :: rest_tasks, (speed, seg_time) :: rest_segments ->
+        if cycles <= 1e-12 *. frame_length then
+          go t segments rest_tasks acc
+        else if seg_time <= 1e-12 *. frame_length then
+          go t rest_segments tasks acc
+        else begin
+          let need = cycles /. speed in
+          let dt = Float.min need seg_time in
+          let slice =
+            { task_id = Some it.Task.item_id; t0 = t; t1 = t +. dt; speed }
+          in
+          let cycles_left = cycles -. (dt *. speed) in
+          let seg_left = seg_time -. dt in
+          let tasks' =
+            if cycles_left <= 1e-12 *. frame_length then rest_tasks
+            else (it, cycles_left) :: rest_tasks
+          in
+          let segments' =
+            if seg_left <= 1e-12 *. frame_length then rest_segments
+            else (speed, seg_left) :: rest_segments
+          in
+          go (t +. dt) segments' tasks' (slice :: acc)
+        end
+  in
+  let tasks =
+    List.map (fun (it : Task.item) -> (it, it.weight *. frame_length)) bucket
+  in
+  let t_end, slices = go 0. running tasks [] in
+  let slices =
+    if t_end < frame_length -. (1e-12 *. frame_length) then
+      slices @ [ { task_id = None; t0 = t_end; t1 = frame_length; speed = 0. } ]
+    else slices
+  in
+  slices
+
+let build ~proc ~frame_length partition =
+  if frame_length <= 0. then Error "Frame_sim.build: frame_length <= 0"
+  else begin
+    let items = Rt_partition.Partition.all_items partition in
+    if List.exists (fun (it : Task.item) -> it.item_power_factor <> 1.) items
+    then Error "Frame_sim.build: non-unit power_factor unsupported"
+    else begin
+      let m = Rt_partition.Partition.m partition in
+      let rec per_proc j acc =
+        if j = m then Ok (List.rev acc)
+        else begin
+          let bucket = List.rev (Rt_partition.Partition.bucket partition j) in
+          let u = Rt_partition.Partition.load partition j in
+          match Energy_rate.optimal proc ~u with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "Frame_sim.build: processor %d overloaded (load %.6g > \
+                    s_max %.6g)"
+                   j u (Processor.s_max proc))
+          | Some plan ->
+              let slices = lay_out ~frame_length bucket plan in
+              let proc_energy = energy_of_slices ~proc slices in
+              per_proc (j + 1) ({ proc_index = j; slices; proc_energy } :: acc)
+        end
+      in
+      match per_proc 0 [] with
+      | Error _ as e -> e
+      | Ok timelines ->
+          let total_energy =
+            List.fold_left (fun acc tl -> acc +. tl.proc_energy) 0. timelines
+          in
+          Ok { frame_length; proc; partition; timelines; total_energy }
+    end
+  end
+
+let validate ?eps t =
+  let ( let* ) = Result.bind in
+  let feps = match eps with Some e -> e | None -> 1e-6 in
+  let* () =
+    if List.length t.timelines = Rt_partition.Partition.m t.partition then
+      Ok ()
+    else Error "timeline count differs from partition size"
+  in
+  let check_timeline tl =
+    let rec contiguous prev = function
+      | [] ->
+          if Rt_prelude.Float_cmp.approx_eq ~eps:feps prev t.frame_length then
+            Ok ()
+          else Error "timeline does not end at the frame boundary"
+      | s :: rest ->
+          if not (Rt_prelude.Float_cmp.approx_eq ~eps:feps s.t0 prev) then
+            Error "timeline has a gap or overlap"
+          else if s.t1 < s.t0 -. feps then Error "negative slice"
+          else if
+            s.task_id <> None
+            && not (Processor.speed_feasible ~eps:feps t.proc s.speed)
+          then Error "infeasible slice speed"
+          else contiguous s.t1 rest
+    in
+    match tl.slices with
+    | [] ->
+        if t.frame_length = 0. then Ok ()
+        else Error "empty timeline on a positive frame"
+    | first :: _ ->
+        let* () =
+          if Rt_prelude.Float_cmp.approx_eq ~eps:feps first.t0 0. then Ok ()
+          else Error "timeline does not start at 0"
+        in
+        contiguous 0. tl.slices
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | tl :: rest ->
+        let* () = check_timeline tl in
+        all rest
+  in
+  let* () = all t.timelines in
+  (* every task's executed cycles match its weight × frame *)
+  let executed = Hashtbl.create 16 in
+  List.iter
+    (fun tl ->
+      List.iter
+        (fun s ->
+          match s.task_id with
+          | None -> ()
+          | Some id ->
+              let prev = Option.value ~default:0. (Hashtbl.find_opt executed id) in
+              Hashtbl.replace executed id (prev +. ((s.t1 -. s.t0) *. s.speed)))
+        tl.slices)
+    t.timelines;
+  let items = Rt_partition.Partition.all_items t.partition in
+  let* () =
+    List.fold_left
+      (fun acc (it : Task.item) ->
+        let* () = acc in
+        let got = Option.value ~default:0. (Hashtbl.find_opt executed it.item_id) in
+        let want = it.weight *. t.frame_length in
+        if Rt_prelude.Float_cmp.approx_eq ~eps:feps got want then Ok ()
+        else
+          Error
+            (Printf.sprintf "task %d executed %.9g of %.9g cycles" it.item_id
+               got want))
+      (Ok ()) items
+  in
+  let* () =
+    if Hashtbl.length executed = List.length items then Ok ()
+    else Error "schedule executes a task that is not in the partition"
+  in
+  let recomputed =
+    List.fold_left
+      (fun acc tl -> acc +. energy_of_slices ~proc:t.proc tl.slices)
+      0. t.timelines
+  in
+  if Rt_prelude.Float_cmp.approx_eq ~eps:feps recomputed t.total_energy then
+    Ok ()
+  else Error "total_energy disagrees with the slice integral"
+
+let glyph_of_id id =
+  let alphabet = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  alphabet.[id mod String.length alphabet]
+
+let gantt t =
+  let segments =
+    List.concat_map
+      (fun tl ->
+        List.filter_map
+          (fun s ->
+            match s.task_id with
+            | None -> None
+            | Some id ->
+                Some
+                  {
+                    Gantt.t0 = s.t0;
+                    t1 = s.t1;
+                    row = Printf.sprintf "P%d" tl.proc_index;
+                    glyph = glyph_of_id id;
+                  })
+          tl.slices)
+      t.timelines
+  in
+  Gantt.render ~horizon:t.frame_length segments

@@ -1,0 +1,56 @@
+(** Concrete frame schedules and their validation.
+
+    The optimization layers reason about abstract "energy rates"; this
+    simulator turns a partition plus per-processor speed plans into a
+    concrete timeline — which task runs when, at which speed, on which
+    processor — and independently re-checks everything the optimizer
+    promised: all accepted tasks finish within the frame, all speeds are
+    feasible, and the energy adds up. Every algorithm's output in the test
+    suite round-trips through [build] + [validate]. *)
+
+type slice = {
+  task_id : int option;  (** [None] = idle/sleep tail *)
+  t0 : float;
+  t1 : float;
+  speed : float;
+}
+
+type proc_timeline = {
+  proc_index : int;
+  slices : slice list;  (** contiguous from 0, non-overlapping, sorted *)
+  proc_energy : float;
+}
+
+type t = {
+  frame_length : float;
+  proc : Rt_power.Processor.t;
+  partition : Rt_partition.Partition.t;  (** the assignment being realized *)
+  timelines : proc_timeline list;
+  total_energy : float;
+}
+
+val build :
+  proc:Rt_power.Processor.t -> frame_length:float -> Rt_partition.Partition.t ->
+  (t, string) result
+(** Lay out each processor's bucket sequentially (in bucket order) using the
+    optimal {!Rt_speed.Energy_rate} plan for the bucket's load: tasks run at
+    the plan's speeds fastest-first, each task's cycles split across plan
+    segments as needed, and the idle/sleep tail closes the frame. Errors if
+    some bucket's load exceeds [s_max] (no feasible plan) or if any item
+    has a non-unit [power_factor] (heterogeneous power lives in
+    {!Rt_partition.Hetero}, not here). *)
+
+val validate : ?eps:float -> t -> (unit, string) result
+(** Independent re-check of a built schedule: slices tile [\[0, frame\]]
+    without overlap; every task present in a slice completes exactly its
+    cycles (weight × frame) across its slices; speeds are feasible;
+    [total_energy] equals the energy integrated from the slices. *)
+
+val energy_of_slices : proc:Rt_power.Processor.t -> slice list -> float
+(** Integrate energy directly from a timeline (idle slices charged at the
+    dormancy-appropriate idle power: leakage when dormant-disable, zero
+    when dormant-enable). *)
+
+val gantt : t -> string
+(** ASCII Gantt chart, one row per processor; digits/letters identify
+    tasks, ['.'] idle. *)

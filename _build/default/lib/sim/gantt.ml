@@ -1,0 +1,43 @@
+type segment = { t0 : float; t1 : float; row : string; glyph : char }
+
+let render ?(width = 72) ~horizon segments =
+  if horizon <= 0. then invalid_arg "Gantt.render: horizon <= 0";
+  if width < 8 then invalid_arg "Gantt.render: width too small";
+  List.iter
+    (fun s ->
+      if s.t0 < -1e-9 || s.t1 > horizon *. (1. +. 1e-9) || s.t1 < s.t0 then
+        invalid_arg "Gantt.render: segment outside horizon")
+    segments;
+  let rows = ref [] in
+  List.iter
+    (fun s -> if not (List.mem_assoc s.row !rows) then
+        rows := (s.row, Bytes.make width '.') :: !rows)
+    segments;
+  let rows_in_order = List.rev !rows in
+  let col t =
+    let c = int_of_float (t /. horizon *. float_of_int width) in
+    max 0 (min (width - 1) c)
+  in
+  List.iter
+    (fun s ->
+      let line = List.assoc s.row rows_in_order in
+      if s.t1 > s.t0 then
+        for c = col s.t0 to col (s.t1 -. (1e-12 *. horizon)) do
+          Bytes.set line c s.glyph
+        done)
+    segments;
+  let label_width =
+    List.fold_left (fun acc (r, _) -> max acc (String.length r)) 0 rows_in_order
+  in
+  let pad r = r ^ String.make (label_width - String.length r) ' ' in
+  let body =
+    List.map
+      (fun (r, line) -> Printf.sprintf "%s |%s|" (pad r) (Bytes.to_string line))
+      rows_in_order
+  in
+  let scale =
+    Printf.sprintf "%s  0%s%g" (String.make label_width ' ')
+      (String.make (max 1 (width - 1)) ' ')
+      horizon
+  in
+  String.concat "\n" (body @ [ scale ])

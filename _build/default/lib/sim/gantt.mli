@@ -1,0 +1,15 @@
+(** ASCII Gantt rendering of schedules (for examples and debugging). *)
+
+type segment = {
+  t0 : float;
+  t1 : float;
+  row : string;  (** row label, e.g. a processor or task name *)
+  glyph : char;  (** character used to fill the segment *)
+}
+
+val render : ?width:int -> horizon:float -> segment list -> string
+(** Render segments onto a [width]-column timeline (default 72) spanning
+    [\[0, horizon\]]. Rows appear in first-occurrence order; overlapping
+    segments on a row are drawn last-writer-wins. A scale line with the
+    horizon is appended. @raise Invalid_argument on non-positive horizon or
+    width, or segments outside the horizon. *)

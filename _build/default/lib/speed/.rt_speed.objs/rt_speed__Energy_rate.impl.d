@@ -1,0 +1,1 @@
+lib/speed/energy_rate.ml: Array Float Format List Option Power_model Processor Result Rt_power Rt_prelude

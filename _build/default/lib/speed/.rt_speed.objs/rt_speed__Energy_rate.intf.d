@@ -1,0 +1,1 @@
+lib/speed/energy_rate.mli: Format Rt_power

@@ -1,0 +1,1 @@
+lib/speed/procrastinate.ml: Float Processor Rt_power

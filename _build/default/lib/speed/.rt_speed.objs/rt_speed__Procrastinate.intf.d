@@ -1,0 +1,1 @@
+lib/speed/procrastinate.mli: Rt_power

@@ -1,0 +1,1 @@
+lib/speed/sync_global.ml: Array Float List Power_model Result Rt_power

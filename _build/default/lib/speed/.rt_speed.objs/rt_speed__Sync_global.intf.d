@@ -1,0 +1,1 @@
+lib/speed/sync_global.mli: Rt_power

@@ -1,0 +1,198 @@
+open Rt_power
+
+type segment = { speed : float; fraction : float }
+type plan = { segments : segment list; rate : float }
+
+let factored_model ?(power_factor = 1.) (m : Power_model.t) =
+  if power_factor = 1. then m
+  else
+    Power_model.make ~p_ind:m.p_ind
+      ~linear:(m.linear *. power_factor)
+      ~coeff:(m.coeff *. power_factor)
+      ~alpha:m.alpha ()
+
+let idle_rate (proc : Processor.t) =
+  match proc.dormancy with
+  | Processor.Dormant_enable _ -> 0.
+  | Processor.Dormant_disable -> Processor.idle_power proc
+
+(* Lower convex hull (monotone chain) of points sorted by strictly
+   increasing x; the optimal mixing of "operating points" lies on it. *)
+let lower_hull points =
+  let cross (ox, oy) (ax, ay) (bx, by) =
+    ((ax -. ox) *. (by -. oy)) -. ((ay -. oy) *. (bx -. ox))
+  in
+  List.fold_left
+    (fun hull p ->
+      let rec pop = function
+        | a :: b :: rest when cross b a p <= 0. -> pop (b :: rest)
+        | hull -> p :: hull
+      in
+      pop hull)
+    [] points
+  |> List.rev
+
+(* Mix the two hull vertices around [u]; returns segments + rate. *)
+let mix_on_hull hull u =
+  let rec find = function
+    | [ (x, y) ] ->
+        if Rt_prelude.Float_cmp.approx_eq x u || u < x then Some ((x, y), (x, y))
+        else None
+    | (x1, y1) :: ((x2, _) :: _ as rest) ->
+        if u > x2 then find rest else Some ((x1, y1), List.hd rest)
+    | [] -> None
+  in
+  match find hull with
+  | None -> None
+  | Some ((x1, y1), (x2, y2)) ->
+      if Rt_prelude.Float_cmp.approx_eq x1 x2 then
+        Some ([ { speed = x2; fraction = 1. } ], y2)
+      else begin
+        let a = (u -. x1) /. (x2 -. x1) in
+        let a = Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. a in
+        let segments =
+          [
+            { speed = x2; fraction = a }; { speed = x1; fraction = 1. -. a };
+          ]
+          |> List.filter (fun s -> s.fraction > 0.)
+        in
+        (* make sure a pure-vertex mix still covers the whole horizon *)
+        let segments =
+          match segments with
+          | [ s ] -> [ { s with fraction = 1. } ]
+          | ss -> ss
+        in
+        Some (segments, y1 +. (a *. (y2 -. y1)))
+      end
+
+let optimal ?power_factor (proc : Processor.t) ~u =
+  if u < -1e-9 || not (Float.is_finite u) then
+    invalid_arg "Energy_rate.optimal: u must be finite and >= 0";
+  (* arithmetic on loads (repeated add/remove) can leave -1e-17 residues *)
+  let u = Float.max 0. u in
+  if Rt_prelude.Float_cmp.gt u (Processor.s_max proc) then None
+  else begin
+    let model = factored_model ?power_factor proc.model in
+    let power s = Power_model.power model s in
+    let dynamic s = Power_model.dynamic_power model s in
+    match proc.domain with
+    | Processor.Levels _ ->
+        let levels =
+          match proc.domain with
+          | Processor.Levels ls -> Array.to_list ls
+          | Processor.Ideal _ -> assert false
+        in
+        let points = (0., idle_rate proc) :: List.map (fun l -> (l, power l)) levels in
+        let hull = lower_hull points in
+        Option.map
+          (fun (segments, rate) -> { segments; rate })
+          (mix_on_hull hull u)
+    | Processor.Ideal { s_min; s_max } -> (
+        match proc.dormancy with
+        | Processor.Dormant_disable ->
+            if u = 0. && s_min = 0. then
+              Some
+                {
+                  segments = [ { speed = 0.; fraction = 1. } ];
+                  rate = Processor.idle_power proc;
+                }
+            else begin
+              let s_run = Float.max u s_min in
+              let s_run = Float.min s_run s_max in
+              if s_run <= 0. then
+                Some
+                  {
+                    segments = [ { speed = 0.; fraction = 1. } ];
+                    rate = Processor.idle_power proc;
+                  }
+              else begin
+                let busy = Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run) in
+                let rate = Processor.idle_power proc +. (busy *. dynamic s_run) in
+                let segments =
+                  if busy >= 1. then [ { speed = s_run; fraction = 1. } ]
+                  else if busy <= 0. then [ { speed = 0.; fraction = 1. } ]
+                  else
+                    [
+                      { speed = s_run; fraction = busy };
+                      { speed = 0.; fraction = 1. -. busy };
+                    ]
+                in
+                Some { segments; rate }
+              end
+            end
+        | Processor.Dormant_enable _ ->
+            if u = 0. then
+              Some { segments = [ { speed = 0.; fraction = 1. } ]; rate = 0. }
+            else begin
+              let s_crit = Power_model.critical_speed model ~s_max in
+              let s_run = Float.max (Float.max u s_min) s_crit in
+              let s_run = Float.min s_run s_max in
+              let busy = Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run) in
+              let rate = busy *. power s_run in
+              let segments =
+                if busy >= 1. then [ { speed = s_run; fraction = 1. } ]
+                else
+                  [
+                    { speed = s_run; fraction = busy };
+                    { speed = 0.; fraction = 1. -. busy };
+                  ]
+              in
+              Some { segments; rate }
+            end)
+  end
+
+let rate ?power_factor proc ~u =
+  Option.map (fun p -> p.rate) (optimal ?power_factor proc ~u)
+
+let energy ?power_factor proc ~u ~horizon =
+  if horizon < 0. then invalid_arg "Energy_rate.energy: negative horizon";
+  Option.map (fun r -> r *. horizon) (rate ?power_factor proc ~u)
+
+let plan_rate ?power_factor (proc : Processor.t) plan =
+  let model = factored_model ?power_factor proc.model in
+  List.fold_left
+    (fun acc { speed; fraction } ->
+      let p =
+        if speed = 0. then idle_rate proc else Power_model.power model speed
+      in
+      acc +. (fraction *. p))
+    0. plan.segments
+
+let plan_throughput plan =
+  List.fold_left
+    (fun acc { speed; fraction } -> acc +. (speed *. fraction))
+    0. plan.segments
+
+let validate ?eps (proc : Processor.t) ~u plan =
+  let ( let* ) = Result.bind in
+  let* () =
+    if
+      List.for_all
+        (fun s ->
+          s.fraction >= 0. && Rt_power.Processor.speed_feasible ?eps proc s.speed)
+        plan.segments
+    then Ok ()
+    else Error "infeasible speed or negative fraction"
+  in
+  let total_fraction =
+    List.fold_left (fun acc s -> acc +. s.fraction) 0. plan.segments
+  in
+  let* () =
+    if Rt_prelude.Float_cmp.approx_eq ?eps total_fraction 1. then Ok ()
+    else Error "fractions do not sum to 1"
+  in
+  let* () =
+    if Rt_prelude.Float_cmp.geq ?eps (plan_throughput plan) u then Ok ()
+    else Error "plan does not deliver the required speed"
+  in
+  if Rt_prelude.Float_cmp.approx_eq ?eps (plan_rate proc plan) plan.rate then
+    Ok ()
+  else Error "reported rate disagrees with segments"
+
+let pp_plan ppf plan =
+  let pp_seg ppf { speed; fraction } =
+    Format.fprintf ppf "%.4g@%.4g" speed fraction
+  in
+  Format.fprintf ppf "{rate=%.6g; [%a]}" plan.rate
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_seg)
+    plan.segments

@@ -1,0 +1,34 @@
+(** Break-even analysis for dormant transitions (Algorithm PROC's core).
+
+    A dormant-enable processor facing an idle interval can either stay awake
+    (paying leakage [p_ind] for the whole interval) or sleep (paying the
+    transition energy [E_sw], feasible only when the interval is at least
+    [t_sw] long). The break-even interval length is
+    [max(t_sw, E_sw / p_ind)]; procrastination scheduling (Jejurikar et
+    al.) defers work to {e coalesce} short idle gaps into intervals longer
+    than the break-even so that sleeping wins more often. We model the
+    effect of PROC by contrasting fragmented idle (one gap per frame/job
+    window) against coalesced idle (one gap per hyper-period), which is
+    what experiment E8 sweeps. *)
+
+val break_even_time : Rt_power.Processor.t -> float
+(** Interval length above which sleeping beats staying awake. [infinity]
+    for dormant-disable processors and whenever [p_ind = 0] (sleeping can
+    then never save energy but still costs [E_sw]). *)
+
+val idle_energy : Rt_power.Processor.t -> interval:float -> float
+(** Minimum energy spent over one idle interval of the given length:
+    [min(p_ind·interval, E_sw)] when sleeping is feasible
+    ([interval >= t_sw]), [p_ind·interval] otherwise.
+    @raise Invalid_argument on negative interval. *)
+
+val should_sleep : Rt_power.Processor.t -> interval:float -> bool
+(** [true] iff sleeping is feasible and strictly cheaper. *)
+
+val idle_energy_fragmented :
+  Rt_power.Processor.t -> total_idle:float -> gaps:int -> float
+(** Idle energy when the processor's total idle time is split into [gaps]
+    equal intervals — the no-procrastination model ([gaps] = number of
+    frames in the hyper-period). [gaps = 1] is the fully coalesced
+    (procrastinated) case. [total_idle = 0] costs nothing regardless.
+    @raise Invalid_argument if [gaps < 1] or [total_idle < 0]. *)

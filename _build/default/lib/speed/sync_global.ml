@@ -1,0 +1,73 @@
+open Rt_power
+
+type interval = { duration : float; speed : float; active : int }
+
+type schedule = {
+  intervals : interval list;
+  energy : float;
+  peak_speed : float;
+}
+
+let check_model (m : Power_model.t) =
+  if m.p_ind <> 0. then Error "Sync_global: model must have p_ind = 0"
+  else if m.linear <> 0. then Error "Sync_global: model must have linear = 0"
+  else Ok ()
+
+let check_inputs ~window ~workloads =
+  if window <= 0. then Error "Sync_global: window <= 0"
+  else if Array.exists (fun w -> w < 0. || not (Float.is_finite w)) workloads
+  then Error "Sync_global: workloads must be finite and >= 0"
+  else if Array.length workloads = 0 then Error "Sync_global: no processors"
+  else Ok ()
+
+let solve (m : Power_model.t) ~window ~workloads =
+  let ( let* ) = Result.bind in
+  let* () = check_model m in
+  let* () = check_inputs ~window ~workloads in
+  let sorted = Array.copy workloads in
+  Array.sort Float.compare sorted;
+  let mm = Array.length sorted in
+  (* deltas.(j) = w_(j+1) - w_j with w_0 = 0; weights k_j from the KKT
+     stationarity condition t_j ∝ delta_j * (M - j)^(1/alpha) (0-indexed) *)
+  let deltas =
+    Array.init mm (fun j -> sorted.(j) -. (if j = 0 then 0. else sorted.(j - 1)))
+  in
+  let k =
+    Array.mapi
+      (fun j d -> d *. (float_of_int (mm - j) ** (1. /. m.alpha)))
+      deltas
+  in
+  let k_total = Array.fold_left ( +. ) 0. k in
+  if k_total = 0. then
+    Ok { intervals = []; energy = 0.; peak_speed = 0. }
+  else begin
+    let intervals = ref [] in
+    let energy = ref 0. in
+    let peak = ref 0. in
+    Array.iteri
+      (fun j d ->
+        if d > 0. then begin
+          let duration = window *. k.(j) /. k_total in
+          let speed = d /. duration in
+          let active = mm - j in
+          peak := Float.max !peak speed;
+          energy :=
+            !energy
+            +. (float_of_int active *. Power_model.dynamic_power m speed
+                *. duration);
+          intervals := { duration; speed; active } :: !intervals
+        end)
+      deltas;
+    Ok { intervals = List.rev !intervals; energy = !energy; peak_speed = !peak }
+  end
+
+let energy_independent (m : Power_model.t) ~window ~workloads =
+  (match check_model m with Ok () -> () | Error e -> invalid_arg e);
+  (match check_inputs ~window ~workloads with
+  | Ok () -> ()
+  | Error e -> invalid_arg e);
+  Array.fold_left
+    (fun acc w ->
+      if w = 0. then acc
+      else acc +. (Power_model.dynamic_power m (w /. window) *. window))
+    0. workloads

@@ -1,0 +1,44 @@
+(** Synchronized-speed assignment (companion Eq. (2)).
+
+    Some chip multiprocessors force all cores to share one voltage rail: at
+    any instant every core either executes at the {e common} speed or is
+    dormant. Given per-processor workloads [w_1 <= … <= w_M] (cycles) to
+    finish within a window [D], the minimum-energy profile splits the window
+    into [M] intervals of lengths [t_1 … t_M]; during interval [j] the
+    common speed is [(w_j - w_(j-1)) / t_j] and the [M - j + 1] processors
+    with the largest workloads are active (processor [i] goes dormant after
+    interval [i]):
+
+    {v minimize   Σ_j (M - j + 1) · P_d((w_j - w_(j-1))/t_j) · t_j
+   subject to Σ_j t_j = D v}
+
+    For [P_d(s) = coeff·s^alpha] the Lagrange/KKT conditions give the closed
+    form [t_j ∝ (w_j - w_(j-1)) · (M - j + 1)^(1/alpha)], implemented here.
+    Speed-independent power is outside this model (processors are
+    dormant-enable and sleep when inactive), so the model must have
+    [p_ind = 0] and [linear = 0]. *)
+
+type interval = {
+  duration : float;
+  speed : float;
+  active : int;  (** number of processors running during this interval *)
+}
+
+type schedule = {
+  intervals : interval list;  (** in execution order; zero-length dropped *)
+  energy : float;  (** Σ active · P_d(speed) · duration *)
+  peak_speed : float;  (** highest common speed used (0 if no work) *)
+}
+
+val solve :
+  Rt_power.Power_model.t -> window:float -> workloads:float array ->
+  (schedule, string) result
+(** [workloads] is one entry per processor (any order; zeros allowed).
+    Errors on [window <= 0], negative workloads, or a model with leakage or
+    linear terms. *)
+
+val energy_independent :
+  Rt_power.Power_model.t -> window:float -> workloads:float array -> float
+(** Energy when every processor picks its own uniform speed [w_i / D] —
+    the independent-rails lower reference the companion compares against.
+    @raise Invalid_argument on the same conditions as {!solve}. *)

@@ -1,0 +1,1 @@
+lib/task/gen.ml: Float List Rt_prelude Task

@@ -1,0 +1,1 @@
+lib/task/gen.mli: Rt_prelude Task

@@ -1,0 +1,1 @@
+lib/task/penalty.ml: Format List Rt_power Rt_prelude Task Taskset

@@ -1,0 +1,1 @@
+lib/task/penalty.mli: Format Rt_power Rt_prelude Task

@@ -1,0 +1,1 @@
+lib/task/taskset.ml: Format List Rt_prelude Task

@@ -1,0 +1,1 @@
+lib/task/taskset.mli: Format Task

@@ -1,0 +1,62 @@
+let frame_tasks rng ~n ~cycles_lo ~cycles_hi =
+  if n < 0 then invalid_arg "Gen.frame_tasks: n < 0";
+  if cycles_lo < 1 || cycles_hi < cycles_lo then
+    invalid_arg "Gen.frame_tasks: invalid cycle range";
+  List.map
+    (fun id ->
+      let cycles = Rt_prelude.Rng.int rng ~lo:cycles_lo ~hi:cycles_hi in
+      Task.frame ~id ~cycles ())
+    (Rt_prelude.Math_util.range 0 (n - 1))
+
+let frame_tasks_with_load rng ~n ~m ~s_max ~frame_length ~load =
+  if n < 1 then invalid_arg "Gen.frame_tasks_with_load: n < 1";
+  if m < 1 then invalid_arg "Gen.frame_tasks_with_load: m < 1";
+  if s_max <= 0. || frame_length <= 0. || load <= 0. then
+    invalid_arg "Gen.frame_tasks_with_load: non-positive parameter";
+  let raw =
+    List.map
+      (fun _ -> Rt_prelude.Rng.float rng ~lo:1. ~hi:5.)
+      (Rt_prelude.Math_util.range 1 n)
+  in
+  let raw_total = List.fold_left ( +. ) 0. raw in
+  let target = load *. float_of_int m *. s_max *. frame_length in
+  List.mapi
+    (fun id r ->
+      let cycles = max 1 (int_of_float (Float.round (r /. raw_total *. target))) in
+      Task.frame ~id ~cycles ())
+    raw
+
+let default_periods = [ 100; 200; 250; 400; 500; 1000 ]
+
+let periodic_tasks rng ~n ~total_util ~periods =
+  if n < 1 then invalid_arg "Gen.periodic_tasks: n < 1";
+  if total_util < 0. then invalid_arg "Gen.periodic_tasks: negative total_util";
+  if periods = [] || List.exists (fun p -> p <= 0) periods then
+    invalid_arg "Gen.periodic_tasks: periods must be positive and non-empty";
+  let utils = Rt_prelude.Rng.uunifast rng ~n ~total:total_util in
+  List.mapi
+    (fun id u ->
+      let period = Rt_prelude.Rng.choice rng periods in
+      let cycles = max 1 (int_of_float (Float.round (u *. float_of_int period))) in
+      Task.periodic ~id ~cycles ~period ())
+    utils
+
+let items rng ~n ~weight_lo ~weight_hi =
+  if n < 0 then invalid_arg "Gen.items: n < 0";
+  if weight_lo <= 0. || weight_hi < weight_lo then
+    invalid_arg "Gen.items: invalid weight range";
+  List.map
+    (fun id ->
+      let weight = Rt_prelude.Rng.float rng ~lo:weight_lo ~hi:weight_hi in
+      Task.item ~id ~weight ())
+    (Rt_prelude.Math_util.range 0 (n - 1))
+
+let heterogeneous_power_factors rng ~lo ~hi its =
+  if lo <= 0. || hi < lo then
+    invalid_arg "Gen.heterogeneous_power_factors: invalid range";
+  List.map
+    (fun (it : Task.item) ->
+      Task.item ~penalty:it.item_penalty
+        ~power_factor:(Rt_prelude.Rng.float rng ~lo ~hi)
+        ~id:it.item_id ~weight:it.weight ())
+    its

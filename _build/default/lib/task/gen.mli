@@ -1,0 +1,47 @@
+(** Synthetic workload generators.
+
+    All generators thread an explicit {!Rt_prelude.Rng.t} so every
+    experiment row can be reproduced from its seed. *)
+
+val frame_tasks :
+  Rt_prelude.Rng.t -> n:int -> cycles_lo:int -> cycles_hi:int ->
+  Task.frame list
+(** [n] frame tasks with ids [0 … n-1] and cycles uniform in
+    [\[cycles_lo, cycles_hi\]]. Penalties are 0 (attach them with
+    {!Penalty.assign} on the item view).
+    @raise Invalid_argument on [n < 0] or an invalid cycle range. *)
+
+val frame_tasks_with_load :
+  Rt_prelude.Rng.t -> n:int -> m:int -> s_max:float -> frame_length:float ->
+  load:float -> Task.frame list
+(** [n] frame tasks whose total cycles is approximately
+    [load * m * s_max * frame_length]: relative sizes are drawn uniformly in
+    [\[1, 5\]] and then scaled (rounded to at least one cycle each). [load]
+    is the normalized system load of experiment E3: at [load <= 1.0] accepting
+    everything is (capacity-wise) possible, above it rejection is forced.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val periodic_tasks :
+  Rt_prelude.Rng.t -> n:int -> total_util:float -> periods:int list ->
+  Task.periodic list
+(** [n] periodic tasks with utilizations drawn by UUniFast summing to
+    [total_util] and periods chosen uniformly from [periods] (keep that list
+    harmonic-ish to bound the hyper-period). Cycles are
+    [max 1 (round (u * period))], so the realized total utilization differs
+    from [total_util] by rounding only.
+    @raise Invalid_argument on [n < 1], negative [total_util], empty or
+    non-positive [periods]. *)
+
+val default_periods : int list
+(** [\[100; 200; 250; 400; 500; 1000\]] — divisors of 2000, keeping
+    hyper-periods at most 2000 ticks. *)
+
+val items :
+  Rt_prelude.Rng.t -> n:int -> weight_lo:float -> weight_hi:float ->
+  Task.item list
+(** Abstract items with uniform weights; for algorithm-level tests. *)
+
+val heterogeneous_power_factors :
+  Rt_prelude.Rng.t -> lo:float -> hi:float -> Task.item list -> Task.item list
+(** Redraw each item's [power_factor] uniformly in [\[lo, hi\]] (the
+    different-power-characteristics setting of the LEET/LEUF substrate). *)

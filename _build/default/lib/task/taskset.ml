@@ -1,0 +1,54 @@
+let total_cycles ts =
+  List.fold_left (fun acc (t : Task.frame) -> acc + t.cycles) 0 ts
+
+let total_utilization ts =
+  List.fold_left (fun acc t -> acc +. Task.utilization t) 0. ts
+
+let total_weight items =
+  List.fold_left (fun acc (i : Task.item) -> acc +. i.weight) 0. items
+
+let total_penalty_frame ts =
+  List.fold_left (fun acc (t : Task.frame) -> acc +. t.penalty) 0. ts
+
+let total_penalty_items items =
+  List.fold_left (fun acc (i : Task.item) -> acc +. i.item_penalty) 0. items
+
+let hyper_period = function
+  | [] -> invalid_arg "Taskset.hyper_period: empty task set"
+  | ts -> Rt_prelude.Math_util.lcm_list (List.map (fun (t : Task.periodic) -> t.period) ts)
+
+let check_ids ids =
+  if Task.distinct_ids ids then Ok () else Error "duplicate task ids"
+
+let well_formed_frame ts =
+  check_ids (List.map (fun (t : Task.frame) -> t.id) ts)
+
+let well_formed_periodic ts =
+  check_ids (List.map (fun (t : Task.periodic) -> t.id) ts)
+
+let frame_by_id ts id = List.find_opt (fun (t : Task.frame) -> t.id = id) ts
+
+let periodic_by_id ts id =
+  List.find_opt (fun (t : Task.periodic) -> t.id = id) ts
+
+let item_by_id items id =
+  List.find_opt (fun (i : Task.item) -> i.item_id = id) items
+
+let items_of_frames ~frame_length ts =
+  List.map (Task.item_of_frame ~frame_length) ts
+
+let items_of_periodics ts = List.map Task.item_of_periodic ts
+
+let load_factor ~m ~s_max items =
+  if m <= 0 then invalid_arg "Taskset.load_factor: m <= 0";
+  if s_max <= 0. then invalid_arg "Taskset.load_factor: s_max <= 0";
+  total_weight items /. (float_of_int m *. s_max)
+
+let pp_list pp_elt ppf ts =
+  Format.fprintf ppf "[@[<hov>%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_elt)
+    ts
+
+let pp_frames ppf ts = pp_list Task.pp_frame ppf ts
+let pp_periodics ppf ts = pp_list Task.pp_periodic ppf ts
+let pp_items ppf ts = pp_list Task.pp_item ppf ts

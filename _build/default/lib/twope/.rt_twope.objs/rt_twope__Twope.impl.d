@@ -1,0 +1,1 @@
+lib/twope/twope.ml: Array Float List Result Rt_exact Rt_power Rt_prelude Rt_speed

@@ -1,0 +1,1 @@
+lib/twope/twope.mli: Rt_power Rt_prelude

@@ -1,0 +1,271 @@
+type task = { id : int; dvs_weight : float; alt_permille : int }
+
+let task ~id ~dvs_weight ~alt_permille =
+  if dvs_weight <= 0. || not (Float.is_finite dvs_weight) then
+    invalid_arg "Twope.task: dvs_weight must be finite and > 0";
+  if alt_permille < 1 || alt_permille > 1000 then
+    invalid_arg "Twope.task: alt_permille out of [1, 1000]";
+  { id; dvs_weight; alt_permille }
+
+type pe_kind = Workload_independent | Workload_dependent
+
+type system = {
+  dvs : Rt_power.Processor.t;
+  alt_power : float;
+  alt_kind : pe_kind;
+  horizon : float;
+}
+
+let system ~dvs ~alt_power ~alt_kind ~horizon =
+  if alt_power < 0. || not (Float.is_finite alt_power) then
+    Error "Twope.system: alt_power must be finite and >= 0"
+  else if horizon <= 0. || not (Float.is_finite horizon) then
+    Error "Twope.system: horizon must be finite and > 0"
+  else Ok { dvs; alt_power; alt_kind; horizon }
+
+type assignment = { kept : task list; offloaded : task list }
+
+let kept_weight a = List.fold_left (fun s t -> s +. t.dvs_weight) 0. a.kept
+
+let offload_permille a =
+  List.fold_left (fun s t -> s + t.alt_permille) 0 a.offloaded
+
+let alt_energy sys a =
+  match sys.alt_kind with
+  | Workload_independent -> sys.alt_power *. sys.horizon
+  | Workload_dependent ->
+      sys.alt_power *. sys.horizon
+      *. (float_of_int (offload_permille a) /. 1000.)
+
+let cost sys a =
+  if offload_permille a > 1000 then
+    Error "Twope.cost: non-DVS PE over capacity"
+  else
+    match
+      Rt_speed.Energy_rate.energy sys.dvs ~u:(kept_weight a)
+        ~horizon:sys.horizon
+    with
+    | None -> Error "Twope.cost: DVS PE cannot sustain the kept utilization"
+    | Some e -> Ok (e +. alt_energy sys a)
+
+let ids_sorted tasks = List.sort compare (List.map (fun t -> t.id) tasks)
+
+let validate sys tasks a =
+  match cost sys a with
+  | Error _ as e -> Result.map ignore e
+  | Ok _ ->
+      if ids_sorted (a.kept @ a.offloaded) = ids_sorted tasks then Ok ()
+      else Error "Twope.validate: assignment is not a partition of the tasks"
+
+let cost_or_inf sys a =
+  match cost sys a with Ok c -> c | Error _ -> Float.infinity
+
+(* density for offloading decisions: how much non-DVS capacity a unit of
+   DVS relief costs *)
+let offload_density t = float_of_int t.alt_permille /. t.dvs_weight
+
+let greedy _sys tasks =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Float.compare (offload_density a) (offload_density b) in
+        if c <> 0 then c else compare a.id b.id)
+      tasks
+  in
+  List.fold_left
+    (fun acc t ->
+      if offload_permille acc + t.alt_permille <= 1000 then
+        { acc with offloaded = t :: acc.offloaded }
+      else { acc with kept = t :: acc.kept })
+    { kept = []; offloaded = [] }
+    sorted
+
+(* keep-density: how much DVS load a task inflicts per unit of the offload
+   quota it would release *)
+let keep_density t = t.dvs_weight /. float_of_int t.alt_permille
+
+let e_greedy sys tasks =
+  let total = List.fold_left (fun s t -> s + t.alt_permille) 0 tasks in
+  let u_star = total - 1000 in
+  if u_star <= 0 then { kept = []; offloaded = tasks }
+  else begin
+    (* candidate = cheapest-density prefix covering U*, then iterate with
+       evictions (the classical min-knapsack 2-approximation scheme) *)
+    let sorted =
+      List.sort
+        (fun a b ->
+          let c = Float.compare (keep_density a) (keep_density b) in
+          if c <> 0 then c else compare a.id b.id)
+        tasks
+    in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let present = Array.make n true in
+    let prefix_cover () =
+      (* smallest k' with the present prefix covering U*; None if the
+         remaining tasks cannot cover it *)
+      let rec go i acc_u ks =
+        if acc_u >= u_star then Some (List.rev ks)
+        else if i = n then None
+        else if present.(i) then
+          go (i + 1) (acc_u + arr.(i).alt_permille) (i :: ks)
+        else go (i + 1) acc_u ks
+      in
+      go 0 0 []
+    in
+    let weight_of ks =
+      List.fold_left (fun s k -> s +. arr.(k).dvs_weight) 0. ks
+    in
+    let rec loop best =
+      match prefix_cover () with
+      | None -> best
+      | Some ks ->
+          let best =
+            match best with
+            | Some (_, w) when w <= weight_of ks -> best
+            | _ -> Some (ks, weight_of ks)
+          in
+          (* evict the last (largest-index) element of the cover *)
+          (match List.rev ks with
+          | last :: _ -> present.(last) <- false
+          | [] -> present.(0) <- false);
+          loop best
+    in
+    match loop None with
+    | None -> { kept = tasks; offloaded = [] } (* cannot meet the quota *)
+    | Some (ks, _) ->
+        let kept_idx = List.sort_uniq compare ks in
+        let kept = List.map (fun k -> arr.(k)) kept_idx in
+        let kept_ids = List.map (fun t -> t.id) kept in
+        let offloaded =
+          List.filter (fun t -> not (List.mem t.id kept_ids)) tasks
+        in
+        ignore sys;
+        { kept; offloaded }
+  end
+
+let dp _sys tasks =
+  (* 0/1 knapsack over the 1000-permille capacity: maximize offloaded DVS
+     weight; exact for the workload-independent flavour *)
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let cap = 1000 in
+  let value = Array.make (cap + 1) 0. in
+  let keep = Array.make_matrix n (cap + 1) false in
+  for i = 0 to n - 1 do
+    let w = arr.(i).alt_permille and v = arr.(i).dvs_weight in
+    for c = cap downto w do
+      if value.(c - w) +. v > value.(c) then begin
+        value.(c) <- value.(c - w) +. v;
+        keep.(i).(c) <- true
+      end
+    done
+  done;
+  let best_c = ref 0 in
+  for c = 0 to cap do
+    if value.(c) > value.(!best_c) then best_c := c
+  done;
+  let offloaded = ref [] and kept = ref [] in
+  let c = ref !best_c in
+  for i = n - 1 downto 0 do
+    if keep.(i).(!c) then begin
+      offloaded := arr.(i) :: !offloaded;
+      c := !c - arr.(i).alt_permille
+    end
+    else kept := arr.(i) :: !kept
+  done;
+  { kept = !kept; offloaded = !offloaded }
+
+let s_greedy sys tasks =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Float.compare (keep_density b) (keep_density a) in
+        if c <> 0 then c else compare a.id b.id)
+      tasks
+  in
+  (* pass 1: move a task to the non-DVS PE only when total energy drops *)
+  let move_if_cheaper acc t =
+    if offload_permille acc + t.alt_permille > 1000 then acc
+    else begin
+      let moved =
+        {
+          kept = List.filter (fun x -> x.id <> t.id) acc.kept;
+          offloaded = t :: acc.offloaded;
+        }
+      in
+      if cost_or_inf sys moved < cost_or_inf sys acc then moved else acc
+    end
+  in
+  let all_kept = { kept = tasks; offloaded = [] } in
+  let pass1 = List.fold_left move_if_cheaper all_kept sorted in
+  (* pass 2: the best assignment with at most one task offloaded *)
+  let single =
+    List.fold_left
+      (fun best t ->
+        let candidate =
+          {
+            kept = List.filter (fun x -> x.id <> t.id) tasks;
+            offloaded = [ t ];
+          }
+        in
+        if cost_or_inf sys candidate < cost_or_inf sys best then candidate
+        else best)
+      all_kept tasks
+  in
+  if cost_or_inf sys pass1 <= cost_or_inf sys single then pass1 else single
+
+let exhaustive sys tasks =
+  let best = ref { kept = tasks; offloaded = [] } in
+  let best_cost = ref (cost_or_inf sys !best) in
+  Rt_exact.Subsets.iter tasks (fun (offloaded, kept) ->
+      let a = { kept; offloaded } in
+      let c = cost_or_inf sys a in
+      if c < !best_cost then begin
+        best := a;
+        best_cost := c
+      end);
+  !best
+
+let named =
+  [
+    ("greedy", greedy);
+    ("e-greedy", e_greedy);
+    ("dp", dp);
+    ("s-greedy", s_greedy);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Workload generators *)
+
+let scale_to_permille ~total_alt raws =
+  let raw_total = List.fold_left ( +. ) 0. raws in
+  List.map
+    (fun r ->
+      let share = r /. raw_total *. total_alt *. 1000. in
+      max 1 (min 1000 (int_of_float (Float.round share))))
+    raws
+
+let gen_with rng ~n ~total_alt ~alt_of =
+  if n < 1 then invalid_arg "Twope.gen: n < 1";
+  if total_alt <= 0. then invalid_arg "Twope.gen: total_alt <= 0";
+  let weights =
+    List.map
+      (fun _ -> Rt_prelude.Rng.float rng ~lo:0.05 ~hi:0.35)
+      (Rt_prelude.Math_util.range 1 n)
+  in
+  let raws =
+    List.map
+      (fun w -> alt_of w *. Rt_prelude.Rng.float rng ~lo:0.8 ~hi:1.2)
+      weights
+  in
+  let alts = scale_to_permille ~total_alt raws in
+  List.mapi
+    (fun id (w, a) -> task ~id ~dvs_weight:w ~alt_permille:a)
+    (List.combine weights alts)
+
+let gen_proportional rng ~n ~total_alt =
+  gen_with rng ~n ~total_alt ~alt_of:(fun w -> w)
+
+let gen_inverse rng ~n ~total_alt =
+  gen_with rng ~n ~total_alt ~alt_of:(fun w -> 0.05 /. w)

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Array Float List QCheck2 QCheck_alcotest Result Rounding Rs_leuf Rt_alloc Rt_power Rt_prelude Rt_task

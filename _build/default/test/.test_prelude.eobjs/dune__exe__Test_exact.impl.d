@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Float Fun List QCheck2 QCheck_alcotest Rt_exact Rt_partition Rt_task Task Taskset

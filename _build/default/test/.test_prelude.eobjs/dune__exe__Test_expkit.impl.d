@@ -1,0 +1,1 @@
+test/test_expkit.ml: Alcotest Array Float Gen List QCheck2 QCheck_alcotest Rt_core Rt_expkit Rt_partition Rt_power Rt_prelude Rt_task String Task Taskset

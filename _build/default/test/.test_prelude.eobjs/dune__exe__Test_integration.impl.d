@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Gen List Penalty QCheck2 QCheck_alcotest Rt_core Rt_exact Rt_expkit Rt_partition Rt_power Rt_prelude Rt_sim Rt_speed Rt_task Task Taskset

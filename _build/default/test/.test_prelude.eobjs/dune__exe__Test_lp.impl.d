@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List QCheck2 QCheck_alcotest Result Rt_lp Rt_prelude Simplex

@@ -1,0 +1,1 @@
+test/test_online.ml: Admission Alcotest Float Job List QCheck2 QCheck_alcotest Result Rt_online Rt_power Rt_prelude Yds

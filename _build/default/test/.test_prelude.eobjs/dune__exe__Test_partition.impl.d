@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Float Gen Hetero Heuristics List Migration Partition QCheck2 QCheck_alcotest Result Rt_partition Rt_power Rt_prelude Rt_speed Rt_task Task

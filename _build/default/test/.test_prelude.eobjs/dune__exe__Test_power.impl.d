@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Float List Power_model Processor QCheck2 QCheck_alcotest Rt_power Rt_prelude

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Float Float_cmp List Math_util QCheck2 QCheck_alcotest Rng Rt_prelude Stats String Tablefmt

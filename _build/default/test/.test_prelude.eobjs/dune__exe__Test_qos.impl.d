@@ -1,0 +1,1 @@
+test/test_qos.ml: Alcotest Gen List Penalty Problem QCheck2 QCheck_alcotest Qos Result Rt_core Rt_partition Rt_power Rt_prelude Rt_task Task

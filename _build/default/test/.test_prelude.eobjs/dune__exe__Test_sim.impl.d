@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Gen List Power_model Processor QCheck2 QCheck_alcotest Result Rt_partition Rt_power Rt_prelude Rt_sim Rt_speed Rt_task String Task Taskset

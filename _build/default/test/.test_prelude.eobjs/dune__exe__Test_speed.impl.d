@@ -1,0 +1,1 @@
+test/test_speed.ml: Alcotest Array Energy_rate Float List Power_model Processor Procrastinate QCheck2 QCheck_alcotest Result Rt_power Rt_prelude Rt_speed Sync_global

@@ -1,0 +1,1 @@
+test/test_task.ml: Alcotest Float Gen List Penalty QCheck2 QCheck_alcotest Rt_power Rt_prelude Rt_task Task Taskset

@@ -1,0 +1,1 @@
+test/test_twope.ml: Alcotest Float List QCheck2 QCheck_alcotest Result Rt_power Rt_prelude Rt_twope Twope

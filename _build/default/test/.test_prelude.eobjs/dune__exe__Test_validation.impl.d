@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest List Rt_core Rt_partition Rt_power Rt_sim Rt_speed Rt_task Rt_twope Task

@@ -1,0 +1,194 @@
+(* Tests for the simplex LP solver: textbook cases, degenerate cases, and
+   randomized cross-checks against brute-force feasible sampling. *)
+
+open Rt_lp
+
+let check_float eps = Alcotest.(check (float eps))
+let check_bool = Alcotest.(check bool)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let solve_exn p =
+  match Simplex.solve p with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "simplex error: %s" e
+
+let optimal_exn p =
+  match solve_exn p with
+  | Simplex.Optimal { value; solution } -> (value, solution)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* ------------------------------------------------------------------ *)
+
+let test_textbook_le () =
+  (* max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18  => (2, 6), 36 *)
+  let p =
+    {
+      Simplex.minimize = [| -3.; -5. |];
+      constraints =
+        [
+          ([| 1.; 0. |], Simplex.Le, 4.);
+          ([| 0.; 2. |], Simplex.Le, 12.);
+          ([| 3.; 2. |], Simplex.Le, 18.);
+        ];
+    }
+  in
+  let v, x = optimal_exn p in
+  check_float 1e-7 "value" (-36.) v;
+  check_float 1e-7 "x" 2. x.(0);
+  check_float 1e-7 "y" 6. x.(1)
+
+let test_equality_and_ge () =
+  (* min x + 2y s.t. x + y = 10; x >= 3 => (10, 0)?  y >= 0, x+y=10, x>=3:
+     minimize x + 2y = x + 2(10 - x) = 20 - x, maximize x => x = 10, y = 0,
+     value 10 *)
+  let p =
+    {
+      Simplex.minimize = [| 1.; 2. |];
+      constraints =
+        [
+          ([| 1.; 1. |], Simplex.Eq, 10.);
+          ([| 1.; 0. |], Simplex.Ge, 3.);
+        ];
+    }
+  in
+  let v, x = optimal_exn p in
+  check_float 1e-7 "value" 10. v;
+  check_float 1e-7 "x" 10. x.(0);
+  check_float 1e-7 "y" 0. x.(1)
+
+let test_infeasible () =
+  let p =
+    {
+      Simplex.minimize = [| 1. |];
+      constraints =
+        [ ([| 1. |], Simplex.Le, 1.); ([| 1. |], Simplex.Ge, 2.) ];
+    }
+  in
+  check_bool "infeasible" true (solve_exn p = Simplex.Infeasible)
+
+let test_unbounded () =
+  let p =
+    { Simplex.minimize = [| -1. |]; constraints = [ ([| 1. |], Simplex.Ge, 1.) ] }
+  in
+  check_bool "unbounded" true (solve_exn p = Simplex.Unbounded)
+
+let test_negative_rhs_normalization () =
+  (* -x <= -2  <=>  x >= 2 *)
+  let p =
+    {
+      Simplex.minimize = [| 1. |];
+      constraints = [ ([| -1. |], Simplex.Le, -2.) ];
+    }
+  in
+  let v, _ = optimal_exn p in
+  check_float 1e-7 "value" 2. v
+
+let test_degenerate () =
+  (* degenerate vertex: multiple constraints meet at the optimum *)
+  let p =
+    {
+      Simplex.minimize = [| -1.; -1. |];
+      constraints =
+        [
+          ([| 1.; 0. |], Simplex.Le, 1.);
+          ([| 0.; 1. |], Simplex.Le, 1.);
+          ([| 1.; 1. |], Simplex.Le, 2.);
+        ];
+    }
+  in
+  let v, _ = optimal_exn p in
+  check_float 1e-7 "value" (-2.) v
+
+let test_redundant_equalities () =
+  (* duplicated equality rows exercise the redundant-artificial path *)
+  let p =
+    {
+      Simplex.minimize = [| 1.; 1. |];
+      constraints =
+        [
+          ([| 1.; 1. |], Simplex.Eq, 4.);
+          ([| 2.; 2. |], Simplex.Eq, 8.);
+        ];
+    }
+  in
+  let v, x = optimal_exn p in
+  check_float 1e-7 "value" 4. v;
+  check_bool "solution feasible" true (Simplex.feasible p x)
+
+let test_malformed () =
+  check_bool "ragged" true
+    (Result.is_error
+       (Simplex.solve
+          {
+            Simplex.minimize = [| 1.; 2. |];
+            constraints = [ ([| 1. |], Simplex.Le, 1.) ];
+          }));
+  check_bool "empty objective" true
+    (Result.is_error (Simplex.solve { Simplex.minimize = [||]; constraints = [] }));
+  check_bool "nan" true
+    (Result.is_error
+       (Simplex.solve
+          { Simplex.minimize = [| Float.nan |]; constraints = [] }))
+
+(* randomized: on random bounded-feasible LPs the simplex optimum must be
+   feasible and no sampled feasible point may beat it *)
+let prop_optimum_dominates_samples =
+  qtest ~count:120 "optimum is feasible and dominates sampled feasible points"
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Rt_prelude.Rng.create ~seed in
+      let n = Rt_prelude.Rng.int rng ~lo:1 ~hi:4 in
+      let m = Rt_prelude.Rng.int rng ~lo:1 ~hi:4 in
+      let minimize =
+        Array.init n (fun _ -> Rt_prelude.Rng.float rng ~lo:(-2.) ~hi:3.)
+      in
+      (* box constraint keeps everything bounded; random Le rows with
+         non-negative coefficients keep 0 feasible *)
+      let box = (Array.make n 1., Simplex.Le, float_of_int n) in
+      let random_rows =
+        List.init m (fun _ ->
+            ( Array.init n (fun _ -> Rt_prelude.Rng.float rng ~lo:0. ~hi:2.),
+              Simplex.Le,
+              Rt_prelude.Rng.float rng ~lo:0.5 ~hi:4. ))
+      in
+      let p = { Simplex.minimize; constraints = box :: random_rows } in
+      match Simplex.solve p with
+      | Error _ -> false
+      | Ok Simplex.Infeasible | Ok Simplex.Unbounded ->
+          false (* 0 is feasible and the box bounds everything *)
+      | Ok (Simplex.Optimal { value; solution }) ->
+          Simplex.feasible p solution
+          && Float.abs (Simplex.value p solution -. value) < 1e-6
+          &&
+          (* random feasible samples cannot beat the optimum *)
+          let ok = ref true in
+          for _ = 1 to 50 do
+            let x =
+              Array.init n (fun _ -> Rt_prelude.Rng.float rng ~lo:0. ~hi:1.5)
+            in
+            if Simplex.feasible ~eps:0. p x then
+              if Simplex.value p x < value -. 1e-6 then ok := false
+          done;
+          !ok)
+
+let () =
+  Alcotest.run "rt_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "textbook (Le)" `Quick test_textbook_le;
+          Alcotest.test_case "equality + Ge" `Quick test_equality_and_ge;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "negative rhs" `Quick
+            test_negative_rhs_normalization;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "redundant equalities" `Quick
+            test_redundant_equalities;
+          Alcotest.test_case "malformed input" `Quick test_malformed;
+          prop_optimum_dominates_samples;
+        ] );
+    ]

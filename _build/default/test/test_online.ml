@@ -1,0 +1,369 @@
+(* Tests for rt_online: job streams and the online admission controller. *)
+
+open Rt_online
+
+let check_float eps = Alcotest.(check (float eps))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let proc =
+  Rt_power.Processor.xscale
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let job ~id ~arrival ~cycles ~deadline ~penalty =
+  Job.make ~id ~arrival ~cycles ~deadline ~penalty
+
+let simulate_exn ~policy jobs =
+  match Admission.simulate ~proc ~policy jobs with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "simulate: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Job *)
+
+let test_job_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s should be rejected" name
+  in
+  expect_invalid "deadline before arrival" (fun () ->
+      job ~id:0 ~arrival:5. ~cycles:1. ~deadline:4. ~penalty:0.);
+  expect_invalid "zero cycles" (fun () ->
+      job ~id:0 ~arrival:0. ~cycles:0. ~deadline:1. ~penalty:0.);
+  expect_invalid "negative penalty" (fun () ->
+      job ~id:0 ~arrival:0. ~cycles:1. ~deadline:1. ~penalty:(-1.))
+
+let test_stream_properties () =
+  let rng = Rt_prelude.Rng.create ~seed:3 in
+  let jobs =
+    Job.stream rng ~n:100 ~rate:0.01 ~s_max:1. ~mean_cycles:30. ~slack_lo:2.
+      ~slack_hi:6. ~penalty_factor:1.5
+  in
+  check_int "count" 100 (List.length jobs);
+  let sorted = Job.by_arrival jobs in
+  check_bool "already time-ordered" true (sorted = jobs);
+  check_bool "deadlines leave schedulable laxity" true
+    (List.for_all
+       (fun (j : Job.t) -> Job.laxity_speed j <= 1. /. 2. +. 1e-9)
+       jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Admission: hand-built scenarios *)
+
+let test_single_job_runs_at_critical () =
+  (* one tiny job with a loose deadline: runs at the critical speed *)
+  let j = job ~id:0 ~arrival:0. ~cycles:10. ~deadline:1000. ~penalty:1e6 in
+  let o = simulate_exn ~policy:Admission.Admit_all [ j ] in
+  check_int "admitted" 1 (List.length o.Admission.admitted);
+  let s_crit = Rt_power.Processor.critical_speed proc in
+  let expected =
+    10. /. s_crit
+    *. Rt_power.Power_model.power proc.Rt_power.Processor.model s_crit
+  in
+  check_float 1e-6 "energy at critical speed" expected o.Admission.energy;
+  check_float 1e-6 "makespan" (10. /. s_crit) o.Admission.makespan
+
+let test_forced_rejection () =
+  (* two jobs that cannot both fit even at top speed *)
+  let j0 = job ~id:0 ~arrival:0. ~cycles:90. ~deadline:100. ~penalty:1. in
+  let j1 = job ~id:1 ~arrival:0. ~cycles:90. ~deadline:100. ~penalty:1. in
+  let o = simulate_exn ~policy:Admission.Admit_all [ j0; j1 ] in
+  check_int "one forced out" 1 o.Admission.forced_rejections;
+  check_int "one admitted" 1 (List.length o.Admission.admitted);
+  check_float 1e-9 "penalty paid" 1. o.Admission.penalty
+
+let test_profitable_declines_cheap_jobs () =
+  (* tight deadline -> runs near top speed; penalty below that energy *)
+  let j = job ~id:0 ~arrival:0. ~cycles:100. ~deadline:101. ~penalty:0.5 in
+  let o = simulate_exn ~policy:Admission.Profitable [ j ] in
+  check_int "declined" 1 (List.length o.Admission.rejected);
+  check_int "not forced" 0 o.Admission.forced_rejections;
+  (* the same job with a huge penalty is taken *)
+  let j2 = job ~id:0 ~arrival:0. ~cycles:100. ~deadline:101. ~penalty:1e6 in
+  let o2 = simulate_exn ~policy:Admission.Profitable [ j2 ] in
+  check_int "taken when worth it" 1 (List.length o2.Admission.admitted)
+
+let test_density_threshold () =
+  let j_cheap = job ~id:0 ~arrival:0. ~cycles:10. ~deadline:100. ~penalty:1. in
+  let j_dear = job ~id:1 ~arrival:0. ~cycles:10. ~deadline:100. ~penalty:50. in
+  let o =
+    simulate_exn ~policy:(Admission.Density_threshold 1.) [ j_cheap; j_dear ]
+  in
+  Alcotest.(check (list int)) "keeps the valuable job" [ 1 ] o.Admission.admitted;
+  Alcotest.(check (list int)) "drops the cheap one" [ 0 ] o.Admission.rejected
+
+let test_preemption_by_tighter_deadline () =
+  (* a long loose job is preempted by a later tight one; both meet their
+     deadlines thanks to the density speed-up *)
+  let j0 = job ~id:0 ~arrival:0. ~cycles:50. ~deadline:200. ~penalty:1e6 in
+  let j1 = job ~id:1 ~arrival:10. ~cycles:30. ~deadline:50. ~penalty:1e6 in
+  let o = simulate_exn ~policy:Admission.Admit_all [ j0; j1 ] in
+  check_int "both admitted" 2 (List.length o.Admission.admitted);
+  check_bool "work done before the last deadline" true
+    (o.Admission.makespan <= 200. +. 1e-6)
+
+let test_duplicate_ids_rejected () =
+  let j = job ~id:0 ~arrival:0. ~cycles:1. ~deadline:10. ~penalty:0. in
+  check_bool "duplicates" true
+    (Result.is_error (Admission.simulate ~proc ~policy:Admission.Admit_all [ j; j ]))
+
+let test_levels_unsupported () =
+  let lv = Rt_power.Processor.xscale_levels ~dormancy:Rt_power.Processor.Dormant_disable in
+  let j = job ~id:0 ~arrival:0. ~cycles:1. ~deadline:10. ~penalty:0. in
+  check_bool "discrete domain refused" true
+    (Result.is_error (Admission.simulate ~proc:lv ~policy:Admission.Admit_all [ j ]))
+
+(* ------------------------------------------------------------------ *)
+(* properties over random streams *)
+
+let random_stream seed =
+  let rng = Rt_prelude.Rng.create ~seed in
+  let rate = Rt_prelude.Rng.float rng ~lo:0.005 ~hi:0.05 in
+  Job.stream rng ~n:60 ~rate ~s_max:1. ~mean_cycles:25. ~slack_lo:1.5
+    ~slack_hi:8. ~penalty_factor:1.2
+
+let policies =
+  [
+    Admission.Admit_all;
+    Admission.Profitable;
+    Admission.Density_threshold 0.5;
+  ]
+
+let prop_simulation_sound =
+  qtest "every policy: no misses, jobs partitioned, cost adds up"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let jobs = random_stream seed in
+      List.for_all
+        (fun policy ->
+          match Admission.simulate ~proc ~policy jobs with
+          | Error _ -> false
+          | Ok o ->
+              List.length o.Admission.admitted
+              + List.length o.Admission.rejected
+              = List.length jobs
+              && Float.abs (o.Admission.total -. (o.Admission.energy +. o.Admission.penalty))
+                 < 1e-9)
+        policies)
+
+let prop_above_lower_bound =
+  qtest "every policy's cost is at least the per-job lower bound"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let jobs = random_stream seed in
+      let lb = Admission.lower_bound ~proc jobs in
+      List.for_all
+        (fun policy ->
+          match Admission.simulate ~proc ~policy jobs with
+          | Error _ -> false
+          | Ok o -> o.Admission.total >= lb -. 1e-6)
+        policies)
+
+let prop_admit_all_never_rejects_feasible =
+  qtest "Admit_all only rejects when the admission test fails"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let jobs = random_stream seed in
+      match Admission.simulate ~proc ~policy:Admission.Admit_all jobs with
+      | Error _ -> false
+      | Ok o -> List.length o.Admission.rejected = o.Admission.forced_rejections)
+
+(* ------------------------------------------------------------------ *)
+(* multiprocessor admission *)
+
+let prop_mp_m1_equals_uniprocessor =
+  qtest ~count:40 "simulate_mp with m=1 coincides with simulate"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let jobs = random_stream seed in
+      List.for_all
+        (fun policy ->
+          match
+            ( Admission.simulate ~proc ~policy jobs,
+              Admission.simulate_mp ~proc ~m:1 ~policy jobs )
+          with
+          | Ok a, Ok b ->
+              a.Admission.admitted = b.Admission.admitted
+              && Float.abs (a.Admission.total -. b.Admission.total) < 1e-9
+          | _ -> false)
+        policies)
+
+let prop_mp_more_processors_admit_more =
+  qtest ~count:40 "more processors never force more rejections (admit-all)"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Rt_prelude.Rng.create ~seed in
+      (* heavy stream so forced rejections actually occur at m=1 *)
+      let jobs =
+        Job.stream rng ~n:60 ~rate:0.08 ~s_max:1. ~mean_cycles:25.
+          ~slack_lo:1.2 ~slack_hi:4. ~penalty_factor:1.
+      in
+      let forced m =
+        match Admission.simulate_mp ~proc ~m ~policy:Admission.Admit_all jobs with
+        | Ok o -> Some o.Admission.forced_rejections
+        | Error _ -> None
+      in
+      match (forced 1, forced 2, forced 4) with
+      | Some f1, Some f2, Some f4 -> f2 <= f1 && f4 <= f2
+      | _ -> false)
+
+let test_mp_spreads_load () =
+  (* two simultaneous tight jobs need two processors *)
+  let j0 = job ~id:0 ~arrival:0. ~cycles:90. ~deadline:100. ~penalty:10. in
+  let j1 = job ~id:1 ~arrival:0. ~cycles:90. ~deadline:100. ~penalty:10. in
+  (match Admission.simulate_mp ~proc ~m:2 ~policy:Admission.Admit_all [ j0; j1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_int "both admitted on two processors" 2
+        (List.length o.Admission.admitted));
+  match Admission.simulate ~proc ~policy:Admission.Admit_all [ j0; j1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok o -> check_int "one forced out on one processor" 1 o.Admission.forced_rejections
+
+(* ------------------------------------------------------------------ *)
+(* YDS *)
+
+let test_yds_single_job () =
+  let j = job ~id:0 ~arrival:10. ~cycles:40. ~deadline:90. ~penalty:0. in
+  (match Yds.blocks [ j ] with
+  | [ b ] ->
+      check_float 1e-9 "intensity = laxity speed" 0.5 b.Yds.intensity;
+      check_float 1e-9 "length" 80. b.Yds.length;
+      check_float 1e-9 "work" 40. b.Yds.work
+  | _ -> Alcotest.fail "one block expected");
+  check_float 1e-9 "peak" 0.5 (Yds.peak_intensity [ j ])
+
+let test_yds_textbook () =
+  (* two nested jobs: the tight inner one defines the critical interval *)
+  let outer = job ~id:0 ~arrival:0. ~cycles:20. ~deadline:100. ~penalty:0. in
+  let inner = job ~id:1 ~arrival:40. ~cycles:30. ~deadline:60. ~penalty:0. in
+  match Yds.blocks [ outer; inner ] with
+  | [ b1; b2 ] ->
+      check_float 1e-9 "critical intensity" 1.5 b1.Yds.intensity;
+      check_float 1e-9 "critical length" 20. b1.Yds.length;
+      (* after excision the outer job has 80 time units for 20 cycles *)
+      check_float 1e-9 "second intensity" 0.25 b2.Yds.intensity;
+      check_bool "non-increasing" true (b1.Yds.intensity >= b2.Yds.intensity)
+  | bs -> Alcotest.failf "expected 2 blocks, got %d" (List.length bs)
+
+let prop_yds_work_conserved =
+  qtest "YDS blocks conserve total work, intensities non-increasing"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let jobs = random_stream seed in
+      let bs = Yds.blocks jobs in
+      let total_work =
+        List.fold_left (fun acc b -> acc +. b.Yds.work) 0. bs
+      in
+      let total_cycles =
+        List.fold_left (fun acc (j : Job.t) -> acc +. j.Job.cycles) 0. jobs
+      in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) ->
+            a.Yds.intensity >= b.Yds.intensity -. 1e-9 && non_increasing rest
+        | _ -> true
+      in
+      Float.abs (total_work -. total_cycles) < 1e-6 *. Float.max 1. total_cycles
+      && non_increasing bs)
+
+(* Only one direction holds: full admission implies an offline-feasible
+   set. The converse fails because the online executor runs at the current
+   density — it procrastinates relative to clairvoyant YDS, which clears
+   work ahead of bursts, so an offline-feasible stream can still force
+   online rejections. *)
+let prop_admission_implies_yds_feasible =
+  qtest ~count:40 "admit-all taking everything implies YDS peak <= s_max"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let jobs = random_stream seed in
+      match Admission.simulate ~proc ~policy:Admission.Admit_all jobs with
+      | Error _ -> false
+      | Ok o ->
+          o.Admission.rejected <> []
+          || Yds.peak_intensity jobs <= 1. +. 1e-6)
+
+let prop_yds_no_worse_than_online =
+  qtest ~count:40 "when everything is admitted, YDS energy <= online energy"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Rt_prelude.Rng.create ~seed in
+      (* light load so that admit-all usually takes the whole stream *)
+      let jobs =
+        Job.stream rng ~n:30 ~rate:0.01 ~s_max:1. ~mean_cycles:20.
+          ~slack_lo:2. ~slack_hi:8. ~penalty_factor:1.
+      in
+      match Admission.simulate ~proc ~policy:Admission.Admit_all jobs with
+      | Error _ -> false
+      | Ok o ->
+          if o.Admission.rejected <> [] then true (* overloaded sample *)
+          else
+            (match Yds.energy ~proc jobs with
+            | Error _ -> false
+            | Ok e -> e <= o.Admission.energy +. 1e-6))
+
+let test_yds_energy_critical_clamp () =
+  (* a single slack job runs at the critical speed, sleeping the rest *)
+  let j = job ~id:0 ~arrival:0. ~cycles:10. ~deadline:1000. ~penalty:0. in
+  match Yds.energy ~proc [ j ] with
+  | Error e -> Alcotest.fail e
+  | Ok e ->
+      let s_crit = Rt_power.Processor.critical_speed proc in
+      let expected =
+        10. /. s_crit
+        *. Rt_power.Power_model.power proc.Rt_power.Processor.model s_crit
+      in
+      check_float 1e-6 "clamped energy" expected e
+
+let test_yds_infeasible () =
+  let j = job ~id:0 ~arrival:0. ~cycles:100. ~deadline:50. ~penalty:0. in
+  check_bool "over s_max" true (Result.is_error (Yds.energy ~proc [ j ]))
+
+let () =
+  Alcotest.run "rt_online"
+    [
+      ( "job",
+        [
+          Alcotest.test_case "validation" `Quick test_job_validation;
+          Alcotest.test_case "stream" `Quick test_stream_properties;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "single job at critical speed" `Quick
+            test_single_job_runs_at_critical;
+          Alcotest.test_case "forced rejection" `Quick test_forced_rejection;
+          Alcotest.test_case "profitable declines cheap jobs" `Quick
+            test_profitable_declines_cheap_jobs;
+          Alcotest.test_case "density threshold" `Quick test_density_threshold;
+          Alcotest.test_case "preemption" `Quick
+            test_preemption_by_tighter_deadline;
+          Alcotest.test_case "duplicate ids" `Quick test_duplicate_ids_rejected;
+          Alcotest.test_case "levels unsupported" `Quick test_levels_unsupported;
+        ] );
+      ( "properties",
+        [
+          prop_simulation_sound;
+          prop_above_lower_bound;
+          prop_admit_all_never_rejects_feasible;
+        ] );
+      ( "multiprocessor",
+        [
+          prop_mp_m1_equals_uniprocessor;
+          prop_mp_more_processors_admit_more;
+          Alcotest.test_case "spreads load" `Quick test_mp_spreads_load;
+        ] );
+      ( "yds",
+        [
+          Alcotest.test_case "single job" `Quick test_yds_single_job;
+          Alcotest.test_case "textbook nested jobs" `Quick test_yds_textbook;
+          prop_yds_work_conserved;
+          prop_admission_implies_yds_feasible;
+          prop_yds_no_worse_than_online;
+          Alcotest.test_case "critical clamp" `Quick
+            test_yds_energy_critical_clamp;
+          Alcotest.test_case "infeasible detection" `Quick test_yds_infeasible;
+        ] );
+    ]

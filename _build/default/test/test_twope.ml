@@ -1,0 +1,214 @@
+(* Tests for rt_twope: the heterogeneous DVS + non-DVS two-PE system. *)
+
+open Rt_twope
+
+let check_float eps = Alcotest.(check (float eps))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest ?(count = 80) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let dvs =
+  Rt_power.Processor.make
+    ~model:(Rt_power.Power_model.make ~coeff:1. ~alpha:3. ())
+    ~domain:(Rt_power.Processor.Ideal { s_min = 0.; s_max = 1e6 })
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let sys_of kind =
+  match Twope.system ~dvs ~alt_power:0.5 ~alt_kind:kind ~horizon:10. with
+  | Ok s -> s
+  | Error e -> failwith e
+
+let independent = sys_of Twope.Workload_independent
+let dependent = sys_of Twope.Workload_dependent
+
+let tasks_of specs =
+  List.mapi
+    (fun id (w, a) -> Twope.task ~id ~dvs_weight:w ~alt_permille:a)
+    specs
+
+let cost_exn sys a =
+  match Twope.cost sys a with Ok c -> c | Error e -> Alcotest.failf "cost: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* model *)
+
+let test_task_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s should be rejected" name
+  in
+  expect_invalid "zero weight" (fun () ->
+      Twope.task ~id:0 ~dvs_weight:0. ~alt_permille:10);
+  expect_invalid "permille 0" (fun () ->
+      Twope.task ~id:0 ~dvs_weight:0.1 ~alt_permille:0);
+  expect_invalid "permille > 1000" (fun () ->
+      Twope.task ~id:0 ~dvs_weight:0.1 ~alt_permille:1001)
+
+let test_cost_independent () =
+  let tasks = tasks_of [ (0.5, 300); (0.3, 400) ] in
+  (* everything kept: DVS at 0.8, alt constant *)
+  let a = { Twope.kept = tasks; offloaded = [] } in
+  check_float 1e-9 "all kept" ((0.8 ** 3. *. 10.) +. (0.5 *. 10.))
+    (cost_exn independent a);
+  (* everything offloaded: DVS idle (sleeps), alt constant *)
+  let b = { Twope.kept = []; offloaded = tasks } in
+  check_float 1e-9 "all offloaded" (0.5 *. 10.) (cost_exn independent b)
+
+let test_cost_dependent_scales () =
+  let tasks = tasks_of [ (0.5, 300) ] in
+  let b = { Twope.kept = []; offloaded = tasks } in
+  (* dependent PE charges only for the 30% it hosts *)
+  check_float 1e-9 "dependent scales" (0.5 *. 10. *. 0.3)
+    (cost_exn dependent b)
+
+let test_cost_capacity () =
+  let tasks = tasks_of [ (0.5, 600); (0.3, 600) ] in
+  let a = { Twope.kept = []; offloaded = tasks } in
+  check_bool "over capacity" true (Result.is_error (Twope.cost independent a))
+
+let test_validate_partition () =
+  let tasks = tasks_of [ (0.5, 100); (0.3, 100) ] in
+  let ok = { Twope.kept = [ List.hd tasks ]; offloaded = List.tl tasks } in
+  check_bool "partition ok" true (Twope.validate independent tasks ok = Ok ());
+  let bad = { Twope.kept = tasks; offloaded = tasks } in
+  check_bool "duplication caught" true
+    (Result.is_error (Twope.validate independent tasks bad))
+
+(* ------------------------------------------------------------------ *)
+(* algorithms *)
+
+let gen_tasks seed n total_alt inverse =
+  let rng = Rt_prelude.Rng.create ~seed in
+  if inverse then Twope.gen_inverse rng ~n ~total_alt
+  else Twope.gen_proportional rng ~n ~total_alt
+
+let prop_algorithms_return_partitions =
+  qtest "every algorithm returns a partition of the task set"
+    QCheck2.Gen.(
+      triple (int_range 1 1000) (int_range 1 12) (float_range 0.5 2.5))
+    (fun (seed, n, total_alt) ->
+      let tasks = gen_tasks seed n total_alt (seed mod 2 = 0) in
+      List.for_all
+        (fun (_, alg) ->
+          List.for_all
+            (fun sys ->
+              let a = alg sys tasks in
+              let ids xs =
+                List.sort compare (List.map (fun t -> t.Twope.id) xs)
+              in
+              ids (a.Twope.kept @ a.Twope.offloaded)
+              = ids tasks
+              && Twope.cost sys a <> Error "Twope.cost: non-DVS PE over capacity")
+            [ independent; dependent ])
+        Twope.named)
+
+let prop_dp_optimal_independent =
+  qtest ~count:50 "DP matches the exhaustive optimum (independent PE)"
+    QCheck2.Gen.(pair (int_range 1 1000) (float_range 0.8 2.4))
+    (fun (seed, total_alt) ->
+      let tasks = gen_tasks seed 9 total_alt (seed mod 2 = 0) in
+      let opt = cost_exn independent (Twope.exhaustive independent tasks) in
+      let dp = cost_exn independent (Twope.dp independent tasks) in
+      Float.abs (dp -. opt) < 1e-9)
+
+let prop_e_greedy_never_beats_optimum_and_is_feasible =
+  qtest ~count:50 "e-greedy: feasible and at least the optimum"
+    QCheck2.Gen.(pair (int_range 1 1000) (float_range 0.8 2.4))
+    (fun (seed, total_alt) ->
+      let tasks = gen_tasks seed 9 total_alt (seed mod 2 = 0) in
+      let opt = cost_exn independent (Twope.exhaustive independent tasks) in
+      match Twope.cost independent (Twope.e_greedy independent tasks) with
+      | Error _ -> false
+      | Ok c -> c >= opt -. 1e-9)
+
+let prop_s_greedy_never_worse_than_all_kept =
+  qtest ~count:60 "s-greedy never loses to the do-nothing assignment"
+    QCheck2.Gen.(pair (int_range 1 1000) (float_range 0.5 2.4))
+    (fun (seed, total_alt) ->
+      let tasks = gen_tasks seed 10 total_alt (seed mod 2 = 0) in
+      let all_kept = { Twope.kept = tasks; offloaded = [] } in
+      let base = cost_exn dependent all_kept in
+      let s = cost_exn dependent (Twope.s_greedy dependent tasks) in
+      s <= base +. 1e-9)
+
+let test_e_greedy_offloads_everything_when_it_fits () =
+  let tasks = tasks_of [ (0.5, 300); (0.4, 300); (0.2, 300) ] in
+  let a = Twope.e_greedy independent tasks in
+  check_int "all offloaded" 3 (List.length a.Twope.offloaded)
+
+let test_greedy_order () =
+  (* under the inverse coupling, the big DVS task is the cheap offload:
+     greedy must pick it first when capacity only fits one *)
+  let tasks = tasks_of [ (0.8, 600); (0.1, 550) ] in
+  let a = Twope.greedy independent tasks in
+  (match a.Twope.offloaded with
+  | [ t ] -> check_int "offloads the dense task" 0 t.Twope.id
+  | _ -> Alcotest.fail "expected exactly one offload");
+  check_int "keeps the other" 1 (List.length a.Twope.kept)
+
+let test_s_greedy_declines_bad_trades () =
+  (* hosting on the dependent PE costs more than the DVS saving: keep *)
+  let expensive_alt =
+    match
+      Twope.system ~dvs ~alt_power:1e4 ~alt_kind:Twope.Workload_dependent
+        ~horizon:10.
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let tasks = tasks_of [ (0.2, 500) ] in
+  let a = Twope.s_greedy expensive_alt tasks in
+  check_int "nothing offloaded" 0 (List.length a.Twope.offloaded)
+
+let test_generators () =
+  let rng = Rt_prelude.Rng.create ~seed:5 in
+  let ts = Twope.gen_proportional rng ~n:10 ~total_alt:1.6 in
+  check_int "count" 10 (List.length ts);
+  let total = List.fold_left (fun s t -> s + t.Twope.alt_permille) 0 ts in
+  check_bool "total alt near target" true (abs (total - 1600) < 50);
+  (* inverse coupling: larger dvs weight ⇒ smaller alt share, statistically;
+     check the extremes *)
+  let rng2 = Rt_prelude.Rng.create ~seed:6 in
+  let inv = Twope.gen_inverse rng2 ~n:12 ~total_alt:1.6 in
+  let biggest =
+    List.fold_left
+      (fun a t -> if t.Twope.dvs_weight > a.Twope.dvs_weight then t else a)
+      (List.hd inv) inv
+  in
+  let smallest =
+    List.fold_left
+      (fun a t -> if t.Twope.dvs_weight < a.Twope.dvs_weight then t else a)
+      (List.hd inv) inv
+  in
+  check_bool "inverse coupling direction" true
+    (biggest.Twope.alt_permille <= smallest.Twope.alt_permille)
+
+let () =
+  Alcotest.run "rt_twope"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "task validation" `Quick test_task_validation;
+          Alcotest.test_case "independent cost" `Quick test_cost_independent;
+          Alcotest.test_case "dependent cost scales" `Quick
+            test_cost_dependent_scales;
+          Alcotest.test_case "capacity enforced" `Quick test_cost_capacity;
+          Alcotest.test_case "validate partition" `Quick test_validate_partition;
+        ] );
+      ( "algorithms",
+        [
+          prop_algorithms_return_partitions;
+          prop_dp_optimal_independent;
+          prop_e_greedy_never_beats_optimum_and_is_feasible;
+          prop_s_greedy_never_worse_than_all_kept;
+          Alcotest.test_case "e-greedy offloads all when it fits" `Quick
+            test_e_greedy_offloads_everything_when_it_fits;
+          Alcotest.test_case "greedy density order" `Quick test_greedy_order;
+          Alcotest.test_case "s-greedy declines bad trades" `Quick
+            test_s_greedy_declines_bad_trades;
+          Alcotest.test_case "generators" `Quick test_generators;
+        ] );
+    ]

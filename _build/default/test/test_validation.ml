@@ -1,0 +1,229 @@
+(* Failure injection: every validator in the repository must reject
+   corrupted artifacts. These tests take known-good solutions/schedules,
+   break them in targeted ways, and assert the independent checkers catch
+   each corruption — the property that lets the experiment tables trust
+   algorithm outputs. *)
+
+open Rt_task
+
+
+let cubic = Rt_power.Processor.cubic ()
+
+let items_of specs =
+  List.mapi (fun id (w, p) -> Task.item ~penalty:p ~id ~weight:w ()) specs
+
+let problem_exn items ~m =
+  match Rt_core.Problem.make ~proc:cubic ~m ~horizon:100. items with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "problem: %s" e
+
+let good_solution p = Rt_core.Greedy.ltf_reject p
+
+let expect_invalid name = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: corruption not caught" name
+
+(* ------------------------------------------------------------------ *)
+(* Solution.validate *)
+
+let base_items = items_of [ (0.5, 5.); (0.4, 4.); (0.3, 3.); (0.2, 2.) ]
+
+let test_drop_item_caught () =
+  let p = problem_exn base_items ~m:2 in
+  let s = good_solution p in
+  (* silently lose a task: neither scheduled nor rejected *)
+  let partition' =
+    Rt_partition.Partition.of_buckets
+      [| List.tl (Rt_partition.Partition.bucket s.Rt_core.Solution.partition 0);
+         Rt_partition.Partition.bucket s.Rt_core.Solution.partition 1;
+      |]
+  in
+  expect_invalid "dropped item"
+    (Rt_core.Solution.validate p
+       { s with Rt_core.Solution.partition = partition' })
+
+let test_duplicate_item_caught () =
+  let p = problem_exn base_items ~m:2 in
+  let s = good_solution p in
+  (* claim a scheduled task was also rejected (double counting) *)
+  let dup = List.hd (Rt_partition.Partition.bucket s.Rt_core.Solution.partition 0) in
+  expect_invalid "duplicated item"
+    (Rt_core.Solution.validate p
+       { s with Rt_core.Solution.rejected = dup :: s.Rt_core.Solution.rejected })
+
+let test_foreign_item_caught () =
+  let p = problem_exn base_items ~m:2 in
+  let s = good_solution p in
+  let foreign = Task.item ~id:999 ~weight:0.01 () in
+  expect_invalid "foreign item"
+    (Rt_core.Solution.validate p
+       { s with Rt_core.Solution.rejected = foreign :: s.Rt_core.Solution.rejected })
+
+let test_overload_caught () =
+  let p = problem_exn base_items ~m:2 in
+  (* cram everything onto one processor: 1.4 > capacity 1.0 *)
+  let part = Rt_partition.Partition.of_buckets [| p.Rt_core.Problem.items; [] |] in
+  expect_invalid "overloaded processor"
+    (Rt_core.Solution.cost p { Rt_core.Solution.partition = part; rejected = [] })
+
+(* ------------------------------------------------------------------ *)
+(* Frame_sim.validate *)
+
+let good_sim () =
+  let p = problem_exn base_items ~m:2 in
+  let s = good_solution p in
+  match
+    Rt_sim.Frame_sim.build ~proc:cubic ~frame_length:100.
+      s.Rt_core.Solution.partition
+  with
+  | Ok sim -> sim
+  | Error e -> Alcotest.failf "build: %s" e
+
+let test_sim_energy_tamper_caught () =
+  let sim = good_sim () in
+  expect_invalid "inflated energy"
+    (Rt_sim.Frame_sim.validate
+       { sim with Rt_sim.Frame_sim.total_energy = sim.Rt_sim.Frame_sim.total_energy *. 2. })
+
+let test_sim_timeline_gap_caught () =
+  let sim = good_sim () in
+  let timelines =
+    List.map
+      (fun tl ->
+        match tl.Rt_sim.Frame_sim.slices with
+        | first :: rest when first.Rt_sim.Frame_sim.t1 > 1. ->
+            (* shorten the first slice: leaves a gap and starves the task *)
+            {
+              tl with
+              Rt_sim.Frame_sim.slices =
+                { first with Rt_sim.Frame_sim.t1 = first.Rt_sim.Frame_sim.t1 /. 2. }
+                :: rest;
+            }
+        | _ -> tl)
+      sim.Rt_sim.Frame_sim.timelines
+  in
+  expect_invalid "timeline gap"
+    (Rt_sim.Frame_sim.validate { sim with Rt_sim.Frame_sim.timelines })
+
+let test_sim_speed_tamper_caught () =
+  let sim = good_sim () in
+  let timelines =
+    List.map
+      (fun tl ->
+        {
+          tl with
+          Rt_sim.Frame_sim.slices =
+            List.map
+              (fun sl ->
+                if sl.Rt_sim.Frame_sim.task_id <> None then
+                  { sl with Rt_sim.Frame_sim.speed = 7. (* above s_max *) }
+                else sl)
+              tl.Rt_sim.Frame_sim.slices;
+        })
+      sim.Rt_sim.Frame_sim.timelines
+  in
+  expect_invalid "infeasible speed"
+    (Rt_sim.Frame_sim.validate { sim with Rt_sim.Frame_sim.timelines })
+
+(* ------------------------------------------------------------------ *)
+(* Energy_rate.validate *)
+
+let test_plan_tampering_caught () =
+  let plan =
+    match Rt_speed.Energy_rate.optimal cubic ~u:0.5 with
+    | Some p -> p
+    | None -> Alcotest.fail "feasible"
+  in
+  expect_invalid "under-reported rate"
+    (Rt_speed.Energy_rate.validate cubic ~u:0.5
+       { plan with Rt_speed.Energy_rate.rate = plan.Rt_speed.Energy_rate.rate /. 2. });
+  expect_invalid "missing throughput"
+    (Rt_speed.Energy_rate.validate cubic ~u:0.9 plan);
+  let short =
+    {
+      plan with
+      Rt_speed.Energy_rate.segments =
+        List.map
+          (fun (s : Rt_speed.Energy_rate.segment) ->
+            { s with Rt_speed.Energy_rate.fraction = s.Rt_speed.Energy_rate.fraction /. 2. })
+          plan.Rt_speed.Energy_rate.segments;
+    }
+  in
+  expect_invalid "fractions below 1" (Rt_speed.Energy_rate.validate cubic ~u:0.5 short)
+
+(* ------------------------------------------------------------------ *)
+(* Migration.validate *)
+
+let test_migration_tampering_caught () =
+  let items = items_of [ (0.5, 0.); (0.4, 0.); (0.3, 0.) ] in
+  let sch =
+    match Rt_partition.Migration.optimal ~proc:cubic ~m:2 ~frame:100. items with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "optimal: %s" e
+  in
+  expect_invalid "wrong energy"
+    (Rt_partition.Migration.validate ~proc:cubic ~m:2 ~frame:100. items
+       { sch with Rt_partition.Migration.energy = 0. });
+  expect_invalid "slice removed"
+    (Rt_partition.Migration.validate ~proc:cubic ~m:2 ~frame:100. items
+       { sch with Rt_partition.Migration.slices = List.tl sch.Rt_partition.Migration.slices });
+  expect_invalid "speed below the task's weight"
+    (Rt_partition.Migration.validate ~proc:cubic ~m:2 ~frame:100. items
+       {
+         sch with
+         Rt_partition.Migration.speeds =
+           List.map (fun (id, _) -> (id, 0.01)) sch.Rt_partition.Migration.speeds;
+       })
+
+(* ------------------------------------------------------------------ *)
+(* Twope.validate *)
+
+let test_twope_tampering_caught () =
+  let dvs = cubic in
+  let sys =
+    match
+      Rt_twope.Twope.system ~dvs ~alt_power:0.5
+        ~alt_kind:Rt_twope.Twope.Workload_independent ~horizon:10.
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "system: %s" e
+  in
+  let tasks =
+    [
+      Rt_twope.Twope.task ~id:0 ~dvs_weight:0.4 ~alt_permille:200;
+      Rt_twope.Twope.task ~id:1 ~dvs_weight:0.3 ~alt_permille:300;
+    ]
+  in
+  expect_invalid "missing task"
+    (Rt_twope.Twope.validate sys tasks
+       { Rt_twope.Twope.kept = [ List.hd tasks ]; offloaded = [] });
+  expect_invalid "task on both PEs"
+    (Rt_twope.Twope.validate sys tasks
+       { Rt_twope.Twope.kept = tasks; offloaded = [ List.hd tasks ] })
+
+let () =
+  Alcotest.run "validation_failure_injection"
+    [
+      ( "solution",
+        [
+          Alcotest.test_case "dropped item" `Quick test_drop_item_caught;
+          Alcotest.test_case "duplicated item" `Quick test_duplicate_item_caught;
+          Alcotest.test_case "foreign item" `Quick test_foreign_item_caught;
+          Alcotest.test_case "overload" `Quick test_overload_caught;
+        ] );
+      ( "frame_sim",
+        [
+          Alcotest.test_case "energy tamper" `Quick test_sim_energy_tamper_caught;
+          Alcotest.test_case "timeline gap" `Quick test_sim_timeline_gap_caught;
+          Alcotest.test_case "speed tamper" `Quick test_sim_speed_tamper_caught;
+        ] );
+      ( "energy_rate",
+        [ Alcotest.test_case "plan tampering" `Quick test_plan_tampering_caught ] );
+      ( "migration",
+        [
+          Alcotest.test_case "schedule tampering" `Quick
+            test_migration_tampering_caught;
+        ] );
+      ( "twope",
+        [ Alcotest.test_case "assignment tampering" `Quick test_twope_tampering_caught ] );
+    ]

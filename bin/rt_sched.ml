@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 (* rt_sched: generate a synthetic rejection-scheduling instance, run one or
    all algorithms on it, validate, and show the schedule.
 
@@ -282,14 +284,16 @@ let qos proc_name penalty_name seed n m load steps curve =
                   in
                   let dropped =
                     List.length
-                      (List.filter (fun c -> weight_of c = 0.) s.Rt_core.Qos.choices)
+                      (List.filter
+                         (fun c -> Fc.exact_eq (weight_of c) 0.)
+                         s.Rt_core.Qos.choices)
                   in
                   let degraded =
                     List.length
                       (List.filter
                          (fun c ->
                            let w = weight_of c in
-                           w > 0. && w < full_of c)
+                           Fc.exact_gt w 0. && Fc.exact_lt w (full_of c))
                          s.Rt_core.Qos.choices)
                   in
                   Printf.printf

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 (* What a discrete DVFS grid costs, and how the two-level split works.
 
    Real DVS silicon exposes a handful of frequency grades, not a
@@ -23,7 +25,7 @@ let levels =
 let plan_to_string (plan : Rt_speed.Energy_rate.plan) =
   plan.Rt_speed.Energy_rate.segments
   |> List.map (fun (s : Rt_speed.Energy_rate.segment) ->
-         if s.Rt_speed.Energy_rate.speed = 0. then
+         if Fc.exact_eq s.Rt_speed.Energy_rate.speed 0. then
            Printf.sprintf "sleep %.0f%%" (100. *. s.Rt_speed.Energy_rate.fraction)
          else
            Printf.sprintf "%.2f for %.0f%%" s.Rt_speed.Energy_rate.speed

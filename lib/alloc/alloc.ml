@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 type proc_type = {
   type_id : int;
   alloc_cost : float;
@@ -6,13 +8,13 @@ type proc_type = {
 }
 
 let proc_type ~type_id ~alloc_cost ~model ~speeds =
-  if alloc_cost <= 0. || not (Float.is_finite alloc_cost) then
+  if Fc.exact_le alloc_cost 0. || not (Float.is_finite alloc_cost) then
     invalid_arg "Alloc.proc_type: alloc_cost must be finite and > 0";
   if Array.length speeds = 0 then
     invalid_arg "Alloc.proc_type: empty speed set";
   Array.iteri
     (fun i s ->
-      if s <= 0. || not (Float.is_finite s) then
+      if Fc.exact_le s 0. || not (Float.is_finite s) then
         invalid_arg "Alloc.proc_type: speeds must be positive and finite";
       if i > 0 && speeds.(i - 1) >= s then
         invalid_arg "Alloc.proc_type: speeds must be strictly increasing")
@@ -25,7 +27,7 @@ let task ~id ~cycles =
   if Array.length cycles = 0 then invalid_arg "Alloc.task: no cycle counts";
   Array.iter
     (fun c ->
-      if c <= 0. || not (Float.is_finite c) then
+      if Fc.exact_le c 0. || not (Float.is_finite c) then
         invalid_arg "Alloc.task: cycles must be positive and finite")
     cycles;
   { id; cycles = Array.copy cycles }
@@ -39,9 +41,10 @@ type instance = {
 
 let instance ~types ~tasks ~frame ~energy_budget =
   if Array.length types = 0 then Error "Alloc.instance: no processor types"
-  else if frame <= 0. || not (Float.is_finite frame) then
+  else if Fc.exact_le frame 0. || not (Float.is_finite frame) then
     Error "Alloc.instance: frame must be finite and > 0"
-  else if energy_budget <= 0. || not (Float.is_finite energy_budget) then
+  else if Fc.exact_le energy_budget 0. || not (Float.is_finite energy_budget)
+  then
     Error "Alloc.instance: energy budget must be finite and > 0"
   else if
     List.exists
@@ -99,7 +102,7 @@ let e_min inst = sum_extreme inst (fun e b -> e < b)
 let e_max inst = sum_extreme inst (fun e b -> e > b)
 
 let with_gamma ~types ~tasks ~frame ~gamma =
-  if gamma < 0. || gamma > 1. then
+  if Fc.exact_lt gamma 0. || Fc.exact_gt gamma 1. then
     invalid_arg "Alloc.with_gamma: gamma outside [0, 1]";
   match instance ~types ~tasks ~frame ~energy_budget:1. with
   | Error _ as e -> e

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_lp
 
 (* one LP variable: task index (into the sorted task array), type index,
@@ -89,7 +91,7 @@ let solve_one inst ~tasks ~order ~m' ~pin =
                   (List.mapi (fun idx v -> (idx, v)) (Array.to_list vars))
               in
               let integral =
-                List.find_opt (fun (idx, _) -> solution.(idx) > 1. -. 1e-6) mine
+                List.find_opt (fun (idx, _) -> Fc.exact_gt solution.(idx) (1. -. 1e-6)) mine
               in
               match integral with
               | Some (_, v) ->
@@ -100,7 +102,7 @@ let solve_one inst ~tasks ~order ~m' ~pin =
                   }
               | None ->
                   let supported =
-                    List.filter (fun (idx, _) -> solution.(idx) > 1e-9) mine
+                    List.filter (fun (idx, _) -> Fc.exact_gt solution.(idx) 1e-9) mine
                   in
                   let candidates =
                     match supported with [] -> mine | s -> s
@@ -122,7 +124,7 @@ let solve_one inst ~tasks ~order ~m' ~pin =
                   | Some (ti, level, _) ->
                       { Alloc.task_id = tasks.(i).Alloc.id; ti; level }
                   | None ->
-                      (* cannot happen: mine is non-empty by construction *)
+                      (* lint: allow-no-raise "unreachable: mine is non-empty by construction" *)
                       assert false))
             (Rt_prelude.Math_util.range 0 (n_tasks - 1))
         in
@@ -166,7 +168,7 @@ let rounding inst =
         List.fold_left
           (fun acc s ->
             match acc with
-            | Some b when b.lp_value <= s.lp_value -> acc
+            | Some b when Fc.exact_le b.lp_value s.lp_value -> acc
             | _ -> Some s)
           None sols
       in
@@ -187,5 +189,6 @@ let e_rounding inst =
       Ok
         (List.fold_left
            (fun best x ->
-             if x.Alloc.alloc_cost < best.Alloc.alloc_cost then x else best)
+             if Fc.exact_lt x.Alloc.alloc_cost best.Alloc.alloc_cost then x
+             else best)
            b rest)

@@ -1,7 +1,9 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 let balanced_energy (p : Problem.t) ~accepted_weight =
-  if accepted_weight < 0. then
+  if Fc.exact_lt accepted_weight 0. then
     invalid_arg "Bounds.balanced_energy: negative weight";
   let per_proc = accepted_weight /. float_of_int p.m in
   if Rt_prelude.Float_cmp.gt per_proc (Problem.capacity p) then
@@ -24,8 +26,8 @@ let min_rejected_penalty (p : Problem.t) ~accepted_weight =
   let rec kept w acc = function
     | [] -> acc
     | (it : Task.item) :: rest ->
-        if w <= 0. then acc
-        else if it.weight <= w then
+        if Fc.exact_le w 0. then acc
+        else if Fc.exact_le it.weight w then
           kept (w -. it.weight) (acc +. it.item_penalty) rest
         else acc +. (w /. it.weight *. it.item_penalty)
   in
@@ -36,7 +38,8 @@ let lower_bound (p : Problem.t) =
   let w_max =
     Float.min total (float_of_int p.m *. Problem.capacity p)
   in
-  if w_max <= 0. then Taskset.total_penalty_items p.items +. balanced_energy p ~accepted_weight:0.
+  if Fc.exact_le w_max 0. then
+    Taskset.total_penalty_items p.items +. balanced_energy p ~accepted_weight:0.
   else begin
     let objective w =
       balanced_energy p ~accepted_weight:w +. min_rejected_penalty p ~accepted_weight:w

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 type algorithm = Problem.t -> Solution.t
@@ -134,7 +136,9 @@ let density_reject (p : Problem.t) =
           }
         in
         let c = total_cost p candidate in
-        if c < current -. (1e-12 *. Float.max 1. current) then Some candidate
+        (* strict improvement with a relative margin; exact on purpose *)
+        if Fc.exact_lt c (current -. (1e-12 *. Float.max 1. current)) then
+          Some candidate
         else None
       end
     in

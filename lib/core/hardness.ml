@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 type gadget = {
@@ -35,7 +37,7 @@ let knapsack_gadget ~capacity pairs =
     else if capacity <= 0 then Error "knapsack_gadget: capacity <= 0"
     else if List.exists (fun (c, _) -> c <= 0) pairs then
       Error "knapsack_gadget: cycles must be positive"
-    else if List.exists (fun (_, p) -> p < 0.) pairs then
+    else if List.exists (fun (_, p) -> Fc.exact_lt p 0.) pairs then
       Error "knapsack_gadget: penalties must be >= 0"
     else Ok ()
   in

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 type state = {
@@ -49,7 +51,7 @@ let improve ?(max_moves = 10_000) (p : Problem.t) (s : Solution.t) =
            (fun (it : Task.item) ->
              energy st.loads.(!j) -. energy (st.loads.(!j) -. it.weight)
              -. it.item_penalty
-             > eps)
+             |> Fun.flip Fc.exact_gt eps)
            st.buckets.(!j)
        with
       | Some it ->
@@ -84,7 +86,9 @@ let improve ?(max_moves = 10_000) (p : Problem.t) (s : Solution.t) =
               let marginal =
                 energy (st.loads.(j) +. it.weight) -. energy st.loads.(j)
               in
-              if it.item_penalty -. marginal > eps then Some (it, j) else None)
+              if Fc.exact_gt (it.item_penalty -. marginal) eps then
+                Some (it, j)
+              else None)
         st.rejected
     in
     match pick with

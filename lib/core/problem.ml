@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 type t = {
@@ -9,12 +11,15 @@ type t = {
 
 let make ~proc ~m ~horizon items =
   if m < 1 then Error "Problem.make: m < 1"
-  else if horizon <= 0. || not (Float.is_finite horizon) then
+  else if Fc.exact_le horizon 0. || not (Float.is_finite horizon) then
     Error "Problem.make: horizon must be finite and > 0"
   else if
     not (Task.distinct_ids (List.map (fun (i : Task.item) -> i.item_id) items))
   then Error "Problem.make: duplicate item ids"
-  else if List.exists (fun (i : Task.item) -> i.item_power_factor <> 1.) items
+  else if
+    List.exists
+      (fun (i : Task.item) -> not (Fc.exact_eq i.item_power_factor 1.))
+      items
   then Error "Problem.make: non-unit power factors (see Rt_partition.Hetero)"
   else Ok { proc; m; horizon; items }
 
@@ -22,7 +27,8 @@ let of_frame ~proc ~m ~frame_length tasks =
   match Taskset.well_formed_frame tasks with
   | Error e -> Error ("Problem.of_frame: " ^ e)
   | Ok () ->
-      if frame_length <= 0. then Error "Problem.of_frame: frame_length <= 0"
+      if Fc.exact_le frame_length 0. then
+        Error "Problem.of_frame: frame_length <= 0"
       else
         make ~proc ~m ~horizon:frame_length
           (Taskset.items_of_frames ~frame_length tasks)

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 type level = { weight : float; level_penalty : float }
@@ -5,9 +7,9 @@ type level = { weight : float; level_penalty : float }
 type qtask = { id : int; levels : level list }
 
 let level ~weight ~penalty =
-  if weight < 0. || not (Float.is_finite weight) then
+  if Fc.exact_lt weight 0. || not (Float.is_finite weight) then
     invalid_arg "Qos.level: weight must be finite and >= 0";
-  if penalty < 0. || not (Float.is_finite penalty) then
+  if Fc.exact_lt penalty 0. || not (Float.is_finite penalty) then
     invalid_arg "Qos.level: penalty must be finite and >= 0";
   { weight; level_penalty = penalty }
 
@@ -17,7 +19,8 @@ let qtask ~id ~levels =
     List.sort (fun a b -> Float.compare b.weight a.weight) levels
   in
   let rec distinct = function
-    | a :: (b :: _ as rest) -> a.weight <> b.weight && distinct rest
+    | a :: (b :: _ as rest) ->
+        (not (Fc.exact_eq a.weight b.weight)) && distinct rest
     | _ -> true
   in
   if not (distinct sorted) then invalid_arg "Qos.qtask: duplicate weights";
@@ -33,7 +36,7 @@ let of_item (it : Task.item) =
 
 let graceful ?(steps = 4) ?(curve = 1.) (it : Task.item) =
   if steps < 2 then invalid_arg "Qos.graceful: steps < 2";
-  if curve <= 0. || not (Float.is_finite curve) then
+  if Fc.exact_le curve 0. || not (Float.is_finite curve) then
     invalid_arg "Qos.graceful: curve must be finite and > 0";
   let levels =
     List.map
@@ -84,7 +87,7 @@ let cost (p : Problem.t) tasks solution =
       (fun acc c ->
         let* xs = acc in
         let* l = chosen_level tasks c in
-        Ok (if l.weight > 0. then (c.task_id, l.weight) :: xs else xs))
+        Ok (if Fc.exact_gt l.weight 0. then (c.task_id, l.weight) :: xs else xs))
       (Ok []) solution.choices
   in
   let placed =
@@ -131,7 +134,7 @@ let items_of_choices tasks idx =
   List.filter_map
     (fun t ->
       let l = List.nth t.levels idx.(t.id) in
-      if l.weight > 0. then Some (Task.item ~id:t.id ~weight:l.weight ())
+      if Fc.exact_gt l.weight 0. then Some (Task.item ~id:t.id ~weight:l.weight ())
       else None)
     tasks
 
@@ -187,9 +190,12 @@ let greedy_degrade (p : Problem.t) tasks =
           tasks;
         match !best with
         | Some (tid, c)
-          when c < current -. (1e-12 *. Float.max 1. current)
-               || current = Float.infinity ->
-            if c = Float.infinity && current = Float.infinity then begin
+          when Fc.exact_lt c (current -. (1e-12 *. Float.max 1. current))
+               || Fc.exact_eq current Float.infinity ->
+            if
+              Fc.exact_eq c Float.infinity
+              && Fc.exact_eq current Float.infinity
+            then begin
               (* march toward feasibility by shedding the most weight *)
               let heaviest = ref None in
               List.iter

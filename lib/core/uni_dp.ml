@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 type outcome = {
@@ -25,7 +27,9 @@ let run ~solve ~proc ~frame_length tasks =
   let item_of (t : Task.frame) =
     match Problem.item problem t.id with
     | Some it -> it
-    | None -> assert false (* of_frame preserves ids *)
+    | None ->
+        (* lint: allow-no-raise "unreachable: of_frame preserves ids" *)
+        assert false
   in
   let bucket = ref [] and rejected = ref [] in
   Array.iteri
@@ -63,7 +67,7 @@ let scaled ~epsilon ~proc ~frame_length tasks =
              cheap and often rescues small-n instances *)
           let greedy_solution = Greedy.density_reject dp.problem in
           (match Solution.cost dp.problem greedy_solution with
-          | Ok c when c.Solution.total < dp.cost ->
+          | Ok c when Fc.exact_lt c.Solution.total dp.cost ->
               Ok
                 {
                   dp with

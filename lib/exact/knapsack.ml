@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 type choice = { accepted : bool array; total_cycles : int; cost : float }
 
 let validate ~capacity ~cycles ~penalties =
@@ -9,7 +11,7 @@ let validate ~capacity ~cycles ~penalties =
     cycles;
   Array.iter
     (fun p ->
-      if p < 0. || not (Float.is_finite p) then
+      if Fc.exact_lt p 0. || not (Float.is_finite p) then
         invalid_arg "Knapsack: penalties must be finite and >= 0")
     penalties
 
@@ -86,7 +88,8 @@ let solve_scaled ~scale ~capacity ~cycles ~penalties ~accept_cost =
   end
 
 let scale_for_epsilon ~epsilon ~cycles =
-  if epsilon <= 0. then invalid_arg "Knapsack.scale_for_epsilon: epsilon <= 0";
+  if Fc.exact_le epsilon 0. then
+    invalid_arg "Knapsack.scale_for_epsilon: epsilon <= 0";
   if Array.length cycles = 0 then
     invalid_arg "Knapsack.scale_for_epsilon: no items";
   let c_max = Array.fold_left max 0 cycles in

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 type solution = {
@@ -8,7 +10,7 @@ type solution = {
 
 let check_args ~m ~capacity =
   if m < 1 then invalid_arg "Search: m < 1";
-  if capacity <= 0. then invalid_arg "Search: capacity <= 0"
+  if Fc.exact_le capacity 0. then invalid_arg "Search: capacity <= 0"
 
 (* Shared engine. Items too large for any processor are forced rejections;
    the rest are explored largest-first: for each item, try every used
@@ -41,6 +43,7 @@ let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
   let rec go i used penalty_so_far =
     incr nodes;
     if !nodes > node_limit then
+      (* lint: allow-no-raise "documented @raise Failure on node-limit blowup" *)
       failwith "Search: node limit exceeded";
     if i = n then begin
       let cost = buckets_cost () +. penalty_so_far +. forced_penalty in
@@ -77,7 +80,9 @@ let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
   in
   go 0 0 0.;
   match !best with
-  | None -> assert false (* the all-reject leaf always reaches i = n *)
+  | None ->
+      (* lint: allow-no-raise "unreachable: the all-reject leaf always reaches i = n" *)
+      assert false
   | Some (bs, rej) ->
       {
         partition = Rt_partition.Partition.of_buckets bs;

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 let e11_rounding ?(seeds = 12) () =
   let seed_list = Runner.seeds ~base:1300 ~n:seeds in
   let t =
@@ -32,7 +34,7 @@ let e11_rounding ?(seeds = 12) () =
             | Error _ -> Float.nan
             | Ok inst -> (
                 match (Rt_alloc.Rounding.lp_lower_bound inst, alg inst) with
-                | Some lb, Ok b when lb > 0. ->
+                | Some lb, Ok b when Fc.exact_gt lb 0. ->
                     b.Rt_alloc.Alloc.alloc_cost /. lb
                 | _ -> Float.nan))
       in
@@ -50,8 +52,10 @@ let e11_rounding ?(seeds = 12) () =
                 | Error _ -> Float.nan
                 | Ok b ->
                     if
-                      b.Rt_alloc.Alloc.realized_energy
-                      > inst.Rt_alloc.Alloc.energy_budget *. (1. +. 1e-9)
+                      (* tolerant: budget violations within rounding noise
+                         do not count *)
+                      Fc.gt b.Rt_alloc.Alloc.realized_energy
+                        inst.Rt_alloc.Alloc.energy_budget
                     then 100.
                     else 0.))
       in

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 let proc = Rt_power.Processor.cubic ()
@@ -38,7 +40,7 @@ let e17_dp_dial ?(seeds = 25) () =
                 Rt_core.Uni_dp.scaled ~epsilon ~proc ~frame_length:1000. tasks
               )
             with
-            | Ok e, Ok s when e.Rt_core.Uni_dp.cost > 0. ->
+            | Ok e, Ok s when Fc.exact_gt e.Rt_core.Uni_dp.cost 0. ->
                 Some (s.Rt_core.Uni_dp.cost /. e.Rt_core.Uni_dp.cost)
             | _ -> None)
           seed_list

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_core
 
 let proc =
@@ -22,7 +24,7 @@ let ratio_row ~seeds ~baseline ~instance =
       Runner.mean_over ~seeds ~f:(fun seed ->
           let p = instance seed in
           let base = baseline p in
-          if base <= 0. then Float.nan
+          if Fc.exact_le base 0. then Float.nan
           else Instances.solution_total p (alg p) /. base))
     algorithms
 

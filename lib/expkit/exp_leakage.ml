@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 type policy = { ff : bool; procrastinate : bool }
@@ -13,14 +15,14 @@ let policy_energy ~proc ~horizon ~jobs_on policy part =
   for j = 0 to m - 1 do
     let bucket = Rt_partition.Partition.bucket part j in
     let u = Rt_partition.Partition.load part j in
-    if u > 0. then begin
+    if Fc.exact_gt u 0. then begin
       let s = Float.min (Rt_power.Processor.s_max proc) (Float.max u s_crit) in
       let busy = horizon *. u /. s in
       let exec = busy *. Rt_power.Power_model.power model s in
       let idle = horizon -. busy in
       let gaps = if policy.procrastinate then 1 else max 1 (jobs_on bucket) in
       let idle_e =
-        if idle <= 0. then 0.
+        if Fc.exact_le idle 0. then 0.
         else
           Rt_speed.Procrastinate.idle_energy_fragmented proc ~total_idle:idle
             ~gaps
@@ -98,7 +100,7 @@ let e8_leakage_aware ?(seeds = 20) () =
                     0 bucket
                 in
                 let lb = lower_bound ~proc ~horizon items in
-                if lb <= 0. then Float.nan
+                if Fc.exact_le lb 0. then Float.nan
                 else policy_energy ~proc ~horizon ~jobs_on policy part /. lb))
           policies
       in

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 let proc = Rt_power.Processor.cubic ()
 let frame = Instances.default_frame_length
 
@@ -25,7 +27,7 @@ let e15_partition_vs_migration ?(seeds = 30) () =
               Rt_partition.Migration.energy_lower_bound ~proc ~m ~frame items
             with
             | None -> Float.nan
-            | Some lb when lb <= 0. -> Float.nan
+            | Some lb when Fc.exact_le lb 0. -> Float.nan
             | Some lb ->
                 let part = alg items in
                 if

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 let proc =
   Rt_power.Processor.xscale
     ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
@@ -41,7 +43,8 @@ let e13_online_admission ?(seeds = 20) () =
           (fun (_, policy) ->
             Runner.mean_over ~seeds:seed_list ~f:(fun seed ->
                 match run seed policy with
-                | Some (o, lb) when lb > 0. -> o.Rt_online.Admission.total /. lb
+                | Some (o, lb) when Fc.exact_gt lb 0. ->
+                    o.Rt_online.Admission.total /. lb
                 | _ -> Float.nan))
           policies
       in

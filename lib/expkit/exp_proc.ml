@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 (* accept-all energy of a workload on m copies of a processor; penalties are
@@ -56,7 +58,7 @@ let e5_discrete_levels ?(seeds = 25) () =
               partition_energy ~proc:ideal ~m:4
                 ~horizon:Instances.default_frame_length items
             in
-            if Float.is_nan e || e0 <= 0. then Float.nan else e /. e0)
+            if Float.is_nan e || Fc.exact_le e0 0. then Float.nan else e /. e0)
       in
       Rt_prelude.Tablefmt.add_float_row t name
         [ ratio_at 0.4; ratio_at 0.7 ])
@@ -104,7 +106,7 @@ let e6_leakage ?(seeds = 25) () =
                   | None -> Float.nan)
                 0. loads
             in
-            if Float.is_nan opt || opt <= 0. then Float.nan
+            if Float.is_nan opt || Fc.exact_le opt 0. then Float.nan
             else stretch /. opt)
       in
       Rt_prelude.Tablefmt.add_float_row t (Printf.sprintf "%.2f" p_ind)

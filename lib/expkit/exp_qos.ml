@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_core
 
 let proc = Rt_power.Processor.cubic ()
@@ -46,7 +48,7 @@ let e16_graceful_degradation ?(seeds = 20) () =
         let sb = Qos.greedy_degrade p binary in
         let sm = Qos.greedy_degrade p multi in
         match (Qos.cost p binary sb, Qos.cost p multi sm) with
-        | Ok cb, Ok cm when cb > 0. ->
+        | Ok cb, Ok cm when Fc.exact_gt cb 0. ->
             let degraded =
               List.length
                 (List.filter
@@ -79,7 +81,7 @@ let e16_graceful_degradation ?(seeds = 20) () =
               ( Qos.cost p binary (Qos.exhaustive p binary),
                 Qos.cost p multi (Qos.exhaustive p multi) )
             with
-            | Ok cb, Ok cm when cb > 0. -> cm /. cb
+            | Ok cb, Ok cm when Fc.exact_gt cb 0. -> cm /. cb
             | _ -> Float.nan)
       in
       Rt_prelude.Tablefmt.add_float_row t

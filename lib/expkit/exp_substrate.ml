@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_task
 
 let horizon = Instances.default_frame_length
@@ -52,7 +54,7 @@ let e7_ltf_vs_rand ?(seeds = 15) () =
         Runner.mean_over ~seeds:seed_list ~f:(fun seed ->
             let items = homog_workload ~seed:(seed + (31 * m) + n) ~n ~m in
             let opt = optimal_energy ~m items in
-            if Float.is_nan opt || opt <= 0. then Float.nan
+            if Float.is_nan opt || Fc.exact_le opt 0. then Float.nan
             else begin
               let part = alg ~m items in
               if
@@ -129,7 +131,7 @@ let e7_hetero_leuf ?(seeds = 10) () =
         Runner.mean_over ~seeds:seed_list ~f:(fun seed ->
             let items = hetero_workload ~seed:(seed + n) ~n ~m in
             let opt = hetero_optimal ~m items in
-            if Float.is_nan opt || opt <= 0. then Float.nan
+            if Float.is_nan opt || Fc.exact_le opt 0. then Float.nan
             else begin
               let e = hetero_partition_energy (alg items) in
               if Float.is_nan e then Float.nan else e /. opt

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 let model = Rt_power.Power_model.make ~coeff:1. ~alpha:3. ()
 
 let e14_sync_rails ?(seeds = 30) () =
@@ -35,7 +37,7 @@ let e14_sync_rails ?(seeds = 30) () =
                   Rt_speed.Sync_global.energy_independent model ~window:1.
                     ~workloads
                 in
-                if indep <= 0. then Float.nan
+                if Fc.exact_le indep 0. then Float.nan
                 else s.Rt_speed.Sync_global.energy /. indep)
       in
       let peak =

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 (* The DVS PE is ideal with a wide speed range (the published setting
    assumes speeds can always absorb the kept workload); the non-DVS PE's
    power is normalized against the XScale-like curve. *)
@@ -52,7 +54,7 @@ let ratio_table ~base_seed ~seeds ~alt_kind ~algorithms =
                   | Ok c -> c
                   | Error _ -> Float.nan
                 in
-                if Float.is_nan opt || opt <= 0. then Float.nan
+                if Float.is_nan opt || Fc.exact_le opt 0. then Float.nan
                 else
                   match Rt_twope.Twope.cost sys (alg sys tasks) with
                   | Ok c -> c /. opt

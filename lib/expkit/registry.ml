@@ -188,6 +188,8 @@ let all =
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let print ?(quick = false) e =
+  (* lint: allow-no-print "registry runner is the sanctioned experiment output sink" *)
   Printf.printf "\n== %s ==\n" e.title;
   Rt_prelude.Tablefmt.print (if quick then e.run_quick () else e.run ());
+  (* lint: allow-no-print "registry runner is the sanctioned experiment output sink" *)
   Printf.printf "expected shape: %s\n" e.expectation

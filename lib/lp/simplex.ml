@@ -1,3 +1,4 @@
+module Fc = Rt_prelude.Float_cmp
 type relation = Le | Ge | Eq
 
 type problem = {
@@ -34,16 +35,16 @@ let value p x =
 
 let feasible ?(eps = 1e-7) p x =
   Array.length x = Array.length p.minimize
-  && Array.for_all (fun v -> v >= -.eps) x
+  && Array.for_all (fun v -> Fc.exact_ge v (-.eps)) x
   && List.for_all
        (fun (row, rel, b) ->
          let lhs = ref 0. in
          Array.iteri (fun j a -> lhs := !lhs +. (a *. x.(j))) row;
          let scale = Float.max 1. (Float.abs b) in
          match rel with
-         | Le -> !lhs <= b +. (eps *. scale)
-         | Ge -> !lhs >= b -. (eps *. scale)
-         | Eq -> Float.abs (!lhs -. b) <= eps *. scale)
+         | Le -> Fc.exact_le !lhs (b +. (eps *. scale))
+         | Ge -> Fc.exact_ge !lhs (b -. (eps *. scale))
+         | Eq -> Fc.exact_le (Float.abs (!lhs -. b)) (eps *. scale))
        p.constraints
 
 (* mutable tableau state *)
@@ -67,7 +68,7 @@ let pivot t ~row ~col =
     (fun i r ->
       if i <> row then begin
         let f = r.(col) in
-        if Float.abs f > 0. then begin
+        if Fc.exact_gt (Float.abs f) 0. then begin
           for j = 0 to ncols - 1 do
             r.(j) <- r.(j) -. (f *. t.rows.(row).(j))
           done;
@@ -76,7 +77,7 @@ let pivot t ~row ~col =
       end)
     t.rows;
   let f = t.cost.(col) in
-  if Float.abs f > 0. then begin
+  if Fc.exact_gt (Float.abs f) 0. then begin
     for j = 0 to ncols - 1 do
       t.cost.(j) <- t.cost.(j) -. (f *. t.rows.(row).(j))
     done;
@@ -95,7 +96,7 @@ let iterate ?(max_iter = 10_000) t =
       let entering = ref (-1) in
       (try
          for j = 0 to ncols - 1 do
-           if (not t.banned.(j)) && t.cost.(j) < -.eps then begin
+           if (not t.banned.(j)) && Fc.exact_lt t.cost.(j) (-.eps) then begin
              entering := j;
              raise Exit
            end
@@ -110,8 +111,8 @@ let iterate ?(max_iter = 10_000) t =
           if t.rows.(i).(col) > eps then begin
             let ratio = t.rhs.(i) /. t.rows.(i).(col) in
             if
-              ratio < !best_ratio -. eps
-              || (Float.abs (ratio -. !best_ratio) <= eps
+              Fc.exact_lt ratio (!best_ratio -. eps)
+              || (Fc.exact_le (Float.abs (ratio -. !best_ratio)) eps
                  && !best >= 0
                  && t.basis.(i) < t.basis.(!best))
             then begin
@@ -138,7 +139,7 @@ let set_cost t full_cost =
   Array.iteri
     (fun i b ->
       let cb = t.cost.(b) in
-      if Float.abs cb > 0. then begin
+      if Fc.exact_gt (Float.abs cb) 0. then begin
         for j = 0 to ncols - 1 do
           t.cost.(j) <- t.cost.(j) -. (cb *. t.rows.(i).(j))
         done;
@@ -153,7 +154,7 @@ let solve ?(max_iter = 10_000) p =
       let cons =
         List.map
           (fun (row, rel, b) ->
-            if b < 0. then
+            if Fc.exact_lt b 0. then
               ( Array.map (fun a -> -.a) row,
                 (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
                 -.b )
@@ -218,7 +219,7 @@ let solve ?(max_iter = 10_000) p =
       | `Optimal -> Ok ())
       |> fun check ->
       let* () = check in
-      if phase1_value > 1e-7 then Ok Infeasible
+      if Fc.exact_gt phase1_value 1e-7 then Ok Infeasible
       else begin
         (* drive artificials out of the basis where possible *)
         Array.iteri
@@ -227,7 +228,7 @@ let solve ?(max_iter = 10_000) p =
               let found = ref (-1) in
               (try
                  for j = 0 to art_start - 1 do
-                   if Float.abs t.rows.(i).(j) > eps then begin
+                   if Fc.exact_gt (Float.abs t.rows.(i).(j)) eps then begin
                      found := j;
                      raise Exit
                    end

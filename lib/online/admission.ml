@@ -1,3 +1,4 @@
+module Fc = Rt_prelude.Float_cmp
 open Rt_power
 
 type policy =
@@ -60,7 +61,7 @@ let advance (proc : Processor.t) actives ~now ~until =
   let err = ref None in
   let rec run () =
     if !err <> None then ()
-    else if !now >= until -. eps then ()
+    else if Fc.exact_ge !now (until -. eps) then ()
     else begin
       match !actives with
       | [] ->
@@ -72,7 +73,7 @@ let advance (proc : Processor.t) actives ~now ~until =
             Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:s_max
               (Float.max s_crit (density_speed jobs ~now:!now))
           in
-          if speed <= 0. then begin
+          if Fc.exact_le speed 0. then begin
             (* zero density with work pending cannot happen (cycles > 0) *)
             err := Some "Admission: zero speed with pending work"
           end
@@ -84,8 +85,9 @@ let advance (proc : Processor.t) actives ~now ~until =
                   | None -> Some a
                   | Some b ->
                       if
-                        a.job.Job.deadline < b.job.Job.deadline
-                        || (a.job.Job.deadline = b.job.Job.deadline
+                        (* exact tie-break keeps the EDF order total *)
+                        Fc.exact_lt a.job.Job.deadline b.job.Job.deadline
+                        || (Fc.exact_eq a.job.Job.deadline b.job.Job.deadline
                            && a.job.Job.id < b.job.Job.id)
                       then Some a
                       else best)
@@ -98,8 +100,9 @@ let advance (proc : Processor.t) actives ~now ~until =
             energy := !energy +. (dt *. Power_model.power proc.model speed);
             ed.remaining <- ed.remaining -. (dt *. speed);
             now := t_next;
-            if ed.remaining <= eps *. Float.max 1. ed.job.Job.cycles then begin
-              if !now > ed.job.Job.deadline +. 1e-6 then
+            if Fc.exact_le ed.remaining (eps *. Float.max 1. ed.job.Job.cycles)
+            then begin
+              if Fc.exact_gt !now (ed.job.Job.deadline +. 1e-6) then
                 err :=
                   Some
                     (Printf.sprintf "Admission: job %d missed its deadline"
@@ -125,7 +128,7 @@ let marginal_estimate (proc : Processor.t) actives ~now (j : Job.t) =
     Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:(Processor.s_max proc)
       (Float.max (critical proc) (density_speed trial ~now))
   in
-  if s <= 0. then Float.infinity
+  if Fc.exact_le s 0. then Float.infinity
   else j.Job.cycles *. Power_model.power proc.model s /. s
 
 let simulate_mp ~(proc : Processor.t) ~m ~policy jobs =
@@ -157,7 +160,8 @@ let simulate_mp ~(proc : Processor.t) ~m ~policy jobs =
               | Error e -> Error e
               | Ok (_, e, last) ->
                   energy := !energy +. e;
-                  if last > 0. then makespan := Float.max !makespan last;
+                  if Fc.exact_gt last 0. then
+                    makespan := Float.max !makespan last;
                   Ok ()))
         (Ok ()) processors
     in
@@ -198,7 +202,10 @@ let simulate_mp ~(proc : Processor.t) ~m ~policy jobs =
                     | Profitable ->
                         Rt_prelude.Float_cmp.leq est j.Job.penalty
                     | Density_threshold theta ->
-                        j.Job.penalty /. j.Job.cycles >= theta
+                        (* tolerant: this is the paper's accept/reject boundary *)
+                        Rt_prelude.Float_cmp.geq
+                          (j.Job.penalty /. j.Job.cycles)
+                          theta
                   in
                   if accept then begin
                     actives :=

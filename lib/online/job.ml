@@ -1,3 +1,4 @@
+module Fc = Rt_prelude.Float_cmp
 type t = {
   id : int;
   arrival : float;
@@ -7,13 +8,13 @@ type t = {
 }
 
 let make ~id ~arrival ~cycles ~deadline ~penalty =
-  if arrival < 0. || not (Float.is_finite arrival) then
+  if Fc.exact_lt arrival 0. || not (Float.is_finite arrival) then
     invalid_arg "Job.make: arrival must be finite and >= 0";
-  if cycles <= 0. || not (Float.is_finite cycles) then
+  if Fc.exact_le cycles 0. || not (Float.is_finite cycles) then
     invalid_arg "Job.make: cycles must be finite and > 0";
-  if deadline <= arrival || not (Float.is_finite deadline) then
+  if Fc.exact_le deadline arrival || not (Float.is_finite deadline) then
     invalid_arg "Job.make: deadline must be after the arrival";
-  if penalty < 0. || not (Float.is_finite penalty) then
+  if Fc.exact_lt penalty 0. || not (Float.is_finite penalty) then
     invalid_arg "Job.make: penalty must be finite and >= 0";
   { id; arrival; cycles; deadline; penalty }
 
@@ -33,9 +34,10 @@ let exponential rng ~mean =
 let stream rng ~n ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
     ~penalty_factor =
   if n < 0 then invalid_arg "Job.stream: n < 0";
-  if rate <= 0. || s_max <= 0. || mean_cycles <= 0. then
+  if Fc.exact_le rate 0. || Fc.exact_le s_max 0. || Fc.exact_le mean_cycles 0.
+  then
     invalid_arg "Job.stream: non-positive parameter";
-  if slack_lo < 1. || slack_hi < slack_lo then
+  if Fc.exact_lt slack_lo 1. || Fc.exact_lt slack_hi slack_lo then
     invalid_arg "Job.stream: need 1 <= slack_lo <= slack_hi";
   let rec go i now acc =
     if i = n then List.rev acc

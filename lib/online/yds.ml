@@ -1,3 +1,4 @@
+module Fc = Rt_prelude.Float_cmp
 type block = { intensity : float; length : float; work : float }
 
 (* internal mutable job view on the compressed timeline *)
@@ -25,10 +26,10 @@ let critical_interval jvs =
                 (fun acc j -> if j.a >= t1 && j.d <= t2 then acc +. j.c else acc)
                 0. jvs
             in
-            if work > 0. then begin
+            if Fc.exact_gt work 0. then begin
               let intensity = work /. (t2 -. t1) in
               match !best with
-              | Some (bi, _, _, _) when bi >= intensity -. 1e-15 -> ()
+              | Some (bi, _, _, _) when Fc.exact_ge bi (intensity -. 1e-15) -> ()
               | _ -> best := Some (intensity, t1, t2, work)
             end
           end)
@@ -94,7 +95,7 @@ let energy ~(proc : Rt_power.Processor.t) jobs =
           (List.fold_left
              (fun acc b ->
                let s = Float.min s_max (Float.max s_crit b.intensity) in
-               if s <= 0. then acc
+               if Fc.exact_le s 0. then acc
                else begin
                  let busy = b.work /. s in
                  acc

@@ -1,3 +1,4 @@
+module Fc = Rt_prelude.Float_cmp
 open Rt_power
 open Rt_task
 
@@ -11,14 +12,14 @@ type speed_assignment = {
 type job = { id : int; cycles : float; factor : float; floor : float }
 
 let check_proc (proc : Processor.t) =
-  if proc.model.Power_model.linear <> 0. then
+  if not (Fc.exact_eq proc.model.Power_model.linear 0.) then
     invalid_arg "Hetero: power model must have linear = 0";
   match proc.domain with
   | Processor.Ideal _ -> ()
   | Processor.Levels _ -> invalid_arg "Hetero: ideal processors only"
 
 let factored (m : Power_model.t) f =
-  if f = 1. then m
+  if Fc.exact_eq f 1. then m
   else Power_model.make ~p_ind:m.p_ind ~coeff:(m.coeff *. f) ~alpha:m.alpha ()
 
 let job_of_item (proc : Processor.t) ~cycles_of (it : Task.item) =
@@ -90,7 +91,8 @@ let solve_jobs (proc : Processor.t) ~time_budget jobs =
 
 let processor_speeds (proc : Processor.t) ~horizon items =
   check_proc proc;
-  if horizon <= 0. then invalid_arg "Hetero.processor_speeds: horizon <= 0";
+  if Fc.exact_le horizon 0. then
+    invalid_arg "Hetero.processor_speeds: horizon <= 0";
   let jobs =
     List.map
       (job_of_item proc ~cycles_of:(fun (it : Task.item) -> it.weight *. horizon))
@@ -106,7 +108,8 @@ let awake_overhead (proc : Processor.t) ~horizon =
 let estimated_times (proc : Processor.t) ~m ~horizon items =
   check_proc proc;
   if m < 1 then invalid_arg "Hetero.estimated_times: m < 1";
-  if horizon <= 0. then invalid_arg "Hetero.estimated_times: horizon <= 0";
+  if Fc.exact_le horizon 0. then
+    invalid_arg "Hetero.estimated_times: horizon <= 0";
   let jobs =
     List.map
       (job_of_item proc ~cycles_of:(fun (it : Task.item) -> it.weight *. horizon))
@@ -136,7 +139,7 @@ let estimated_times (proc : Processor.t) ~m ~horizon items =
         else begin
           let fixed = List.map (fun j -> (j.id, horizon)) over @ fixed in
           let budget = budget -. (float_of_int (List.length over) *. horizon) in
-          if budget <= 0. || ok = [] then
+          if Fc.exact_le budget 0. || ok = [] then
             List.map (fun j -> (j.id, horizon)) ok @ fixed
           else refine fixed budget ok
         end

@@ -16,7 +16,8 @@ let random rng ~m items =
     (Partition.empty ~m) items
 
 let fit_by ~choose ~m ~capacity items =
-  if capacity <= 0. then invalid_arg "Heuristics.fit: capacity <= 0";
+  if Rt_prelude.Float_cmp.exact_le capacity 0. then
+    invalid_arg "Heuristics.fit: capacity <= 0";
   let place (p, rejected) (it : Task.item) =
     let fits j = Rt_prelude.Float_cmp.leq (Partition.load p j +. it.weight) capacity in
     let candidates = List.filter fits (Rt_prelude.Math_util.range 0 (m - 1)) in

@@ -5,12 +5,12 @@ let critical_processors ~proc p =
   List.filter
     (fun j ->
       let l = Partition.load p j in
-      l > 0. && Rt_prelude.Float_cmp.lt l s_crit)
+      Rt_prelude.Float_cmp.exact_gt l 0. && Rt_prelude.Float_cmp.lt l s_crit)
     (Rt_prelude.Math_util.range 0 (Partition.m p - 1))
 
 let consolidate ~proc p =
   let s_crit = Rt_power.Processor.critical_speed proc in
-  if s_crit <= 0. then p
+  if Rt_prelude.Float_cmp.exact_le s_crit 0. then p
   else begin
     let critical = critical_processors ~proc p in
     match critical with

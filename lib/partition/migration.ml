@@ -1,3 +1,4 @@
+module Fc = Rt_prelude.Float_cmp
 open Rt_task
 
 type slice = { item_id : int; proc : int; t0 : float; t1 : float }
@@ -26,13 +27,16 @@ let idle_energy (proc : Rt_power.Processor.t) ~idle =
 
 let optimal ~(proc : Rt_power.Processor.t) ~m ~frame items =
   if m < 1 then Error "Migration.optimal: m < 1"
-  else if frame <= 0. then Error "Migration.optimal: frame <= 0"
+  else if Fc.exact_le frame 0. then Error "Migration.optimal: frame <= 0"
   else if not (Rt_power.Processor.is_ideal proc) then
     Error "Migration.optimal: ideal processors only"
   else if
     not (Task.distinct_ids (List.map (fun (i : Task.item) -> i.item_id) items))
   then Error "Migration.optimal: duplicate item ids"
-  else if List.exists (fun (i : Task.item) -> i.item_power_factor <> 1.) items
+  else if
+    List.exists
+      (fun (i : Task.item) -> not (Fc.exact_eq i.item_power_factor 1.))
+      items
   then Error "Migration.optimal: non-unit power factors"
   else if items = [] then Ok { speeds = []; slices = []; energy = 0. }
   else begin
@@ -69,12 +73,12 @@ let optimal ~(proc : Rt_power.Processor.t) ~m ~frame items =
           (* bisection residue in the times is ~1e-10; anything below the
              tolerance is dropped rather than wrapped onto a phantom row *)
           let rec place remaining =
-            if remaining > 1e-6 *. frame then begin
+            if Fc.exact_gt remaining (1e-6 *. frame) then begin
               if !row >= m then overflow := true
               else begin
                 let room = frame -. !cursor in
                 let dt = Float.min remaining room in
-                if dt > 0. then
+                if Fc.exact_gt dt 0. then
                   slices :=
                     {
                       item_id = it.item_id;
@@ -84,7 +88,7 @@ let optimal ~(proc : Rt_power.Processor.t) ~m ~frame items =
                     }
                     :: !slices;
                 cursor := !cursor +. dt;
-                if !cursor >= frame -. (1e-9 *. frame) then begin
+                if Fc.exact_ge !cursor (frame -. (1e-9 *. frame)) then begin
                   incr row;
                   cursor := 0.
                 end;
@@ -127,9 +131,10 @@ let validate ?(eps = 1e-6) ~(proc : Rt_power.Processor.t) ~m ~frame items sch =
     if
       List.for_all
         (fun s ->
-          s.proc >= 0 && s.proc < m && s.t0 >= -.eps
-          && s.t1 <= frame +. eps
-          && s.t1 > s.t0)
+          s.proc >= 0 && s.proc < m
+          && Fc.exact_ge s.t0 (-.eps)
+          && Fc.exact_le s.t1 (frame +. eps)
+          && Fc.exact_gt s.t1 s.t0)
         sch.slices
     then Ok ()
     else Error "slice outside the frame rectangle"
@@ -170,7 +175,7 @@ let validate ?(eps = 1e-6) ~(proc : Rt_power.Processor.t) ~m ~frame items sch =
         let sorted = List.sort (fun a b -> Float.compare a.t0 b.t0) mine in
         let rec disjoint = function
           | a :: (b :: _ as rest) ->
-              if b.t0 < a.t1 -. eps then
+              if Fc.exact_lt b.t0 (a.t1 -. eps) then
                 Error (Printf.sprintf "item %d overlaps itself" it.item_id)
               else disjoint rest
           | _ -> Ok ()
@@ -186,7 +191,7 @@ let validate ?(eps = 1e-6) ~(proc : Rt_power.Processor.t) ~m ~frame items sch =
         let sorted = List.sort (fun a b -> Float.compare a.t0 b.t0) mine in
         let rec disjoint = function
           | a :: (b :: _ as rest) ->
-              if b.t0 < a.t1 -. eps then
+              if Fc.exact_lt b.t0 (a.t1 -. eps) then
                 Error (Printf.sprintf "processor %d double-booked" p)
               else disjoint rest
           | _ -> Ok ()

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 type speed_domain =
   | Ideal of { s_min : float; s_max : float }
   | Levels of float array
@@ -14,23 +16,27 @@ type t = {
 
 let validate_domain = function
   | Ideal { s_min; s_max } ->
-      if not (0. <= s_min && s_min <= s_max && Float.is_finite s_max) then
+      if
+        not
+          (Fc.exact_le 0. s_min && Fc.exact_le s_min s_max
+          && Float.is_finite s_max)
+      then
         invalid_arg "Processor.make: need 0 <= s_min <= s_max < infinity"
   | Levels levels ->
       if Array.length levels = 0 then
         invalid_arg "Processor.make: empty level set";
       Array.iteri
         (fun i s ->
-          if s <= 0. || not (Float.is_finite s) then
+          if Fc.exact_le s 0. || not (Float.is_finite s) then
             invalid_arg "Processor.make: levels must be positive and finite";
-          if i > 0 && levels.(i - 1) >= s then
+          if i > 0 && Fc.exact_ge levels.(i - 1) s then
             invalid_arg "Processor.make: levels must be strictly increasing")
         levels
 
 let validate_dormancy = function
   | Dormant_disable -> ()
   | Dormant_enable { t_sw; e_sw } ->
-      if t_sw < 0. || e_sw < 0. then
+      if Fc.exact_lt t_sw 0. || Fc.exact_lt e_sw 0. then
         invalid_arg "Processor.make: negative dormancy overhead"
 
 let make ~model ~domain ~dormancy =

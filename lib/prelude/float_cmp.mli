@@ -34,3 +34,29 @@ val is_finite : float -> bool
 
 val compare_approx : ?eps:float -> float -> float -> int
 (** Three-way comparison that treats [approx_eq] values as equal. *)
+
+(** {2 Exact comparisons}
+
+    Argument validation ("reject a non-positive frame length") and
+    total-order tie-breaks need raw IEEE semantics, not tolerance: widening
+    them would reject valid degenerate inputs or break comparator
+    transitivity.  Routing them through this module keeps every float
+    comparison in the repository in one audited place — rt-lint's
+    [float-cmp] rule flags bare operators precisely so call sites must
+    choose, visibly, between the tolerant family above and the exact family
+    below. *)
+
+val exact_eq : float -> float -> bool
+(** IEEE equality ([Float.equal]; NaN equals NaN, [0. = -0.]). *)
+
+val exact_lt : float -> float -> bool
+(** IEEE [<], no tolerance. *)
+
+val exact_le : float -> float -> bool
+(** IEEE [<=], no tolerance. *)
+
+val exact_gt : float -> float -> bool
+(** IEEE [>], no tolerance. *)
+
+val exact_ge : float -> float -> bool
+(** IEEE [>=], no tolerance. *)

@@ -50,7 +50,8 @@ let golden_section_min ?(tol = 1e-10) ?(max_iter = 200) ~f ~lo ~hi () =
   let iter = ref 0 in
   while
     !iter < max_iter
-    && !b -. !a > tol *. Float.max 1. (Float.abs !a +. Float.abs !b)
+    && Float_cmp.exact_gt (!b -. !a)
+         (tol *. Float.max 1. (Float.abs !a +. Float.abs !b))
   do
     incr iter;
     if !fa < !fb then begin
@@ -73,25 +74,26 @@ let golden_section_min ?(tol = 1e-10) ?(max_iter = 200) ~f ~lo ~hi () =
 
 let bisect_root ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   let flo = f lo and fhi = f hi in
-  if flo = 0. then lo
-  else if fhi = 0. then hi
-  else if flo *. fhi > 0. then
+  if Float_cmp.exact_eq flo 0. then lo
+  else if Float_cmp.exact_eq fhi 0. then hi
+  else if Float_cmp.exact_gt (flo *. fhi) 0. then
     invalid_arg "Math_util.bisect_root: endpoints do not bracket a root"
   else begin
     let a = ref lo and b = ref hi and fa = ref flo in
     let iter = ref 0 in
     while
       !iter < max_iter
-      && !b -. !a > tol *. Float.max 1. (Float.abs !a +. Float.abs !b)
+      && Float_cmp.exact_gt (!b -. !a)
+           (tol *. Float.max 1. (Float.abs !a +. Float.abs !b))
     do
       incr iter;
       let m = (!a +. !b) /. 2. in
       let fm = f m in
-      if fm = 0. then begin
+      if Float_cmp.exact_eq fm 0. then begin
         a := m;
         b := m
       end
-      else if !fa *. fm < 0. then b := m
+      else if Float_cmp.exact_lt (!fa *. fm) 0. then b := m
       else begin
         a := m;
         fa := fm

@@ -17,7 +17,8 @@ let float t ~lo ~hi =
 let bool t = Random.State.bool t
 
 let log_uniform t ~lo ~hi =
-  if lo <= 0. || hi <= 0. then invalid_arg "Rng.log_uniform: bounds <= 0";
+  if Float_cmp.exact_le lo 0. || Float_cmp.exact_le hi 0. then
+    invalid_arg "Rng.log_uniform: bounds <= 0";
   if lo > hi then invalid_arg "Rng.log_uniform: lo > hi";
   exp (float t ~lo:(log lo) ~hi:(log hi))
 
@@ -37,7 +38,7 @@ let shuffle t xs =
 
 let uunifast t ~n ~total =
   if n < 1 then invalid_arg "Rng.uunifast: n < 1";
-  if total < 0. then invalid_arg "Rng.uunifast: negative total";
+  if Float_cmp.exact_lt total 0. then invalid_arg "Rng.uunifast: negative total";
   (* Bini & Buttazzo: peel off each share with sum_{i+1} = sum_i * U^(1/rem) *)
   if n = 1 then [ total ]
   else begin

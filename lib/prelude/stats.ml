@@ -32,7 +32,8 @@ let maximum xs =
 let sorted xs = List.sort Float.compare xs
 
 let percentile p xs =
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  if Float_cmp.exact_lt p 0. || Float_cmp.exact_gt p 100. then
+    invalid_arg "Stats.percentile: p out of range";
   let xs = sorted (nonempty "percentile" xs) in
   let a = Array.of_list xs in
   let n = Array.length a in
@@ -63,7 +64,7 @@ let geometric_mean xs =
   let log_sum =
     List.fold_left
       (fun acc x ->
-        if x <= 0. then
+        if Float_cmp.exact_le x 0. then
           invalid_arg "Stats.geometric_mean: non-positive sample"
         else acc +. log x)
       0. xs

@@ -19,7 +19,8 @@ let add_row t row =
   { t with rows = row :: t.rows }
 
 let float_cell ?(decimals = 4) x =
-  if Float.is_integer x && Float.abs x < 1e15 && decimals = 0 then
+  if Float.is_integer x && Float_cmp.exact_lt (Float.abs x) 1e15 && decimals = 0
+  then
     Printf.sprintf "%.0f" x
   else Printf.sprintf "%.*f" decimals x
 
@@ -78,5 +79,7 @@ let to_csv t =
   |> String.concat "\n"
 
 let print t =
+  (* lint: allow-no-print "Tablefmt is the sanctioned output sink" *)
   print_string (render t);
+  (* lint: allow-no-print "Tablefmt is the sanctioned output sink" *)
   print_newline ()

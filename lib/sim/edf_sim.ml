@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_power
 open Rt_task
 
@@ -34,7 +36,7 @@ let build_jobs ~horizon ~speed tasks =
       let exec = float_of_int t.cycles /. speed in
       let rec go k acc =
         let release = float_of_int k *. p in
-        if release >= horizon -. 1e-9 then List.rev acc
+        if Fc.exact_ge release (horizon -. 1e-9) then List.rev acc
         else
           go (k + 1)
             ({ jtask = t.id; release; deadline = release +. p; remaining = exec }
@@ -60,8 +62,9 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
         | None -> Some j
         | Some b ->
             if
-              j.deadline < b.deadline
-              || (j.deadline = b.deadline && j.jtask < b.jtask)
+              (* exact tie-break: tolerance here would break the total order *)
+              Fc.exact_lt j.deadline b.deadline
+              || (Fc.exact_eq j.deadline b.deadline && j.jtask < b.jtask)
             then Some j
             else best)
       None ready
@@ -72,11 +75,14 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
   let busy = ref 0. in
   let preemptions = ref 0 in
   let rec loop t ready future =
-    if t >= horizon -. 1e-9 then
+    if Fc.exact_ge t (horizon -. 1e-9) then
       (* account unfinished jobs whose deadlines passed *)
       List.iter
         (fun j ->
-          if j.remaining > 1e-9 && j.deadline <= horizon +. 1e-9 then
+          if
+            Fc.exact_gt j.remaining 1e-9
+            && Fc.exact_le j.deadline (horizon +. 1e-9)
+          then
             misses :=
               {
                 task_id = j.jtask;
@@ -88,12 +94,13 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
     else
       match (pick ready, future) with
       | None, [] ->
-          if horizon -. t > 1e-9 then gaps := { g0 = t; g1 = horizon } :: !gaps
+          if Fc.exact_gt (horizon -. t) 1e-9 then
+            gaps := { g0 = t; g1 = horizon } :: !gaps
       | None, next :: _ ->
           let t' = Float.min horizon next.release in
-          if t' -. t > 1e-9 then gaps := { g0 = t; g1 = t' } :: !gaps;
+          if Fc.exact_gt (t' -. t) 1e-9 then gaps := { g0 = t; g1 = t' } :: !gaps;
           let arrived, future' =
-            List.partition (fun j -> j.release <= t' +. 1e-12) future
+            List.partition (fun j -> Fc.exact_le j.release (t' +. 1e-12)) future
           in
           loop t' (arrived @ ready) future'
       | Some j, _ ->
@@ -103,13 +110,13 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
           let finish = t +. j.remaining in
           let t' = Float.min (Float.min finish next_release) horizon in
           let ran = t' -. t in
-          if ran > 0. then begin
+          if Fc.exact_gt ran 0. then begin
             busy := !busy +. ran;
             slices := { x0 = t; x1 = t'; xtask = j.jtask } :: !slices;
             j.remaining <- j.remaining -. ran
           end;
-          let completed = j.remaining <= 1e-9 in
-          if completed && t' > j.deadline +. 1e-9 then
+          let completed = Fc.exact_le j.remaining 1e-9 in
+          if completed && Fc.exact_gt t' (j.deadline +. 1e-9) then
             misses :=
               {
                 task_id = j.jtask;
@@ -117,20 +124,26 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
                 late_by = t' -. j.deadline;
               }
               :: !misses;
-          let ready' = if completed then List.filter (fun x -> x != j) ready else ready in
+          let ready' =
+            (* lint: allow-phys-cmp "jobs are mutable records; physical identity is the intended key" *)
+            if completed then List.filter (fun x -> x != j) ready else ready
+          in
           let arrived, future' =
-            List.partition (fun x -> x.release <= t' +. 1e-12) future
+            List.partition (fun x -> Fc.exact_le x.release (t' +. 1e-12)) future
           in
           (* a preemption happens when the job is unfinished and a newly
              arrived job takes over *)
           let ready'' = arrived @ ready' in
           (if (not completed) && t' < horizon then
              match pick ready'' with
+             (* lint: allow-phys-cmp "jobs are mutable records; physical identity is the intended key" *)
              | Some nxt when nxt != j -> incr preemptions
              | _ -> ());
           loop t' ready'' future'
   in
-  let arrived, future' = List.partition (fun j -> j.release <= 1e-12) future in
+  let arrived, future' =
+    List.partition (fun j -> Fc.exact_le j.release 1e-12) future
+  in
   loop 0. arrived future';
   let gaps = List.rev !gaps in
   let idle_total =
@@ -144,11 +157,12 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
       0. gaps
   in
   let idle_energy_proc =
-    if idle_total = 0. then 0.
+    if Fc.exact_eq idle_total 0. then 0.
     else Rt_speed.Procrastinate.idle_energy proc ~interval:idle_total
   in
   let exec_energy =
-    if !busy = 0. then 0. else !busy *. Power_model.power proc.model speed
+    if Fc.exact_eq !busy 0. then 0.
+    else !busy *. Power_model.power proc.model speed
   in
   let outcome =
     {
@@ -174,7 +188,7 @@ let prepare ?horizon ~proc ~speed tasks =
   in
   let* horizon =
     match horizon with
-    | Some h -> if h > 0. then Ok h else Error "Edf_sim: horizon <= 0"
+    | Some h -> if Fc.exact_gt h 0. then Ok h else Error "Edf_sim: horizon <= 0"
     | None -> (
         match tasks with
         | [] -> Error "Edf_sim: empty task set needs an explicit horizon"
@@ -182,7 +196,7 @@ let prepare ?horizon ~proc ~speed tasks =
   in
   let* () =
     if tasks = [] then Ok ()
-    else if speed <= 0. then Error "Edf_sim: speed <= 0"
+    else if Fc.exact_le speed 0. then Error "Edf_sim: speed <= 0"
     else if not (Processor.speed_feasible proc speed) then
       Error
         (Printf.sprintf "Edf_sim: speed %.6g not available on this processor"

@@ -1,6 +1,7 @@
 open Rt_power
 open Rt_task
 open Rt_speed
+module Fc = Rt_prelude.Float_cmp
 
 type slice = { task_id : int option; t0 : float; t1 : float; speed : float }
 
@@ -28,7 +29,7 @@ let energy_of_slices ~(proc : Processor.t) slices =
     (fun acc s ->
       let dt = s.t1 -. s.t0 in
       let p =
-        if s.task_id = None || s.speed = 0. then idle_power_of proc
+        if s.task_id = None || Fc.exact_eq s.speed 0. then idle_power_of proc
         else Power_model.power proc.model s.speed
       in
       acc +. (dt *. p))
@@ -38,7 +39,9 @@ let energy_of_slices ~(proc : Processor.t) slices =
    splitting tasks across segment boundaries. *)
 let lay_out ~frame_length bucket (plan : Energy_rate.plan) =
   let running =
-    List.filter (fun (s : Energy_rate.segment) -> s.speed > 0.) plan.segments
+    List.filter
+      (fun (s : Energy_rate.segment) -> Fc.exact_gt s.speed 0.)
+      plan.segments
     |> List.map (fun (s : Energy_rate.segment) ->
            (s.speed, s.fraction *. frame_length))
   in
@@ -50,9 +53,9 @@ let lay_out ~frame_length bucket (plan : Energy_rate.plan) =
            below tolerance and dropped here — validation re-checks *)
         (t, List.rev acc)
     | (it, cycles) :: rest_tasks, (speed, seg_time) :: rest_segments ->
-        if cycles <= 1e-12 *. frame_length then
+        if Fc.exact_le cycles (1e-12 *. frame_length) then
           go t segments rest_tasks acc
-        else if seg_time <= 1e-12 *. frame_length then
+        else if Fc.exact_le seg_time (1e-12 *. frame_length) then
           go t rest_segments tasks acc
         else begin
           let need = cycles /. speed in
@@ -63,11 +66,11 @@ let lay_out ~frame_length bucket (plan : Energy_rate.plan) =
           let cycles_left = cycles -. (dt *. speed) in
           let seg_left = seg_time -. dt in
           let tasks' =
-            if cycles_left <= 1e-12 *. frame_length then rest_tasks
+            if Fc.exact_le cycles_left (1e-12 *. frame_length) then rest_tasks
             else (it, cycles_left) :: rest_tasks
           in
           let segments' =
-            if seg_left <= 1e-12 *. frame_length then rest_segments
+            if Fc.exact_le seg_left (1e-12 *. frame_length) then rest_segments
             else (speed, seg_left) :: rest_segments
           in
           go (t +. dt) segments' tasks' (slice :: acc)
@@ -78,17 +81,20 @@ let lay_out ~frame_length bucket (plan : Energy_rate.plan) =
   in
   let t_end, slices = go 0. running tasks [] in
   let slices =
-    if t_end < frame_length -. (1e-12 *. frame_length) then
+    if Fc.exact_lt t_end (frame_length -. (1e-12 *. frame_length)) then
       slices @ [ { task_id = None; t0 = t_end; t1 = frame_length; speed = 0. } ]
     else slices
   in
   slices
 
 let build ~proc ~frame_length partition =
-  if frame_length <= 0. then Error "Frame_sim.build: frame_length <= 0"
+  if Fc.exact_le frame_length 0. then Error "Frame_sim.build: frame_length <= 0"
   else begin
     let items = Rt_partition.Partition.all_items partition in
-    if List.exists (fun (it : Task.item) -> it.item_power_factor <> 1.) items
+    if
+      List.exists
+        (fun (it : Task.item) -> not (Fc.exact_eq it.item_power_factor 1.))
+        items
     then Error "Frame_sim.build: non-unit power_factor unsupported"
     else begin
       let m = Rt_partition.Partition.m partition in
@@ -137,7 +143,7 @@ let validate ?eps t =
       | s :: rest ->
           if not (Rt_prelude.Float_cmp.approx_eq ~eps:feps s.t0 prev) then
             Error "timeline has a gap or overlap"
-          else if s.t1 < s.t0 -. feps then Error "negative slice"
+          else if Fc.exact_lt s.t1 (s.t0 -. feps) then Error "negative slice"
           else if
             s.task_id <> None
             && not (Processor.speed_feasible ~eps:feps t.proc s.speed)
@@ -146,7 +152,7 @@ let validate ?eps t =
     in
     match tl.slices with
     | [] ->
-        if t.frame_length = 0. then Ok ()
+        if Fc.exact_eq t.frame_length 0. then Ok ()
         else Error "empty timeline on a positive frame"
     | first :: _ ->
         let* () =

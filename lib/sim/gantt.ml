@@ -1,11 +1,17 @@
+module Fc = Rt_prelude.Float_cmp
+
 type segment = { t0 : float; t1 : float; row : string; glyph : char }
 
 let render ?(width = 72) ~horizon segments =
-  if horizon <= 0. then invalid_arg "Gantt.render: horizon <= 0";
+  if Fc.exact_le horizon 0. then invalid_arg "Gantt.render: horizon <= 0";
   if width < 8 then invalid_arg "Gantt.render: width too small";
   List.iter
     (fun s ->
-      if s.t0 < -1e-9 || s.t1 > horizon *. (1. +. 1e-9) || s.t1 < s.t0 then
+      if
+        Fc.exact_lt s.t0 (-1e-9)
+        || Fc.exact_gt s.t1 (horizon *. (1. +. 1e-9))
+        || Fc.exact_lt s.t1 s.t0
+      then
         invalid_arg "Gantt.render: segment outside horizon")
     segments;
   let rows = ref [] in
@@ -21,7 +27,7 @@ let render ?(width = 72) ~horizon segments =
   List.iter
     (fun s ->
       let line = List.assoc s.row rows_in_order in
-      if s.t1 > s.t0 then
+      if Fc.exact_gt s.t1 s.t0 then
         for c = col s.t0 to col (s.t1 -. (1e-12 *. horizon)) do
           Bytes.set line c s.glyph
         done)

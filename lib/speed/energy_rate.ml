@@ -1,10 +1,12 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_power
 
 type segment = { speed : float; fraction : float }
 type plan = { segments : segment list; rate : float }
 
 let factored_model ?(power_factor = 1.) (m : Power_model.t) =
-  if power_factor = 1. then m
+  if Fc.exact_eq power_factor 1. then m
   else
     Power_model.make ~p_ind:m.p_ind
       ~linear:(m.linear *. power_factor)
@@ -25,7 +27,7 @@ let lower_hull points =
   List.fold_left
     (fun hull p ->
       let rec pop = function
-        | a :: b :: rest when cross b a p <= 0. -> pop (b :: rest)
+        | a :: b :: rest when Fc.exact_le (cross b a p) 0. -> pop (b :: rest)
         | hull -> p :: hull
       in
       pop hull)
@@ -54,7 +56,7 @@ let mix_on_hull hull u =
           [
             { speed = x2; fraction = a }; { speed = x1; fraction = 1. -. a };
           ]
-          |> List.filter (fun s -> s.fraction > 0.)
+          |> List.filter (fun s -> Fc.exact_gt s.fraction 0.)
         in
         (* make sure a pure-vertex mix still covers the whole horizon *)
         let segments =
@@ -66,7 +68,7 @@ let mix_on_hull hull u =
       end
 
 let optimal ?power_factor (proc : Processor.t) ~u =
-  if u < -1e-9 || not (Float.is_finite u) then
+  if Fc.exact_lt u (-1e-9) || not (Float.is_finite u) then
     invalid_arg "Energy_rate.optimal: u must be finite and >= 0";
   (* arithmetic on loads (repeated add/remove) can leave -1e-17 residues *)
   let u = Float.max 0. u in
@@ -80,7 +82,9 @@ let optimal ?power_factor (proc : Processor.t) ~u =
         let levels =
           match proc.domain with
           | Processor.Levels ls -> Array.to_list ls
-          | Processor.Ideal _ -> assert false
+          | Processor.Ideal _ ->
+              (* lint: allow-no-raise "unreachable: guarded by the Levels match above" *)
+              assert false
         in
         let points = (0., idle_rate proc) :: List.map (fun l -> (l, power l)) levels in
         let hull = lower_hull points in
@@ -90,7 +94,7 @@ let optimal ?power_factor (proc : Processor.t) ~u =
     | Processor.Ideal { s_min; s_max } -> (
         match proc.dormancy with
         | Processor.Dormant_disable ->
-            if u = 0. && s_min = 0. then
+            if Fc.exact_eq u 0. && Fc.exact_eq s_min 0. then
               Some
                 {
                   segments = [ { speed = 0.; fraction = 1. } ];
@@ -99,7 +103,7 @@ let optimal ?power_factor (proc : Processor.t) ~u =
             else begin
               let s_run = Float.max u s_min in
               let s_run = Float.min s_run s_max in
-              if s_run <= 0. then
+              if Fc.exact_le s_run 0. then
                 Some
                   {
                     segments = [ { speed = 0.; fraction = 1. } ];
@@ -109,8 +113,10 @@ let optimal ?power_factor (proc : Processor.t) ~u =
                 let busy = Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run) in
                 let rate = Processor.idle_power proc +. (busy *. dynamic s_run) in
                 let segments =
-                  if busy >= 1. then [ { speed = s_run; fraction = 1. } ]
-                  else if busy <= 0. then [ { speed = 0.; fraction = 1. } ]
+                  if Fc.exact_ge busy 1. then
+                    [ { speed = s_run; fraction = 1. } ]
+                  else if Fc.exact_le busy 0. then
+                    [ { speed = 0.; fraction = 1. } ]
                   else
                     [
                       { speed = s_run; fraction = busy };
@@ -121,7 +127,7 @@ let optimal ?power_factor (proc : Processor.t) ~u =
               end
             end
         | Processor.Dormant_enable _ ->
-            if u = 0. then
+            if Fc.exact_eq u 0. then
               Some { segments = [ { speed = 0.; fraction = 1. } ]; rate = 0. }
             else begin
               let s_crit = Power_model.critical_speed model ~s_max in
@@ -130,7 +136,7 @@ let optimal ?power_factor (proc : Processor.t) ~u =
               let busy = Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run) in
               let rate = busy *. power s_run in
               let segments =
-                if busy >= 1. then [ { speed = s_run; fraction = 1. } ]
+                if Fc.exact_ge busy 1. then [ { speed = s_run; fraction = 1. } ]
                 else
                   [
                     { speed = s_run; fraction = busy };
@@ -145,7 +151,8 @@ let rate ?power_factor proc ~u =
   Option.map (fun p -> p.rate) (optimal ?power_factor proc ~u)
 
 let energy ?power_factor proc ~u ~horizon =
-  if horizon < 0. then invalid_arg "Energy_rate.energy: negative horizon";
+  if Fc.exact_lt horizon 0. then
+    invalid_arg "Energy_rate.energy: negative horizon";
   Option.map (fun r -> r *. horizon) (rate ?power_factor proc ~u)
 
 let plan_rate ?power_factor (proc : Processor.t) plan =
@@ -153,7 +160,8 @@ let plan_rate ?power_factor (proc : Processor.t) plan =
   List.fold_left
     (fun acc { speed; fraction } ->
       let p =
-        if speed = 0. then idle_rate proc else Power_model.power model speed
+        if Fc.exact_eq speed 0. then idle_rate proc
+        else Power_model.power model speed
       in
       acc +. (fraction *. p))
     0. plan.segments
@@ -169,7 +177,8 @@ let validate ?eps (proc : Processor.t) ~u plan =
     if
       List.for_all
         (fun s ->
-          s.fraction >= 0. && Rt_power.Processor.speed_feasible ?eps proc s.speed)
+          Fc.exact_ge s.fraction 0.
+          && Rt_power.Processor.speed_feasible ?eps proc s.speed)
         plan.segments
     then Ok ()
     else Error "infeasible speed or negative fraction"

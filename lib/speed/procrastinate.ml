@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_power
 
 let break_even_time (proc : Processor.t) =
@@ -5,10 +7,12 @@ let break_even_time (proc : Processor.t) =
   | Processor.Dormant_disable -> Float.infinity
   | Processor.Dormant_enable { t_sw; e_sw } ->
       let p_ind = Processor.idle_power proc in
-      if p_ind <= 0. then Float.infinity else Float.max t_sw (e_sw /. p_ind)
+      if Fc.exact_le p_ind 0. then Float.infinity
+      else Float.max t_sw (e_sw /. p_ind)
 
 let idle_energy (proc : Processor.t) ~interval =
-  if interval < 0. then invalid_arg "Procrastinate.idle_energy: negative interval";
+  if Fc.exact_lt interval 0. then
+    invalid_arg "Procrastinate.idle_energy: negative interval";
   let awake = Processor.idle_power proc *. interval in
   match proc.dormancy with
   | Processor.Dormant_disable -> awake
@@ -19,13 +23,14 @@ let should_sleep (proc : Processor.t) ~interval =
   match proc.dormancy with
   | Processor.Dormant_disable -> false
   | Processor.Dormant_enable { t_sw; e_sw } ->
-      interval >= t_sw && e_sw < Processor.idle_power proc *. interval
+      Fc.exact_ge interval t_sw
+      && Fc.exact_lt e_sw (Processor.idle_power proc *. interval)
 
 let idle_energy_fragmented (proc : Processor.t) ~total_idle ~gaps =
   if gaps < 1 then invalid_arg "Procrastinate.idle_energy_fragmented: gaps < 1";
-  if total_idle < 0. then
+  if Fc.exact_lt total_idle 0. then
     invalid_arg "Procrastinate.idle_energy_fragmented: negative idle";
-  if total_idle = 0. then 0.
+  if Fc.exact_eq total_idle 0. then 0.
   else
     float_of_int gaps
     *. idle_energy proc ~interval:(total_idle /. float_of_int gaps)

@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 open Rt_power
 
 type interval = { duration : float; speed : float; active : int }
@@ -9,13 +11,18 @@ type schedule = {
 }
 
 let check_model (m : Power_model.t) =
-  if m.p_ind <> 0. then Error "Sync_global: model must have p_ind = 0"
-  else if m.linear <> 0. then Error "Sync_global: model must have linear = 0"
+  if not (Fc.exact_eq m.p_ind 0.) then
+    Error "Sync_global: model must have p_ind = 0"
+  else if not (Fc.exact_eq m.linear 0.) then
+    Error "Sync_global: model must have linear = 0"
   else Ok ()
 
 let check_inputs ~window ~workloads =
-  if window <= 0. then Error "Sync_global: window <= 0"
-  else if Array.exists (fun w -> w < 0. || not (Float.is_finite w)) workloads
+  if Fc.exact_le window 0. then Error "Sync_global: window <= 0"
+  else if
+    Array.exists
+      (fun w -> Fc.exact_lt w 0. || not (Float.is_finite w))
+      workloads
   then Error "Sync_global: workloads must be finite and >= 0"
   else if Array.length workloads = 0 then Error "Sync_global: no processors"
   else Ok ()
@@ -38,7 +45,7 @@ let solve (m : Power_model.t) ~window ~workloads =
       deltas
   in
   let k_total = Array.fold_left ( +. ) 0. k in
-  if k_total = 0. then
+  if Fc.exact_eq k_total 0. then
     Ok { intervals = []; energy = 0.; peak_speed = 0. }
   else begin
     let intervals = ref [] in
@@ -46,7 +53,7 @@ let solve (m : Power_model.t) ~window ~workloads =
     let peak = ref 0. in
     Array.iteri
       (fun j d ->
-        if d > 0. then begin
+        if Fc.exact_gt d 0. then begin
           let duration = window *. k.(j) /. k_total in
           let speed = d /. duration in
           let active = mm - j in
@@ -68,6 +75,6 @@ let energy_independent (m : Power_model.t) ~window ~workloads =
   | Error e -> invalid_arg e);
   Array.fold_left
     (fun acc w ->
-      if w = 0. then acc
+      if Fc.exact_eq w 0. then acc
       else acc +. (Power_model.dynamic_power m (w /. window) *. window))
     0. workloads

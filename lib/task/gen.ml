@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 let frame_tasks rng ~n ~cycles_lo ~cycles_hi =
   if n < 0 then invalid_arg "Gen.frame_tasks: n < 0";
   if cycles_lo < 1 || cycles_hi < cycles_lo then
@@ -11,7 +13,8 @@ let frame_tasks rng ~n ~cycles_lo ~cycles_hi =
 let frame_tasks_with_load rng ~n ~m ~s_max ~frame_length ~load =
   if n < 1 then invalid_arg "Gen.frame_tasks_with_load: n < 1";
   if m < 1 then invalid_arg "Gen.frame_tasks_with_load: m < 1";
-  if s_max <= 0. || frame_length <= 0. || load <= 0. then
+  if Fc.exact_le s_max 0. || Fc.exact_le frame_length 0. || Fc.exact_le load 0.
+  then
     invalid_arg "Gen.frame_tasks_with_load: non-positive parameter";
   let raw =
     List.map
@@ -30,7 +33,8 @@ let default_periods = [ 100; 200; 250; 400; 500; 1000 ]
 
 let periodic_tasks rng ~n ~total_util ~periods =
   if n < 1 then invalid_arg "Gen.periodic_tasks: n < 1";
-  if total_util < 0. then invalid_arg "Gen.periodic_tasks: negative total_util";
+  if Fc.exact_lt total_util 0. then
+    invalid_arg "Gen.periodic_tasks: negative total_util";
   if periods = [] || List.exists (fun p -> p <= 0) periods then
     invalid_arg "Gen.periodic_tasks: periods must be positive and non-empty";
   let utils = Rt_prelude.Rng.uunifast rng ~n ~total:total_util in
@@ -43,7 +47,7 @@ let periodic_tasks rng ~n ~total_util ~periods =
 
 let items rng ~n ~weight_lo ~weight_hi =
   if n < 0 then invalid_arg "Gen.items: n < 0";
-  if weight_lo <= 0. || weight_hi < weight_lo then
+  if Fc.exact_le weight_lo 0. || Fc.exact_lt weight_hi weight_lo then
     invalid_arg "Gen.items: invalid weight range";
   List.map
     (fun id ->
@@ -52,7 +56,7 @@ let items rng ~n ~weight_lo ~weight_hi =
     (Rt_prelude.Math_util.range 0 (n - 1))
 
 let heterogeneous_power_factors rng ~lo ~hi its =
-  if lo <= 0. || hi < lo then
+  if Fc.exact_le lo 0. || Fc.exact_lt hi lo then
     invalid_arg "Gen.heterogeneous_power_factors: invalid range";
   List.map
     (fun (it : Task.item) ->

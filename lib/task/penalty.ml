@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 type t =
   | Uniform of { lo : float; hi : float }
   | Proportional of { factor : float; jitter : float }
@@ -6,15 +8,18 @@ type t =
 
 let validate = function
   | Uniform { lo; hi } ->
-      if lo < 0. || hi < lo then Error "Uniform: need 0 <= lo <= hi" else Ok ()
+      if Fc.exact_lt lo 0. || Fc.exact_lt hi lo then
+        Error "Uniform: need 0 <= lo <= hi"
+      else Ok ()
   | Proportional { factor; jitter } | Inverse { factor; jitter } ->
-      if factor < 0. then Error "factor must be >= 0"
-      else if jitter < 0. || jitter >= 1. then
+      if Fc.exact_lt factor 0. then Error "factor must be >= 0"
+      else if Fc.exact_lt jitter 0. || Fc.exact_ge jitter 1. then
         Error "jitter must be in [0, 1)"
       else Ok ()
   | Bimodal { low; high; p_high } ->
-      if low < 0. || high < low then Error "Bimodal: need 0 <= low <= high"
-      else if p_high < 0. || p_high > 1. then
+      if Fc.exact_lt low 0. || Fc.exact_lt high low then
+        Error "Bimodal: need 0 <= low <= high"
+      else if Fc.exact_lt p_high 0. || Fc.exact_gt p_high 1. then
         Error "Bimodal: p_high must be in [0, 1]"
       else Ok ()
 
@@ -24,14 +29,14 @@ let reference_energy ~proc ~horizon weight =
   weight *. horizon /. s_max *. power
 
 let jittered rng jitter x =
-  if jitter = 0. then x
+  if Fc.exact_eq jitter 0. then x
   else x *. Rt_prelude.Rng.float rng ~lo:(1. -. jitter) ~hi:(1. +. jitter)
 
 let assign t rng ~proc ~horizon items =
   (match validate t with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Penalty.assign: " ^ msg));
-  if horizon <= 0. then invalid_arg "Penalty.assign: horizon <= 0";
+  if Fc.exact_le horizon 0. then invalid_arg "Penalty.assign: horizon <= 0";
   let mean_weight =
     match items with
     | [] -> 0.

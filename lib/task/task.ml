@@ -1,3 +1,5 @@
+module Fc = Rt_prelude.Float_cmp
+
 type frame = {
   id : int;
   cycles : int;
@@ -14,11 +16,11 @@ type periodic = {
 }
 
 let check_penalty penalty =
-  if penalty < 0. || not (Float.is_finite penalty) then
+  if Fc.exact_lt penalty 0. || not (Float.is_finite penalty) then
     invalid_arg "Task: penalty must be finite and >= 0"
 
 let check_power_factor power_factor =
-  if power_factor <= 0. || not (Float.is_finite power_factor) then
+  if Fc.exact_le power_factor 0. || not (Float.is_finite power_factor) then
     invalid_arg "Task: power_factor must be finite and > 0"
 
 let frame ?(penalty = 0.) ?(power_factor = 1.) ~id ~cycles () =
@@ -44,7 +46,7 @@ type item = {
 }
 
 let item ?(penalty = 0.) ?(power_factor = 1.) ~id ~weight () =
-  if weight <= 0. || not (Float.is_finite weight) then
+  if Fc.exact_le weight 0. || not (Float.is_finite weight) then
     invalid_arg "Task.item: weight must be finite and > 0";
   check_penalty penalty;
   check_power_factor power_factor;
@@ -56,7 +58,7 @@ let item ?(penalty = 0.) ?(power_factor = 1.) ~id ~weight () =
   }
 
 let item_of_frame ~frame_length (t : frame) =
-  if frame_length <= 0. then
+  if Fc.exact_le frame_length 0. then
     invalid_arg "Task.item_of_frame: frame_length <= 0";
   item ~penalty:t.penalty ~power_factor:t.power_factor ~id:t.id
     ~weight:(float_of_int t.cycles /. frame_length)
@@ -79,7 +81,7 @@ let tie_break cmp_main id_a id_b =
   if cmp_main <> 0 then cmp_main else compare id_a id_b
 
 let compare_frame_cycles_desc (a : frame) (b : frame) =
-  tie_break (compare b.cycles a.cycles) a.id b.id
+  tie_break (Int.compare b.cycles a.cycles) a.id b.id
 
 let compare_periodic_util_desc (a : periodic) (b : periodic) =
   tie_break (Float.compare (utilization b) (utilization a)) a.id b.id

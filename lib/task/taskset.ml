@@ -41,7 +41,8 @@ let items_of_periodics ts = List.map Task.item_of_periodic ts
 
 let load_factor ~m ~s_max items =
   if m <= 0 then invalid_arg "Taskset.load_factor: m <= 0";
-  if s_max <= 0. then invalid_arg "Taskset.load_factor: s_max <= 0";
+  if Rt_prelude.Float_cmp.exact_le s_max 0. then
+    invalid_arg "Taskset.load_factor: s_max <= 0";
   total_weight items /. (float_of_int m *. s_max)
 
 let pp_list pp_elt ppf ts =

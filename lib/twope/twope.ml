@@ -1,7 +1,9 @@
+module Fc = Rt_prelude.Float_cmp
+
 type task = { id : int; dvs_weight : float; alt_permille : int }
 
 let task ~id ~dvs_weight ~alt_permille =
-  if dvs_weight <= 0. || not (Float.is_finite dvs_weight) then
+  if Fc.exact_le dvs_weight 0. || not (Float.is_finite dvs_weight) then
     invalid_arg "Twope.task: dvs_weight must be finite and > 0";
   if alt_permille < 1 || alt_permille > 1000 then
     invalid_arg "Twope.task: alt_permille out of [1, 1000]";
@@ -17,9 +19,9 @@ type system = {
 }
 
 let system ~dvs ~alt_power ~alt_kind ~horizon =
-  if alt_power < 0. || not (Float.is_finite alt_power) then
+  if Fc.exact_lt alt_power 0. || not (Float.is_finite alt_power) then
     Error "Twope.system: alt_power must be finite and >= 0"
-  else if horizon <= 0. || not (Float.is_finite horizon) then
+  else if Fc.exact_le horizon 0. || not (Float.is_finite horizon) then
     Error "Twope.system: horizon must be finite and > 0"
   else Ok { dvs; alt_power; alt_kind; horizon }
 
@@ -155,7 +157,8 @@ let dp _sys tasks =
   for i = 0 to n - 1 do
     let w = arr.(i).alt_permille and v = arr.(i).dvs_weight in
     for c = cap downto w do
-      if value.(c - w) +. v > value.(c) then begin
+      (* exact DP improvement test: tolerance would change the optimum *)
+      if Fc.exact_gt (value.(c - w) +. v) value.(c) then begin
         value.(c) <- value.(c - w) +. v;
         keep.(i).(c) <- true
       end
@@ -248,7 +251,7 @@ let scale_to_permille ~total_alt raws =
 
 let gen_with rng ~n ~total_alt ~alt_of =
   if n < 1 then invalid_arg "Twope.gen: n < 1";
-  if total_alt <= 0. then invalid_arg "Twope.gen: total_alt <= 0";
+  if Fc.exact_le total_alt 0. then invalid_arg "Twope.gen: total_alt <= 0";
   let weights =
     List.map
       (fun _ -> Rt_prelude.Rng.float rng ~lo:0.05 ~hi:0.35)

@@ -1,0 +1,2 @@
+(* must flag: a lib module with no sibling .mli *)
+let answer = 42

@@ -1,0 +1,2 @@
+(* must flag: a second lib module with no sibling .mli *)
+let greeting = "hello"

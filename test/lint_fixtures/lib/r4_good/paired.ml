@@ -1,0 +1,2 @@
+(* must pass: ships a sibling interface *)
+let answer = 42

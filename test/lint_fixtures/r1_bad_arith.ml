@@ -1,0 +1,5 @@
+(* must flag: both operands are float arithmetic *)
+let dominated a b = (a +. b) >= (a *. b)
+
+(* must flag: polymorphic compare on a float-returning function *)
+let order a b = compare (sqrt a) (sqrt b)

@@ -1,0 +1,5 @@
+(* must flag: bare (<) against a float literal *)
+let below_threshold x = x < 1.5
+
+(* must flag: bare (=) against a float literal *)
+let is_zero x = x = 0.

@@ -1,0 +1,8 @@
+(* must pass: tolerance routed through Float_cmp, ints compared bare *)
+let close a b = Rt_prelude.Float_cmp.approx_eq a b
+
+let le a b = Rt_prelude.Float_cmp.leq a b
+
+let int_order (x : int) (y : int) = x < y
+
+let cap a b = Float.min a b

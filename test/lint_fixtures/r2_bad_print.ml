@@ -1,0 +1,5 @@
+(* must flag: unqualified print_endline in lib code *)
+let shout () = print_endline "done"
+
+(* must flag: prerr_string in lib code *)
+let complain () = prerr_string "oops"

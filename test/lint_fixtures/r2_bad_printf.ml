@@ -1,0 +1,5 @@
+(* must flag: Printf.printf inside lib code *)
+let report x = Printf.printf "cost = %d\n" x
+
+(* must flag: Format.printf inside lib code *)
+let pretty x = Format.printf "%d@." x

@@ -1,0 +1,7 @@
+(* must pass: sprintf and Buffer build strings without printing *)
+let render x = Printf.sprintf "cost = %d" x
+
+let concat parts =
+  let buf = Buffer.create 64 in
+  List.iter (Buffer.add_string buf) parts;
+  Buffer.contents buf

@@ -1,0 +1,2 @@
+(* must flag: assert false without a suppression pragma *)
+let total = function Some x -> x | None -> assert false

@@ -1,0 +1,2 @@
+(* must flag: failwith with no raise-doc and no suppression *)
+let head = function [] -> failwith "empty" | x :: _ -> x

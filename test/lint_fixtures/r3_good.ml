@@ -1,0 +1,5 @@
+(** Pops the first element.
+    @raise Failure on the empty list. *)
+let pop = function [] -> failwith "pop: empty" | x :: _ -> x
+
+let safe = function [] -> None | x :: _ -> Some x

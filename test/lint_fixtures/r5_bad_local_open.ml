@@ -1,0 +1,4 @@
+(* must flag: local open Stdlib *)
+let f () =
+  let open Stdlib in
+  succ 1

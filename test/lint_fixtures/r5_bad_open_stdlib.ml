@@ -1,0 +1,4 @@
+(* must flag: top-level open Stdlib *)
+open Stdlib
+
+let x = abs 3

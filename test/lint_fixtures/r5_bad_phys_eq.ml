@@ -1,0 +1,2 @@
+(* must flag: physical equality on immutable values *)
+let same a b = a == b

@@ -1,0 +1,2 @@
+(* must flag: physical inequality on immutable values *)
+let differ a b = a != b

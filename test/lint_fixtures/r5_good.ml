@@ -1,0 +1,6 @@
+(* must pass: structural comparison and ordinary opens *)
+open List
+
+let same (a : int) (b : int) = Stdlib.( = ) a b
+
+let len xs = length xs

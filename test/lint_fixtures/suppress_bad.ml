@@ -1,0 +1,4 @@
+(* must flag: the pragma below is missing its mandatory reason string *)
+
+(* lint: allow-phys-cmp *)
+let same a b = a == b

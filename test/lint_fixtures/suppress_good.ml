@@ -1,0 +1,12 @@
+(* must pass: every finding is suppressed with a reasoned pragma *)
+
+type cell = { mutable v : int }
+
+(* lint: allow-phys-cmp "cells are mutable; identity is the intended key" *)
+let same_cell (a : cell) (b : cell) = a == b
+
+(* lint: allow-no-raise "unreachable: callers guarantee a non-empty list" *)
+let first = function [] -> assert false | x :: _ -> x
+
+(* lint: allow-no-print "sanctioned debug hook behind a flag" *)
+let debug s = print_endline s

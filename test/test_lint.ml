@@ -1,0 +1,151 @@
+(* Tests for the rt-lint engine: every rule gets must-flag fixtures and a
+   must-pass fixture, plus suppression-pragma behavior.  Fixtures live in
+   test/lint_fixtures/ and are deliberately excluded from the build and
+   from the repo-wide lint walk. *)
+
+open Rt_lint_core
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let rules_of path =
+  Lint_core.lint_file ~as_lib:true (fixture path)
+  |> List.map (fun (f : Lint_core.finding) -> f.Lint_core.rule)
+
+let count rule rules = List.length (List.filter (String.equal rule) rules)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let flags path rule n () =
+  check_int (path ^ " flags " ^ rule) n (count rule (rules_of path))
+
+let clean path () =
+  check_int (path ^ " is clean") 0 (List.length (rules_of path))
+
+(* ------------------------------------------------------------------ *)
+(* R4: missing-mli works on paths, not parsed sources *)
+
+let test_missing_mli () =
+  let bad name = fixture (Filename.concat "lib/r4_bad" name) in
+  let good = fixture "lib/r4_good/paired.ml" in
+  check_bool "lonely.ml flagged" true
+    (Option.is_some (Lint_core.missing_mli (bad "lonely.ml")));
+  check_bool "orphan.ml flagged" true
+    (Option.is_some (Lint_core.missing_mli (bad "orphan.ml")));
+  check_bool "paired.ml clean" true
+    (Option.is_none (Lint_core.missing_mli good));
+  check_bool "mli files never flagged" true
+    (Option.is_none (Lint_core.missing_mli (good ^ "i")));
+  match Lint_core.missing_mli (bad "lonely.ml") with
+  | Some f -> Alcotest.(check string) "rule id" "missing-mli" f.Lint_core.rule
+  | None -> Alcotest.fail "expected a finding"
+
+(* ------------------------------------------------------------------ *)
+(* the walk includes interface coverage and sorts deterministically *)
+
+let test_lint_paths () =
+  let findings = Lint_core.lint_paths [ fixture "lib" ] in
+  let missing =
+    List.filter
+      (fun (f : Lint_core.finding) -> f.Lint_core.rule = "missing-mli")
+      findings
+  in
+  check_int "two lonely modules" 2 (List.length missing);
+  let sorted = List.sort Lint_core.compare_finding findings in
+  check_bool "walk output already sorted" true (findings = sorted)
+
+let test_diagnostic_format () =
+  match Lint_core.lint_file ~as_lib:true (fixture "r5_bad_phys_eq.ml") with
+  | [ f ] ->
+      let s = Lint_core.to_string f in
+      let prefix = fixture "r5_bad_phys_eq.ml" ^ ":2:" in
+      check_bool "file:line:col prefix" true
+        (String.length s > String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix);
+      check_bool "bracketed rule id" true
+        (String.length s > 0
+        &&
+        let re = "[phys-cmp]" in
+        let rec contains i =
+          i + String.length re <= String.length s
+          && (String.sub s i (String.length re) = re || contains (i + 1))
+        in
+        contains 0)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_as_lib_scoping () =
+  (* no-print and no-raise only apply to library code *)
+  check_int "printf ignored outside lib" 0
+    (count "no-print"
+       (Lint_core.lint_file ~as_lib:false (fixture "r2_bad_printf.ml")
+       |> List.map (fun (f : Lint_core.finding) -> f.Lint_core.rule)));
+  check_int "failwith ignored outside lib" 0
+    (count "no-raise"
+       (Lint_core.lint_file ~as_lib:false (fixture "r3_bad_failwith.ml")
+       |> List.map (fun (f : Lint_core.finding) -> f.Lint_core.rule)));
+  (* float-cmp applies everywhere *)
+  check_int "float-cmp still on outside lib" 2
+    (count "float-cmp"
+       (Lint_core.lint_file ~as_lib:false (fixture "r1_bad_literal.ml")
+       |> List.map (fun (f : Lint_core.finding) -> f.Lint_core.rule)))
+
+let test_suppression () =
+  clean "suppress_good.ml" ();
+  let rules = rules_of "suppress_bad.ml" in
+  check_int "malformed pragma reported" 1 (count "suppression" rules);
+  check_int "reasonless pragma does not suppress" 1 (count "phys-cmp" rules)
+
+let () =
+  Alcotest.run "rt_lint"
+    [
+      ( "float-cmp",
+        [
+          Alcotest.test_case "literals flagged" `Quick
+            (flags "r1_bad_literal.ml" "float-cmp" 2);
+          Alcotest.test_case "arith + compare flagged" `Quick
+            (flags "r1_bad_arith.ml" "float-cmp" 2);
+          Alcotest.test_case "Float_cmp usage clean" `Quick (clean "r1_good.ml");
+        ] );
+      ( "no-print",
+        [
+          Alcotest.test_case "printf flagged" `Quick
+            (flags "r2_bad_printf.ml" "no-print" 2);
+          Alcotest.test_case "print_/prerr_ flagged" `Quick
+            (flags "r2_bad_print.ml" "no-print" 2);
+          Alcotest.test_case "sprintf + Buffer clean" `Quick
+            (clean "r2_good.ml");
+          Alcotest.test_case "lib-only scoping" `Quick test_as_lib_scoping;
+        ] );
+      ( "no-raise",
+        [
+          Alcotest.test_case "failwith flagged" `Quick
+            (flags "r3_bad_failwith.ml" "no-raise" 1);
+          Alcotest.test_case "assert false flagged" `Quick
+            (flags "r3_bad_assert.ml" "no-raise" 1);
+          Alcotest.test_case "@raise doc clean" `Quick (clean "r3_good.ml");
+        ] );
+      ( "missing-mli",
+        [
+          Alcotest.test_case "path rule" `Quick test_missing_mli;
+          Alcotest.test_case "walk integration" `Quick test_lint_paths;
+        ] );
+      ( "open-stdlib+phys-cmp",
+        [
+          Alcotest.test_case "top-level open flagged" `Quick
+            (flags "r5_bad_open_stdlib.ml" "open-stdlib" 1);
+          Alcotest.test_case "local open flagged" `Quick
+            (flags "r5_bad_local_open.ml" "open-stdlib" 1);
+          Alcotest.test_case "(==) flagged" `Quick
+            (flags "r5_bad_phys_eq.ml" "phys-cmp" 1);
+          Alcotest.test_case "(!=) flagged" `Quick
+            (flags "r5_bad_phys_neq.ml" "phys-cmp" 1);
+          Alcotest.test_case "structural compare clean" `Quick
+            (clean "r5_good.ml");
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "reasoned pragmas suppress" `Quick
+            test_suppression;
+          Alcotest.test_case "diagnostic format" `Quick test_diagnostic_format;
+        ] );
+    ]

@@ -1,0 +1,360 @@
+(* rt-lint engine: parse .ml/.mli files with compiler-libs and walk the
+   parsetree with an [Ast_iterator], enforcing the repository contracts
+   described in docs/LINT.md.  Purely syntactic — no typing pass. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+let compare_finding a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> ( match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
+      | c -> c)
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Suppression pragmas                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A suppression is a comment of the form
+
+     (* lint: allow-<rule> "reason" *)
+
+   on the finding's own line or the line directly above it.  The reason
+   string is mandatory; a pragma without one is itself a finding. *)
+
+type pragmas = {
+  allows : (int * string) list; (* (line, rule) *)
+  raise_docs : int list;        (* lines whose text mentions @raise *)
+  malformed : (int * int) list; (* (line, col) of a reason-less pragma *)
+}
+
+let is_rule_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* Parse one [lint:] pragma starting at [start] (the index of the 'l' of
+   "lint:").  Returns [Ok rule] or [Error ()] for a malformed pragma. *)
+let parse_pragma line start =
+  let n = String.length line in
+  let i = ref (start + 5) in
+  while !i < n && line.[!i] = ' ' do incr i done;
+  let prefix = "allow-" in
+  let plen = String.length prefix in
+  if !i + plen > n || String.sub line !i plen <> prefix then Error ()
+  else begin
+    i := !i + plen;
+    let rule_start = !i in
+    while !i < n && is_rule_char line.[!i] do incr i done;
+    if !i = rule_start then Error ()
+    else begin
+      let rule = String.sub line rule_start (!i - rule_start) in
+      while !i < n && line.[!i] = ' ' do incr i done;
+      if !i >= n || line.[!i] <> '"' then Error ()
+      else begin
+        let reason_start = !i + 1 in
+        i := reason_start;
+        while !i < n && line.[!i] <> '"' do incr i done;
+        if !i >= n || !i = reason_start then Error () else Ok rule
+      end
+    end
+  end
+
+let contains_at line i sub =
+  let n = String.length sub in
+  i + n <= String.length line && String.sub line i n = sub
+
+let scan_pragmas path =
+  let allows = ref [] and raise_docs = ref [] and malformed = ref [] in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lnum = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          incr lnum;
+          String.iteri
+            (fun i c ->
+              if c = '@' && contains_at line i "@raise" then
+                raise_docs := !lnum :: !raise_docs
+              else if c = 'l' && contains_at line i "lint:" then
+                match parse_pragma line i with
+                | Ok rule -> allows := (!lnum, rule) :: !allows
+                | Error () -> malformed := (!lnum, i) :: !malformed)
+            line
+        done;
+        assert false (* lint: allow-no-raise "input_line loop exits via End_of_file" *)
+      with End_of_file ->
+        { allows = !allows; raise_docs = !raise_docs; malformed = !malformed })
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic float detection                                           *)
+(* ------------------------------------------------------------------ *)
+
+open Parsetree
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+(* [Longident.flatten]/[last] raise on functor applications ([F(X).f]);
+   those paths never name a comparison or print function, so fold them to
+   harmless values. *)
+let flatten lid = try Longident.flatten lid with _ -> []
+let last_name lid = try Longident.last lid with _ -> ""
+
+let is_float_type (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
+  | _ -> false
+
+let rec floatish (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } -> Sig_table.returns_float (flatten txt)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      match flatten txt with
+      | [ op ] when List.mem op float_ops -> true
+      | path ->
+          Sig_table.returns_float path
+          || ((path = [ "fst" ] || path = [ "snd" ])
+              && List.exists (fun (_, a) -> floatish a) args))
+  | Pexp_field (_, { txt; _ }) -> Sig_table.field_is_float (last_name txt)
+  | Pexp_constraint (_, t) -> is_float_type t
+  | Pexp_ifthenelse (_, e1, Some e2) -> floatish e1 || floatish e2
+  | Pexp_open (_, e)
+  | Pexp_sequence (_, e)
+  | Pexp_let (_, _, e)
+  | Pexp_letmodule (_, _, e) ->
+      floatish e
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rule predicates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_names = [ "="; "<"; "<="; ">"; ">="; "<>"; "compare"; "min"; "max" ]
+
+let comparison_of path =
+  match path with
+  | [ x ] | [ "Stdlib"; x ] when List.mem x cmp_names -> Some x
+  | _ -> None
+
+let phys_cmp_of path =
+  match path with
+  | [ ("==" | "!=") as x ] | [ "Stdlib"; (("==" | "!=") as x) ] -> Some x
+  | _ -> None
+
+let is_print path =
+  match path with
+  | [ "Printf"; ("printf" | "eprintf") ] -> true
+  | [ "Format"; ("printf" | "eprintf" | "print_string" | "print_newline"
+                | "print_float" | "print_int") ] ->
+      true
+  | [ n ] | [ "Stdlib"; n ] ->
+      String.length n > 6
+      && (String.sub n 0 6 = "print_" || String.sub n 0 6 = "prerr_")
+  | _ -> false
+
+let is_failwith path =
+  match path with [ "failwith" ] | [ "Stdlib"; "failwith" ] -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The per-file pass                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  path : string;
+  in_lib : bool;          (* R2/R3 only bind inside lib/ *)
+  check_floats : bool;    (* off inside Float_cmp itself *)
+  pragmas : pragmas;
+  mutable found : finding list;
+}
+
+let suppressed ctx rule line =
+  List.exists
+    (fun (l, r) -> r = rule && (l = line || l = line - 1))
+    ctx.pragmas.allows
+  || (rule = "no-raise"
+      && List.exists
+           (fun l -> l = line || l = line - 1 || l = line - 2)
+           ctx.pragmas.raise_docs)
+
+let report ctx (loc : Location.t) rule msg =
+  let p = loc.loc_start in
+  let line = p.Lexing.pos_lnum and col = p.Lexing.pos_cnum - p.Lexing.pos_bol in
+  if not (suppressed ctx rule line) then
+    ctx.found <- { file = ctx.path; line; col; rule; msg } :: ctx.found
+
+let check_open ctx (loc : Location.t) (lid : Longident.t) =
+  match lid with
+  | Longident.Lident "Stdlib" ->
+      report ctx loc "open-stdlib"
+        "open Stdlib shadows the whole standard library namespace; qualify \
+         instead"
+  | _ -> ()
+
+let check_expr ctx (e : expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      let path = flatten txt in
+      (match phys_cmp_of path with
+      | Some op ->
+          report ctx e.pexp_loc "phys-cmp"
+            (Printf.sprintf
+               "physical comparison (%s) is only meaningful on mutable \
+                values; use structural comparison or an explicit id"
+               op)
+      | None -> (
+          match comparison_of path with
+          | Some op
+            when ctx.check_floats
+                 && List.exists (fun (_, a) -> floatish a) args ->
+              report ctx e.pexp_loc "float-cmp"
+                (Printf.sprintf
+                   "bare %s on a float-valued operand; route the tolerance \
+                    through Prelude.Float_cmp (or Float.min/Float.max)"
+                   (match op with
+                   | "compare" -> "compare"
+                   | "min" | "max" -> op
+                   | _ -> Printf.sprintf "(%s)" op))
+          | _ -> ()));
+      if ctx.in_lib && is_failwith path then
+        report ctx e.pexp_loc "no-raise"
+          "failwith in lib/ needs an @raise doc or an allow-no-raise pragma")
+  | Pexp_ident { txt; _ } when ctx.in_lib ->
+      let path = flatten txt in
+      if is_print path then
+        report ctx e.pexp_loc "no-print"
+          (Printf.sprintf
+             "%s in lib/; all output must go through Prelude.Tablefmt or the \
+              expkit runner"
+             (String.concat "." path))
+  | Pexp_assert
+      { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None);
+        _ }
+    when ctx.in_lib ->
+      report ctx e.pexp_loc "no-raise"
+        "assert false in lib/ needs an @raise doc or an allow-no-raise pragma"
+  | _ -> ()
+
+let iterator ctx =
+  let open Ast_iterator in
+  {
+    default_iterator with
+    expr =
+      (fun it e ->
+        check_expr ctx e;
+        default_iterator.expr it e);
+    open_declaration =
+      (fun it od ->
+        (match od.popen_expr.pmod_desc with
+        | Pmod_ident { txt; _ } -> check_open ctx od.popen_loc txt
+        | _ -> ());
+        default_iterator.open_declaration it od);
+    open_description =
+      (fun it od ->
+        check_open ctx od.popen_loc od.popen_expr.txt;
+        default_iterator.open_description it od);
+  }
+
+let has_suffix s suf =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+let path_components path = String.split_on_char '/' path
+
+let under_lib path = List.mem "lib" (path_components path)
+
+let is_float_cmp_module path =
+  match Filename.basename path with
+  | "float_cmp.ml" | "float_cmp.mli" -> true
+  | _ -> false
+
+let lint_file ?as_lib path =
+  let in_lib = match as_lib with Some b -> b | None -> under_lib path in
+  let pragmas = scan_pragmas path in
+  let ctx =
+    {
+      path;
+      in_lib;
+      check_floats = not (is_float_cmp_module path);
+      pragmas;
+      found = [];
+    }
+  in
+  (try
+     let it = iterator ctx in
+     if has_suffix path ".mli" then
+       it.signature it (Pparse.parse_interface ~tool_name:"rt-lint" path)
+     else it.structure it (Pparse.parse_implementation ~tool_name:"rt-lint" path)
+   with exn ->
+     let msg =
+       match exn with
+       | Syntaxerr.Error _ -> "syntax error"
+       | exn -> Printexc.to_string exn
+     in
+     ctx.found <-
+       { file = path; line = 1; col = 0; rule = "parse"; msg } :: ctx.found);
+  let bad_pragmas =
+    List.map
+      (fun (line, col) ->
+        {
+          file = path;
+          line;
+          col;
+          rule = "suppression";
+          msg =
+            "malformed lint pragma: expected (* lint: allow-<rule> \
+             \"reason\" *) with a non-empty reason";
+        })
+      pragmas.malformed
+  in
+  List.sort compare_finding (bad_pragmas @ ctx.found)
+
+let missing_mli path =
+  if
+    has_suffix path ".ml"
+    && under_lib path
+    && not (Sys.file_exists (path ^ "i"))
+  then
+    Some
+      {
+        file = path;
+        line = 1;
+        col = 0;
+        rule = "missing-mli";
+        msg = "every module under lib/ must ship an interface (.mli)";
+      }
+  else None
+
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc name ->
+           if List.mem name skip_dirs then acc
+           else walk acc (Filename.concat path name))
+         acc
+  else if has_suffix path ".ml" || has_suffix path ".mli" then path :: acc
+  else acc
+
+let lint_paths paths =
+  let files = List.fold_left walk [] paths in
+  let findings =
+    List.concat_map
+      (fun f ->
+        let mli = match missing_mli f with Some x -> [ x ] | None -> [] in
+        mli @ lint_file f)
+      files
+  in
+  List.sort compare_finding findings

@@ -1,0 +1,36 @@
+(** rt-lint engine: repo-specific static analysis over the OCaml parsetree.
+
+    The rules enforced here (float-comparison hygiene, output purity,
+    raise discipline, interface coverage, physical-comparison bans) are
+    documented in docs/LINT.md.  Everything is syntactic: files are parsed
+    with compiler-libs and walked with an [Ast_iterator]; no typing pass
+    runs, so float detection relies on {!Sig_table}. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (** rule id, e.g. ["float-cmp"] *)
+  msg : string;
+}
+
+val to_string : finding -> string
+(** Render as [file:line:col: [rule-id] message]. *)
+
+val compare_finding : finding -> finding -> int
+(** Order by file, then line, column and rule id. *)
+
+val lint_file : ?as_lib:bool -> string -> finding list
+(** Parse and lint one [.ml] or [.mli] file.  [as_lib] forces whether the
+    lib-only rules (no-print, no-raise) apply; by default it is inferred
+    from the path containing a [lib] component.  Unparseable files yield a
+    single [parse] finding rather than an exception. *)
+
+val missing_mli : string -> finding option
+(** [missing_mli path] is a [missing-mli] finding when [path] is a [.ml]
+    under [lib/] with no sibling [.mli]. *)
+
+val lint_paths : string list -> finding list
+(** Walk the given files/directories (skipping [_build], [.git] and
+    [lint_fixtures]), lint every [.ml]/[.mli], and add interface-coverage
+    findings.  Results are sorted. *)

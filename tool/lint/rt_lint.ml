@@ -1,0 +1,43 @@
+(* rt-lint command line: lint the given files/directories (default: the
+   four source roots) and exit non-zero when any finding survives the
+   suppression pragmas.  See docs/LINT.md for the rule set. *)
+
+open Rt_lint_core
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let usage oc =
+  output_string oc
+    "usage: rt_lint [PATH...]\n\n\
+     Lints every .ml/.mli under each PATH (directories are walked\n\
+     recursively; default roots: lib bin bench examples) and prints\n\
+     file:line:col: [rule-id] message diagnostics.  Exits 1 when any\n\
+     finding is reported.\n"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (fun a -> a = "--help" || a = "-help") args then begin
+    usage stdout;
+    exit 0
+  end;
+  (match List.find_opt (fun a -> String.length a > 0 && a.[0] = '-') args with
+  | Some flag ->
+      Printf.eprintf "rt-lint: unknown option %s\n" flag;
+      usage stderr;
+      exit 2
+  | None -> ());
+  let roots = if args = [] then default_roots else args in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "rt-lint: no such file or directory: %s\n" r;
+        exit 2
+      end)
+    roots;
+  let findings = Lint_core.lint_paths roots in
+  List.iter (fun f -> print_endline (Lint_core.to_string f)) findings;
+  match List.length findings with
+  | 0 -> ()
+  | n ->
+      Printf.eprintf "rt-lint: %d issue%s found\n" n (if n = 1 then "" else "s");
+      exit 1

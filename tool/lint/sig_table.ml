@@ -1,0 +1,71 @@
+(* Seeded signature knowledge for rt-lint's syntactic float detection.
+
+   rt-lint has no type information: it decides whether an expression is
+   "float-valued" from its shape alone.  These tables seed that judgement
+   with (a) the stdlib functions that return floats and (b) the names of
+   functions and record fields in this repository whose signatures declare
+   [float] results (harvested from the checked-in [.mli] files).  The table
+   is an approximation by design — see docs/LINT.md. *)
+
+let stdlib_float_fns =
+  [
+    "sqrt"; "exp"; "exp2"; "expm1"; "log"; "log2"; "log10"; "log1p"; "ceil";
+    "floor"; "abs_float"; "float_of_int"; "float_of_string"; "float"; "atan";
+    "atan2"; "acos"; "asin"; "cos"; "sin"; "tan"; "cosh"; "sinh"; "tanh";
+    "ldexp"; "mod_float"; "hypot"; "copysign"; "min_float"; "max_float";
+    "epsilon_float"; "infinity"; "nan";
+  ]
+
+(* [Float.f] calls that do NOT return a float; everything else under the
+   [Float] module is treated as float-valued. *)
+let float_module_non_float =
+  [
+    "to_int"; "to_string"; "compare"; "equal"; "hash"; "is_nan"; "is_finite";
+    "is_integer"; "sign_bit"; "classify_float"; "seeded_hash";
+  ]
+
+(* Function names with a [... -> float] result type somewhere in [lib/].
+   Harvested from the repository's interfaces; extend when a new
+   float-returning function joins a public signature. *)
+let repo_float_vals =
+  [
+    "acceptance_ratio"; "awake_overhead"; "balanced_energy";
+    "break_even_time"; "bucket_energy"; "critical_speed"; "dynamic_power";
+    "e_max"; "e_min"; "energy"; "energy_cycles"; "energy_of_slices";
+    "energy_per_cycle"; "feasible_speed"; "geometric_mean"; "idle_energy";
+    "idle_power"; "laxity_speed"; "load_factor"; "log_uniform";
+    "lower_bound"; "makespan"; "mean"; "mean_over"; "median";
+    "min_rejected_penalty"; "optimal_cost"; "peak_intensity"; "percentile";
+    "plan_rate"; "plan_throughput"; "solution_total"; "stddev";
+    "total_penalty"; "total_penalty_frame"; "total_penalty_items";
+    "total_utilization"; "total_weight"; "utilization";
+  ]
+
+(* Record fields declared with type [float] somewhere in [lib/]. *)
+let float_fields =
+  [
+    "all_accepted_cost"; "alloc_cost"; "alpha"; "alt_power"; "arrival";
+    "busy_time"; "coeff"; "cost"; "cost_rhs"; "cycles"; "deadline";
+    "duration"; "dvs_weight"; "energy"; "energy_budget"; "eps"; "e_sw";
+    "exec_energy"; "fraction"; "frame"; "frame_length"; "horizon";
+    "idle_energy_awake"; "idle_energy_proc"; "idle_energy_sleep";
+    "intensity"; "item_penalty"; "item_power_factor"; "late_by";
+    "level_penalty"; "linear"; "lp_value"; "makespan"; "mean"; "median";
+    "p_ind"; "peak_speed"; "penalty"; "power_factor"; "proc_energy"; "rate";
+    "realized_energy"; "release"; "remaining"; "rhs"; "s_max"; "s_min";
+    "speed"; "stddev"; "t0"; "t1"; "t_sw"; "time_used"; "total";
+    "total_energy"; "wcet"; "weight"; "work";
+  ]
+
+let returns_float (path : string list) =
+  match path with
+  | [] -> false
+  | [ n ] | [ "Stdlib"; n ] ->
+      List.mem n stdlib_float_fns || List.mem n repo_float_vals
+  | [ "Float"; n ] | [ "Stdlib"; "Float"; n ] ->
+      not (List.mem n float_module_non_float)
+  | path ->
+      let last = List.nth path (List.length path - 1) in
+      List.mem last repo_float_vals
+
+let field_is_float name = List.mem name float_fields

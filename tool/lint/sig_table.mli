@@ -1,0 +1,15 @@
+(** Seeded signature knowledge used by rt-lint's float heuristics.
+
+    rt-lint works on the parsetree only, so "is this expression a float?"
+    is answered from seeded tables of known float-returning functions and
+    float-typed record fields rather than from type inference. *)
+
+val returns_float : string list -> bool
+(** [returns_float path] is [true] when the (flattened) identifier path is
+    known to denote a float-valued function or constant — stdlib float
+    functions, [Float.*], or a repository function whose [.mli] declares a
+    [float] result. *)
+
+val field_is_float : string -> bool
+(** [field_is_float name] is [true] when [name] is a record field declared
+    with type [float] somewhere in [lib/]. *)

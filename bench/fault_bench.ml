@@ -1,0 +1,34 @@
+(* Fault-sweep benchmark: runs the E19 robustness sweep and emits
+   BENCH_fault.json — one record per (fault rate x degradation policy)
+   with the normalized cost, deadline-miss percentage and shed
+   percentage. Fault rates 0 / 5 / 15% by default.
+
+     dune exec bench/fault_bench.exe            # 12 seeds
+     RT_BENCH_FULL=1 dune exec bench/fault_bench.exe  # 48 seeds *)
+
+let out_file = "BENCH_fault.json"
+
+let json_of_row (r : Rt_expkit.Exp_fault.row) =
+  Printf.sprintf
+    "  {\"fault_rate\": %.4f, \"policy\": %S, \"cost_ratio\": %.6f, \
+     \"miss_pct\": %.4f, \"shed_pct\": %.4f}"
+    r.Rt_expkit.Exp_fault.fault_rate r.policy r.cost_ratio r.miss_pct
+    r.shed_pct
+
+let () =
+  let seeds = if Sys.getenv_opt "RT_BENCH_FULL" = None then 12 else 48 in
+  let rows = Rt_expkit.Exp_fault.sweep ~seeds () in
+  let oc = open_out out_file in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.map json_of_row rows));
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d records, %d seeds)\n" out_file
+    (List.length rows) seeds;
+  (* echo the sweep so the run is self-describing *)
+  List.iter
+    (fun (r : Rt_expkit.Exp_fault.row) ->
+      Printf.printf "  rate %.2f  %-16s cost %.4f  miss %6.2f%%  shed %6.2f%%\n"
+        r.Rt_expkit.Exp_fault.fault_rate r.policy r.cost_ratio r.miss_pct
+        r.shed_pct)
+    rows

@@ -6,7 +6,8 @@ module Fc = Rt_prelude.Float_cmp
    Examples:
      rt_sched solve --n 12 --m 4 --load 1.6 --alg ltf-ls --gantt
      rt_sched compare --n 10 --m 2 --load 1.4 --exact
-     rt_sched describe --n 6 --m 2 --load 1.2 *)
+     rt_sched describe --n 6 --m 2 --load 1.2
+     rt_sched faults -n 12 -m 4 --load 0.8 --fault-rate 0.3 *)
 
 open Cmdliner
 
@@ -242,6 +243,82 @@ let online seed n load policy_name =
             /. Float.max 1e-9 (Rt_online.Admission.lower_bound ~proc jobs));
           Ok ())
 
+let faults proc_name penalty_name seed n m load fault_rate =
+  if Fc.exact_lt fault_rate 0. || Fc.exact_gt fault_rate 1. then
+    Error (`Msg "fault-rate must be in [0, 1]")
+  else
+    match build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load with
+    | Error e -> Error e
+    | Ok (_, p) ->
+        let baseline = Rt_core.Greedy.ltf_reject p in
+        let rates =
+          {
+            Rt_fault.Fault.overrun_prob = fault_rate;
+            overrun_factor = 1.5;
+            crash_prob = fault_rate;
+            derate_prob = fault_rate;
+            derate_factor = 0.8;
+          }
+        in
+        let rng = Rt_prelude.Rng.create ~seed:((seed * 7919) + 17) in
+        let sc =
+          Rt_fault.Fault.gen rng rates
+            ~task_ids:
+              (List.map
+                 (fun (it : Rt_task.Task.item) -> it.Rt_task.Task.item_id)
+                 p.Rt_core.Problem.items)
+            ~m ~horizon:p.Rt_core.Problem.horizon
+        in
+        Printf.printf "faults: n=%d m=%d load=%.2f fault-rate=%.2f (seed %d)\n"
+          n m load fault_rate seed;
+        Format.printf "  scenario: %a@." Rt_fault.Fault.pp sc;
+        let rows =
+          List.filter_map
+            (fun policy ->
+              match Rt_fault.Degrade.recover_frame p sc ~baseline policy with
+              | Error e ->
+                  Printf.printf "  %s failed: %s\n"
+                    (Rt_fault.Degrade.policy_name policy)
+                    e;
+                  None
+              | Ok r -> Some (policy, r))
+            Rt_fault.Degrade.all_policies
+        in
+        let table =
+          List.fold_left
+            (fun t (policy, (r : Rt_fault.Degrade.report)) ->
+              Rt_prelude.Tablefmt.add_row t
+                [
+                  Rt_fault.Degrade.policy_name policy;
+                  string_of_int (List.length r.Rt_fault.Degrade.misses);
+                  string_of_int (List.length r.Rt_fault.Degrade.shed);
+                  Rt_prelude.Tablefmt.float_cell r.Rt_fault.Degrade.extra_penalty;
+                  Rt_prelude.Tablefmt.float_cell r.Rt_fault.Degrade.energy_faulty;
+                  Rt_prelude.Tablefmt.float_cell r.Rt_fault.Degrade.energy_delta;
+                ])
+            (Rt_prelude.Tablefmt.create
+               ~aligns:
+                 [
+                   Rt_prelude.Tablefmt.Left;
+                   Rt_prelude.Tablefmt.Right;
+                   Rt_prelude.Tablefmt.Right;
+                   Rt_prelude.Tablefmt.Right;
+                   Rt_prelude.Tablefmt.Right;
+                   Rt_prelude.Tablefmt.Right;
+                 ]
+               [
+                 "policy";
+                 "misses";
+                 "shed";
+                 "extra penalty";
+                 "energy (faulty)";
+                 "energy delta";
+               ])
+            rows
+        in
+        Rt_prelude.Tablefmt.print table;
+        Ok ()
+
 let qos proc_name penalty_name seed n m load steps curve =
   match build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load with
   | Error e -> Error e
@@ -422,10 +499,35 @@ let qos_cmd =
         (const qos $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
        $ load_arg $ steps_arg $ curve_arg))
 
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.15
+    & info [ "fault-rate" ]
+        ~doc:
+          "Per-task overrun / per-processor crash / platform derate \
+           probability, in [0,1].")
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"inject a seeded fault scenario and compare degradation policies")
+    Term.(
+      term_result
+        (const faults $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
+       $ load_arg $ fault_rate_arg))
+
 let cmd =
   Cmd.group
     (Cmd.info "rt_sched" ~version:"1.0.0"
        ~doc:"energy-efficient real-time scheduling with task rejection")
-    [ describe_cmd; solve_cmd; compare_cmd; periodic_cmd; online_cmd; qos_cmd ]
+    [
+      describe_cmd;
+      solve_cmd;
+      compare_cmd;
+      periodic_cmd;
+      online_cmd;
+      qos_cmd;
+      faults_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

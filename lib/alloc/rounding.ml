@@ -73,7 +73,11 @@ let solve_one inst ~tasks ~order ~m' ~pin =
       :: task_rows
     in
     match Simplex.solve { Simplex.minimize = objective; constraints } with
-    | Error _ | Ok Simplex.Infeasible | Ok Simplex.Unbounded -> None
+    | Error _
+    | Ok Simplex.Infeasible
+    | Ok Simplex.Unbounded
+    | Ok (Simplex.Iteration_limit _) ->
+        None
     | Ok (Simplex.Optimal { value; solution }) ->
         let constant =
           if pin then inst.Alloc.types.(order (m' - 1)).Alloc.alloc_cost

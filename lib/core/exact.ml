@@ -20,6 +20,25 @@ let exhaustive p = run Rt_exact.Search.exhaustive p
 let branch_and_bound ?node_limit p =
   run (Rt_exact.Search.branch_and_bound ?node_limit) p
 
+type budgeted = { solution : Solution.t; nodes : int; exhausted : bool }
+
+let branch_and_bound_budgeted ?node_budget ?time_budget (p : Problem.t) =
+  match
+    Rt_exact.Search.branch_and_bound_budgeted ?node_budget ?time_budget ~m:p.m
+      ~capacity:(Problem.capacity p)
+      ~bucket_cost:(Problem.bucket_energy p) p.items
+  with
+  | Error _ as e -> e
+  | Ok (a : Rt_exact.Search.anytime) -> (
+      let solution = to_solution a.best in
+      match Solution.cost p solution with
+      | Error msg -> Error ("Exact: invalid best-so-far solution: " ^ msg)
+      | Ok c ->
+          if
+            not (Rt_prelude.Float_cmp.approx_eq ~eps:1e-6 c.total a.best.cost)
+          then Error "Exact: search cost disagrees with Solution.cost"
+          else Ok { solution; nodes = a.nodes; exhausted = a.exhausted })
+
 let optimal_cost ?node_limit p =
   let s = branch_and_bound ?node_limit p in
   match Solution.cost p s with

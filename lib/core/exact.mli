@@ -12,6 +12,21 @@ val exhaustive : Problem.t -> Solution.t
 val branch_and_bound : ?node_limit:int -> Problem.t -> Solution.t
 (** Same optimum, pruned; the default oracle for experiment E1. *)
 
+type budgeted = {
+  solution : Solution.t;
+  nodes : int;
+  exhausted : bool;  (** a budget ran out; [solution] is the incumbent *)
+}
+
+val branch_and_bound_budgeted :
+  ?node_budget:int -> ?time_budget:float -> Problem.t ->
+  (budgeted, string) result
+(** Anytime oracle (wraps {!Rt_exact.Search.branch_and_bound_budgeted}):
+    always returns a valid solution — seeded with all-reject, improved
+    until the node/time budget runs out — with [exhausted] flagging an
+    unproven optimum. All failure modes (including a cost mismatch
+    against {!Solution.cost}) are typed errors, never exceptions. *)
+
 val optimal_cost : ?node_limit:int -> Problem.t -> float
 (** Total cost of [branch_and_bound] (recomputed through
     {!Solution.cost}, so a disagreement raises). *)

@@ -31,10 +31,12 @@ let add_item st j (it : Task.item) =
   st.buckets.(j) <- it :: st.buckets.(j);
   st.loads.(j) <- st.loads.(j) +. it.weight
 
-let improve ?(max_moves = 10_000) (p : Problem.t) (s : Solution.t) =
-  (match Solution.cost p s with
-  | Ok _ -> ()
-  | Error msg -> invalid_arg ("Local_search.improve: " ^ msg));
+type budgeted = { solution : Solution.t; moves : int; exhausted : bool }
+
+(* Move loop on a pre-validated solution; returns the improved solution,
+   the number of moves applied, and whether the step budget stopped the
+   loop while a scan was still finding improving moves. *)
+let improve_state ~max_moves (p : Problem.t) (s : Solution.t) =
   let cap = Problem.capacity p in
   let st = state_of_solution s in
   let energy l = Problem.bucket_energy p l in
@@ -184,6 +186,20 @@ let improve ?(max_moves = 10_000) (p : Problem.t) (s : Solution.t) =
     progress := try_reject () || try_accept () || try_move () || try_swap ();
     if !progress then incr moves
   done;
-  solution_of_state st
+  (* [!progress] at exit means the loop was cut off by the budget with an
+     improving move just applied — convergence is not proven *)
+  (solution_of_state st, !moves, !progress)
+
+let improve_budgeted ?(max_moves = 10_000) (p : Problem.t) (s : Solution.t) =
+  match Solution.cost p s with
+  | Error msg -> Error ("Local_search.improve: " ^ msg)
+  | Ok _ ->
+      let solution, moves, exhausted = improve_state ~max_moves p s in
+      Ok { solution; moves; exhausted }
+
+let improve ?max_moves (p : Problem.t) (s : Solution.t) =
+  match improve_budgeted ?max_moves p s with
+  | Ok b -> b.solution
+  | Error msg -> invalid_arg msg
 
 let with_local_search ?max_moves algorithm p = improve ?max_moves p (algorithm p)

@@ -16,10 +16,27 @@
     they unlock further accept moves by creating room. Each applied move
     strictly decreases the total cost, so the search terminates. *)
 
+type budgeted = {
+  solution : Solution.t;  (** best solution reached within the budget *)
+  moves : int;  (** improving moves actually applied *)
+  exhausted : bool;
+      (** [true] when the step budget cut the loop off while scans were
+          still finding improving moves — the solution is valid (every
+          intermediate state is) but convergence is not proven *)
+}
+
 val improve : ?max_moves:int -> Problem.t -> Solution.t -> Solution.t
 (** [max_moves] defaults to 10_000 (a safety valve; typical instances
     converge in far fewer). The input must be feasible ([Solution.cost]
     must succeed). @raise Invalid_argument otherwise. *)
+
+val improve_budgeted :
+  ?max_moves:int -> Problem.t -> Solution.t -> (budgeted, string) result
+(** Anytime variant of {!improve}: an infeasible input is a typed error
+    rather than an exception, and hitting [max_moves] is reported via
+    [exhausted] instead of being silent. Since every applied move keeps
+    the solution feasible and strictly decreases cost, the budget bounds
+    work without sacrificing validity. *)
 
 val with_local_search : ?max_moves:int -> Greedy.algorithm -> Greedy.algorithm
 (** Compose: run the algorithm, then polish with [improve]. *)

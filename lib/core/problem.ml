@@ -39,10 +39,12 @@ let of_periodic ~proc ~m tasks =
   | Ok () -> (
       match tasks with
       | [] -> Error "Problem.of_periodic: empty task set"
-      | _ ->
-          make ~proc ~m
-            ~horizon:(float_of_int (Taskset.hyper_period tasks))
-            (Taskset.items_of_periodics tasks))
+      | _ -> (
+          match Taskset.hyper_period_checked tasks with
+          | Error e -> Error ("Problem.of_periodic: " ^ e)
+          | Ok hp ->
+              make ~proc ~m ~horizon:(float_of_int hp)
+                (Taskset.items_of_periodics tasks)))
 
 let capacity t = Rt_power.Processor.s_max t.proc
 

@@ -36,7 +36,8 @@ val of_periodic :
   proc:Rt_power.Processor.t -> m:int -> Rt_task.Task.periodic list ->
   (t, string) result
 (** Periodic tasks: weights are utilizations; the horizon is the
-    hyper-period. Errors on an empty set (no hyper-period). *)
+    hyper-period. Errors on an empty set (no hyper-period) and on
+    hyper-period overflow (adversarial period grids). *)
 
 val capacity : t -> float
 (** Per-processor load capacity: [s_max]. *)

@@ -12,11 +12,19 @@ let check_args ~m ~capacity =
   if m < 1 then invalid_arg "Search: m < 1";
   if Fc.exact_le capacity 0. then invalid_arg "Search: capacity <= 0"
 
+type anytime = { best : solution; nodes : int; exhausted : bool }
+
+exception Budget_exhausted
+
 (* Shared engine. Items too large for any processor are forced rejections;
    the rest are explored largest-first: for each item, try every used
-   bucket, the first unused bucket (symmetry breaking), and rejection. *)
-let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
-  check_args ~m ~capacity;
+   bucket, the first unused bucket (symmetry breaking), and rejection.
+   [stop] is consulted at every node with the running node count; when it
+   fires, exploration aborts and the best solution found so far is
+   returned with [exhausted = true]. The incumbent is seeded with the
+   all-reject solution, so there is always a feasible best-so-far even on
+   a zero budget. *)
+let search_core ~prune ~stop ~m ~capacity ~bucket_cost items =
   let forced, placeable =
     List.partition
       (fun (it : Task.item) -> Rt_prelude.Float_cmp.gt it.weight capacity)
@@ -30,8 +38,6 @@ let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
   let loads = Array.make m 0. in
   let buckets = Array.make m [] in
   let rejected = ref [] in
-  let best_cost = ref Float.infinity in
-  let best = ref None in
   let nodes = ref 0 in
   let buckets_cost () =
     let acc = ref 0. in
@@ -40,24 +46,27 @@ let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
     done;
     !acc
   in
+  (* seed: reject everything (always feasible) *)
+  let best_cost =
+    ref (buckets_cost () +. Taskset.total_penalty_items placeable
+        +. forced_penalty)
+  in
+  let best = ref (Array.make m [], placeable) in
   let rec go i used penalty_so_far =
     incr nodes;
-    if !nodes > node_limit then
-      (* lint: allow-no-raise "documented @raise Failure on node-limit blowup" *)
-      failwith "Search: node limit exceeded";
+    if stop !nodes then raise Budget_exhausted;
     if i = n then begin
       let cost = buckets_cost () +. penalty_so_far +. forced_penalty in
-      if cost < !best_cost then begin
+      if Fc.exact_lt cost !best_cost then begin
         best_cost := cost;
         best :=
-          Some
-            ( Array.map (fun b -> b) (Array.copy buckets) |> Array.map List.rev,
-              !rejected )
+          (Array.map (fun b -> b) (Array.copy buckets) |> Array.map List.rev,
+           !rejected)
       end
     end
     else begin
       let bound = buckets_cost () +. penalty_so_far +. forced_penalty in
-      if (not prune) || bound < !best_cost then begin
+      if (not prune) || Fc.exact_lt bound !best_cost then begin
         let it = arr.(i) in
         let try_bucket j =
           if Rt_prelude.Float_cmp.leq (loads.(j) +. it.weight) capacity then begin
@@ -78,23 +87,71 @@ let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
       end
     end
   in
-  go 0 0 0.;
-  match !best with
-  | None ->
-      (* lint: allow-no-raise "unreachable: the all-reject leaf always reaches i = n" *)
-      assert false
-  | Some (bs, rej) ->
-      {
-        partition = Rt_partition.Partition.of_buckets bs;
-        rejected = rej @ forced;
-        cost = !best_cost;
-      }
+  let exhausted =
+    match go 0 0 0. with () -> false | exception Budget_exhausted -> true
+  in
+  let bs, rej = !best in
+  ( {
+      partition = Rt_partition.Partition.of_buckets bs;
+      rejected = rej @ forced;
+      cost = !best_cost;
+    },
+    !nodes,
+    exhausted )
+
+let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
+  check_args ~m ~capacity;
+  let sol, _, exhausted =
+    search_core ~prune
+      ~stop:(fun nodes -> nodes > node_limit)
+      ~m ~capacity ~bucket_cost items
+  in
+  if exhausted then
+    (* lint: allow-no-raise "documented @raise Failure on node-limit blowup" *)
+    failwith "Search: node limit exceeded"
+  else sol
+
+let budgeted ~prune ?node_budget ?time_budget ~m ~capacity ~bucket_cost items =
+  if m < 1 then Error "Search: m < 1"
+  else if Fc.exact_le capacity 0. then Error "Search: capacity <= 0"
+  else begin
+    let deadline =
+      match time_budget with
+      | None -> None
+      | Some b ->
+          if Fc.exact_le b 0. || not (Float.is_finite b) then Some neg_infinity
+          else Some (Sys.time () +. b)
+    in
+    let stop nodes =
+      (match node_budget with Some b -> nodes > b | None -> false)
+      ||
+      match deadline with
+      | None -> false
+      (* the clock is only consulted every 1024 nodes: Sys.time per node
+         would dominate the search itself *)
+      | Some d -> nodes land 1023 = 0 && Fc.exact_gt (Sys.time ()) d
+    in
+    let best, nodes, exhausted =
+      search_core ~prune ~stop ~m ~capacity ~bucket_cost items
+    in
+    Ok { best; nodes; exhausted }
+  end
 
 let exhaustive ~m ~capacity ~bucket_cost items =
   if List.length items > 16 then
     invalid_arg "Search.exhaustive: more than 16 items";
   search ~prune:false ~node_limit:max_int ~m ~capacity ~bucket_cost items
 
+let exhaustive_budgeted ?node_budget ?time_budget ~m ~capacity ~bucket_cost
+    items =
+  budgeted ~prune:false ?node_budget ?time_budget ~m ~capacity ~bucket_cost
+    items
+
 let branch_and_bound ?(node_limit = 50_000_000) ~m ~capacity ~bucket_cost items
     =
   search ~prune:true ~node_limit ~m ~capacity ~bucket_cost items
+
+let branch_and_bound_budgeted ?node_budget ?time_budget ~m ~capacity
+    ~bucket_cost items =
+  budgeted ~prune:true ?node_budget ?time_budget ~m ~capacity ~bucket_cost
+    items

@@ -23,11 +23,32 @@ type solution = {
   cost : float;
 }
 
+type anytime = {
+  best : solution;  (** best solution found within the budget *)
+  nodes : int;  (** search-tree nodes visited *)
+  exhausted : bool;
+      (** [true] when a budget ran out before the search completed — the
+          solution is then the incumbent, not a proven optimum *)
+}
+(** Result of a budgeted (anytime) search. The incumbent is seeded with
+    the all-reject solution before exploration starts, so [best] is a
+    feasible solution even on a zero budget. *)
+
 val exhaustive :
   m:int -> capacity:float -> bucket_cost:(float -> float) ->
   Rt_task.Task.item list -> solution
 (** Full enumeration ((m+1)^n with symmetry breaking).
     @raise Invalid_argument if [m < 1], [capacity <= 0] or [n > 16]. *)
+
+val exhaustive_budgeted :
+  ?node_budget:int -> ?time_budget:float -> m:int -> capacity:float ->
+  bucket_cost:(float -> float) -> Rt_task.Task.item list ->
+  (anytime, string) result
+(** Anytime full enumeration: explores until done or until [node_budget]
+    nodes have been visited or [time_budget] seconds of CPU time have
+    elapsed (the clock is polled every 1024 nodes, so the time budget is
+    approximate). No 16-item cap — the budget is the guard. Errors on
+    [m < 1] or [capacity <= 0]. *)
 
 val branch_and_bound :
   ?node_limit:int -> m:int -> capacity:float -> bucket_cost:(float -> float) ->
@@ -36,3 +57,13 @@ val branch_and_bound :
     optional [node_limit] (default 50 million) guards runaway instances.
     @raise Invalid_argument if [m < 1] or [capacity <= 0].
     @raise Failure if the node limit is hit. *)
+
+val branch_and_bound_budgeted :
+  ?node_budget:int -> ?time_budget:float -> m:int -> capacity:float ->
+  bucket_cost:(float -> float) -> Rt_task.Task.item list ->
+  (anytime, string) result
+(** Anytime branch-and-bound: like {!branch_and_bound}, but exhausting a
+    budget is not a failure — the incumbent comes back with
+    [exhausted = true]. Use this when a bounded response time matters
+    more than proof of optimality (the fault-recovery paths do). Errors
+    on [m < 1] or [capacity <= 0]. *)

@@ -1,0 +1,28 @@
+(** E19: overload/fault stress sweep (robustness extension).
+
+    Frame instances at comfortable load are hit with seeded fault
+    scenarios of growing rate (per-task 1.5× WCEC overruns, processor
+    crashes, 0.8 platform derates, each drawn with the row's
+    probability); each {!Rt_fault.Degrade} policy recovers and is scored
+    on normalized cost — measured degraded energy plus every penalty
+    paid, charging a missed task its full rejection penalty — and on the
+    deadline-miss percentage. *)
+
+type row = {
+  fault_rate : float;
+  policy : string;
+  cost_ratio : float;  (** degraded cost / fault-free baseline total *)
+  miss_pct : float;  (** % of tasks missing their deadline *)
+  shed_pct : float;  (** % of tasks shed by the recovery *)
+}
+
+val default_fault_rates : float list
+(** [0.; 0.05; 0.15]. *)
+
+val sweep : ?seeds:int -> ?fault_rates:float list -> unit -> row list
+(** Mean metrics per (fault rate × policy); the structured form the
+    fault benchmark serializes. *)
+
+val e19_fault_sweep : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
+(** The registry table: one row per fault rate, cost and miss%% columns
+    per policy. *)

@@ -183,6 +183,17 @@ let all =
       run = (fun () -> Exp_pareto.e18_penalty_frontier ());
       run_quick = (fun () -> Exp_pareto.e18_penalty_frontier ~seeds:5 ());
     };
+    {
+      id = "e19";
+      title = "E19 (robustness): fault sweep - degradation policies vs no-op";
+      expectation =
+        "at rate 0 every policy matches the baseline (cost 1.0, no \
+         misses); as the rate grows, no-op's misses and cost climb while \
+         the shed/repartition policies hold zero misses, paying a modest \
+         shed/penalty premium instead";
+      run = (fun () -> Exp_fault.e19_fault_sweep ());
+      run_quick = (fun () -> Exp_fault.e19_fault_sweep ~seeds:4 ());
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -12,7 +12,7 @@ type experiment = {
 }
 
 val all : experiment list
-(** In id order: e1 … e8. *)
+(** In id order: e1 … e19. *)
 
 val find : string -> experiment option
 

@@ -10,6 +10,7 @@ type outcome =
   | Optimal of { value : float; solution : float array }
   | Infeasible
   | Unbounded
+  | Iteration_limit of { pivots : int }
 
 let eps = 1e-9
 
@@ -86,46 +87,46 @@ let pivot t ~row ~col =
   t.basis.(row) <- col
 
 (* Bland's rule: entering = lowest-index improving column; leaving = lowest
-   basis index among the minimum-ratio rows *)
-let iterate ?(max_iter = 10_000) t =
+   basis index among the minimum-ratio rows. Returns how many pivots were
+   performed alongside the terminal state; [`Limit] means the budget ran
+   out with the tableau still improvable. *)
+let iterate ~max_pivots t =
   let ncols = Array.length t.cost in
   let m = Array.length t.rows in
   let rec go iter =
-    if iter > max_iter then Error "Simplex: pivot limit reached"
+    let entering = ref (-1) in
+    (try
+       for j = 0 to ncols - 1 do
+         if (not t.banned.(j)) && Fc.exact_lt t.cost.(j) (-.eps) then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal iter
+    else if iter >= max_pivots then `Limit iter
     else begin
-      let entering = ref (-1) in
-      (try
-         for j = 0 to ncols - 1 do
-           if (not t.banned.(j)) && Fc.exact_lt t.cost.(j) (-.eps) then begin
-             entering := j;
-             raise Exit
-           end
-         done
-       with Exit -> ());
-      if !entering < 0 then Ok `Optimal
-      else begin
-        let col = !entering in
-        let best = ref (-1) in
-        let best_ratio = ref Float.infinity in
-        for i = 0 to m - 1 do
-          if t.rows.(i).(col) > eps then begin
-            let ratio = t.rhs.(i) /. t.rows.(i).(col) in
-            if
-              Fc.exact_lt ratio (!best_ratio -. eps)
-              || (Fc.exact_le (Float.abs (ratio -. !best_ratio)) eps
-                 && !best >= 0
-                 && t.basis.(i) < t.basis.(!best))
-            then begin
-              best := i;
-              best_ratio := ratio
-            end
+      let col = !entering in
+      let best = ref (-1) in
+      let best_ratio = ref Float.infinity in
+      for i = 0 to m - 1 do
+        if Fc.exact_gt t.rows.(i).(col) eps then begin
+          let ratio = t.rhs.(i) /. t.rows.(i).(col) in
+          if
+            Fc.exact_lt ratio (!best_ratio -. eps)
+            || (Fc.exact_le (Float.abs (ratio -. !best_ratio)) eps
+               && !best >= 0
+               && t.basis.(i) < t.basis.(!best))
+          then begin
+            best := i;
+            best_ratio := ratio
           end
-        done;
-        if !best < 0 then Ok `Unbounded
-        else begin
-          pivot t ~row:!best ~col;
-          go (iter + 1)
         end
+      done;
+      if !best < 0 then `Unbounded iter
+      else begin
+        pivot t ~row:!best ~col;
+        go (iter + 1)
       end
     end
   in
@@ -147,7 +148,7 @@ let set_cost t full_cost =
       end)
     t.basis
 
-let solve ?(max_iter = 10_000) p =
+let solve ?(max_pivots = 200_000) p =
   match validate p with
   | Error _ as e -> e
   | Ok n ->
@@ -211,48 +212,47 @@ let solve ?(max_iter = 10_000) p =
         phase1_cost.(j) <- 1.
       done;
       set_cost t phase1_cost;
-      let ( let* ) = Result.bind in
-      let* outcome1 = iterate ~max_iter t in
-      let phase1_value = -.t.cost_rhs in
-      (match outcome1 with
-      | `Unbounded -> Error "Simplex: phase 1 unbounded (internal error)"
-      | `Optimal -> Ok ())
-      |> fun check ->
-      let* () = check in
-      if Fc.exact_gt phase1_value 1e-7 then Ok Infeasible
-      else begin
-        (* drive artificials out of the basis where possible *)
-        Array.iteri
-          (fun i b ->
-            if b >= art_start then begin
-              let found = ref (-1) in
-              (try
-                 for j = 0 to art_start - 1 do
-                   if Fc.exact_gt (Float.abs t.rows.(i).(j)) eps then begin
-                     found := j;
-                     raise Exit
-                   end
-                 done
-               with Exit -> ());
-              if !found >= 0 then pivot t ~row:i ~col:!found
-              (* otherwise the row is redundant; the artificial stays basic
-                 at value 0 and is harmless once banned from re-entry *)
-            end)
-          t.basis;
-        for j = art_start to ncols - 1 do
-          t.banned.(j) <- true
-        done;
-        (* phase 2 *)
-        let phase2_cost = Array.make ncols 0. in
-        Array.blit p.minimize 0 phase2_cost 0 n;
-        set_cost t phase2_cost;
-        let* outcome2 = iterate ~max_iter t in
-        match outcome2 with
-        | `Unbounded -> Ok Unbounded
-        | `Optimal ->
-            let x = Array.make n 0. in
+      (* [max_pivots] is a total budget across both phases: phase 2 gets
+         whatever phase 1 left unspent *)
+      match iterate ~max_pivots t with
+      | `Limit k -> Ok (Iteration_limit { pivots = k })
+      | `Unbounded _ -> Error "Simplex: phase 1 unbounded (internal error)"
+      | `Optimal pivots1 ->
+          let phase1_value = -.t.cost_rhs in
+          if Fc.exact_gt phase1_value 1e-7 then Ok Infeasible
+          else begin
+            (* drive artificials out of the basis where possible *)
             Array.iteri
-              (fun i b -> if b < n then x.(b) <- t.rhs.(i))
+              (fun i b ->
+                if b >= art_start then begin
+                  let found = ref (-1) in
+                  (try
+                     for j = 0 to art_start - 1 do
+                       if Fc.exact_gt (Float.abs t.rows.(i).(j)) eps then begin
+                         found := j;
+                         raise Exit
+                       end
+                     done
+                   with Exit -> ());
+                  if !found >= 0 then pivot t ~row:i ~col:!found
+                  (* otherwise the row is redundant; the artificial stays basic
+                     at value 0 and is harmless once banned from re-entry *)
+                end)
               t.basis;
-            Ok (Optimal { value = -.t.cost_rhs; solution = x })
-      end
+            for j = art_start to ncols - 1 do
+              t.banned.(j) <- true
+            done;
+            (* phase 2 *)
+            let phase2_cost = Array.make ncols 0. in
+            Array.blit p.minimize 0 phase2_cost 0 n;
+            set_cost t phase2_cost;
+            match iterate ~max_pivots:(max_pivots - pivots1) t with
+            | `Limit k -> Ok (Iteration_limit { pivots = pivots1 + k })
+            | `Unbounded _ -> Ok Unbounded
+            | `Optimal _ ->
+                let x = Array.make n 0. in
+                Array.iteri
+                  (fun i b -> if b < n then x.(b) <- t.rhs.(i))
+                  t.basis;
+                Ok (Optimal { value = -.t.cost_rhs; solution = x })
+          end

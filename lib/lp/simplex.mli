@@ -20,11 +20,21 @@ type outcome =
   | Optimal of { value : float; solution : float array }
   | Infeasible
   | Unbounded
+  | Iteration_limit of { pivots : int }
+      (** the pivot budget ran out before the tableau reached optimality;
+          [pivots] is how many were spent (across both phases) *)
 
-val solve : ?max_iter:int -> problem -> (outcome, string) result
+val solve : ?max_pivots:int -> problem -> (outcome, string) result
 (** Errors on malformed input (ragged rows, non-finite numbers, empty
-    objective). [max_iter] (default 10_000 pivots per phase) guards
-    pathological inputs; hitting it is reported as an error. *)
+    objective). [max_pivots] (default 200_000) is a {e total} pivot
+    budget across both phases — far above anything the repository's
+    tiny instances need, but a hard ceiling for adversarial or
+    degenerate inputs. Exhausting it is not an error: it is reported as
+    the typed {!Iteration_limit} outcome so callers can distinguish
+    "ran out of budget" from "malformed input" and fall back
+    accordingly. Bland's rule already precludes cycling, so the budget
+    only ever bites on genuinely huge instances or tiny explicit
+    budgets. *)
 
 val feasible : ?eps:float -> problem -> float array -> bool
 (** Does a point satisfy all constraints and non-negativity? (Used by the

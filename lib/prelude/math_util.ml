@@ -2,16 +2,27 @@ let rec gcd a b =
   let a = abs a and b = abs b in
   if b = 0 then a else gcd b (a mod b)
 
-let lcm a b =
-  if a <= 0 || b <= 0 then invalid_arg "Math_util.lcm: non-positive argument";
-  let g = gcd a b in
-  let q = a / g in
-  if q > max_int / b then invalid_arg "Math_util.lcm: overflow";
-  q * b
+let lcm_checked a b =
+  if a <= 0 || b <= 0 then Error "Math_util.lcm: non-positive argument"
+  else begin
+    let g = gcd a b in
+    let q = a / g in
+    if q > max_int / b then Error "Math_util.lcm: overflow"
+    else Ok (q * b)
+  end
 
-let lcm_list = function
-  | [] -> invalid_arg "Math_util.lcm_list: empty list"
-  | x :: xs -> List.fold_left lcm x xs
+let lcm a b =
+  match lcm_checked a b with Ok v -> v | Error e -> invalid_arg e
+
+let lcm_list_checked = function
+  | [] -> Error "Math_util.lcm_list: empty list"
+  | x :: xs ->
+      List.fold_left
+        (fun acc y -> Result.bind acc (fun a -> lcm_checked a y))
+        (Ok x) xs
+
+let lcm_list l =
+  match lcm_list_checked l with Ok v -> v | Error e -> invalid_arg e
 
 let pow_int b e =
   if e < 0 then invalid_arg "Math_util.pow_int: negative exponent";

@@ -27,13 +27,22 @@ type job = {
 
 type exec_slice = { x0 : float; x1 : float; xtask : int }
 
+type injection = {
+  overrun : int -> float;
+  crash_at : float option;
+  speed_cap : float option;
+}
+
+let no_injection =
+  { overrun = (fun _ -> 1.); crash_at = None; speed_cap = None }
+
 let feasible_speed tasks = Taskset.total_utilization tasks
 
-let build_jobs ~horizon ~speed tasks =
+let build_jobs ?(overrun = fun _ -> 1.) ~horizon ~speed tasks =
   List.concat_map
     (fun (t : Task.periodic) ->
       let p = float_of_int t.period in
-      let exec = float_of_int t.cycles /. speed in
+      let exec = float_of_int t.cycles *. overrun t.id /. speed in
       let rec go k acc =
         let release = float_of_int k *. p in
         if Fc.exact_ge release (horizon -. 1e-9) then List.rev acc
@@ -45,8 +54,10 @@ let build_jobs ~horizon ~speed tasks =
       go 0 [])
     tasks
 
-let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
-  let jobs = build_jobs ~horizon ~speed tasks in
+(* Core event loop. [exec_until <= horizon] bounds *execution* (a crashed
+   processor stops there and consumes nothing afterwards); deadline-miss
+   accounting always runs against the full [horizon]. *)
+let simulate_jobs ~horizon ~exec_until ~(proc : Processor.t) ~speed jobs =
   let future =
     List.sort
       (fun a b ->
@@ -75,8 +86,10 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
   let busy = ref 0. in
   let preemptions = ref 0 in
   let rec loop t ready future =
-    if Fc.exact_ge t (horizon -. 1e-9) then
-      (* account unfinished jobs whose deadlines passed *)
+    if Fc.exact_ge t (exec_until -. 1e-9) then
+      (* no further execution possible: account every unfinished job whose
+         deadline falls within the horizon (including jobs released after a
+         crash — the processor is gone, so they can never run) *)
       List.iter
         (fun j ->
           if
@@ -90,14 +103,14 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
                 late_by = horizon -. j.deadline;
               }
               :: !misses)
-        ready
+        (ready @ future)
     else
       match (pick ready, future) with
       | None, [] ->
-          if Fc.exact_gt (horizon -. t) 1e-9 then
-            gaps := { g0 = t; g1 = horizon } :: !gaps
+          if Fc.exact_gt (exec_until -. t) 1e-9 then
+            gaps := { g0 = t; g1 = exec_until } :: !gaps
       | None, next :: _ ->
-          let t' = Float.min horizon next.release in
+          let t' = Float.min exec_until next.release in
           if Fc.exact_gt (t' -. t) 1e-9 then gaps := { g0 = t; g1 = t' } :: !gaps;
           let arrived, future' =
             List.partition (fun j -> Fc.exact_le j.release (t' +. 1e-12)) future
@@ -108,7 +121,7 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
             match future with [] -> Float.infinity | n :: _ -> n.release
           in
           let finish = t +. j.remaining in
-          let t' = Float.min (Float.min finish next_release) horizon in
+          let t' = Float.min (Float.min finish next_release) exec_until in
           let ran = t' -. t in
           if Fc.exact_gt ran 0. then begin
             busy := !busy +. ran;
@@ -134,7 +147,7 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
           (* a preemption happens when the job is unfinished and a newly
              arrived job takes over *)
           let ready'' = arrived @ ready' in
-          (if (not completed) && t' < horizon then
+          (if (not completed) && Fc.exact_lt t' exec_until then
              match pick ready'' with
              (* lint: allow-phys-cmp "jobs are mutable records; physical identity is the intended key" *)
              | Some nxt when nxt != j -> incr preemptions
@@ -179,6 +192,10 @@ let simulate ~horizon ~(proc : Processor.t) ~speed tasks =
   in
   (outcome, List.rev !slices)
 
+let simulate ~horizon ~proc ~speed tasks =
+  let jobs = build_jobs ~horizon ~speed tasks in
+  simulate_jobs ~horizon ~exec_until:horizon ~proc ~speed jobs
+
 let prepare ?horizon ~proc ~speed tasks =
   let ( let* ) = Result.bind in
   let* () =
@@ -192,7 +209,10 @@ let prepare ?horizon ~proc ~speed tasks =
     | None -> (
         match tasks with
         | [] -> Error "Edf_sim: empty task set needs an explicit horizon"
-        | _ -> Ok (float_of_int (Taskset.hyper_period tasks)))
+        | _ -> (
+            match Taskset.hyper_period_checked tasks with
+            | Ok hp -> Ok (float_of_int hp)
+            | Error e -> Error ("Edf_sim: " ^ e)))
   in
   let* () =
     if tasks = [] then Ok ()
@@ -209,6 +229,44 @@ let run ?horizon ~proc ~speed tasks =
   Result.map
     (fun horizon -> fst (simulate ~horizon ~proc ~speed tasks))
     (prepare ?horizon ~proc ~speed tasks)
+
+let run_injected ?horizon ~proc ~speed ~inject tasks =
+  let ( let* ) = Result.bind in
+  let* horizon = prepare ?horizon ~proc ~speed tasks in
+  let* () =
+    List.fold_left
+      (fun acc (t : Task.periodic) ->
+        let* () = acc in
+        let f = inject.overrun t.id in
+        if Fc.exact_gt f 0. && Float.is_finite f then Ok ()
+        else
+          Error
+            (Printf.sprintf "Edf_sim: overrun factor %.6g for task %d" f t.id))
+      (Ok ()) tasks
+  in
+  let* eff_speed =
+    match inject.speed_cap with
+    | None -> Ok speed
+    | Some c ->
+        if Fc.exact_gt c 0. && Float.is_finite c then Ok (Float.min speed c)
+        else Error "Edf_sim: speed_cap must be finite and > 0"
+  in
+  let* exec_until =
+    match inject.crash_at with
+    | None -> Ok horizon
+    | Some tc ->
+        if Fc.exact_ge tc 0. && Float.is_finite tc then
+          Ok (Float.min tc horizon)
+        else Error "Edf_sim: crash time must be finite and >= 0"
+  in
+  match tasks with
+  | [] -> run ~horizon ~proc ~speed tasks
+  | _ ->
+      let jobs =
+        build_jobs ~overrun:inject.overrun ~horizon ~speed:eff_speed tasks
+      in
+      Ok
+        (fst (simulate_jobs ~horizon ~exec_until ~proc ~speed:eff_speed jobs))
 
 let gantt ?horizon ~proc ~speed tasks =
   Result.map

@@ -33,15 +33,49 @@ type outcome = {
   preemptions : int;
 }
 
+type injection = {
+  overrun : int -> float;
+      (** per-task WCEC inflation factor (1.0 = nominal); must be finite
+          and positive for every task in the set *)
+  crash_at : float option;
+      (** processor dies at this time: no execution afterwards, but
+          deadline accounting still runs to the full horizon *)
+  speed_cap : float option;
+      (** DVS derating: the processor cannot exceed this speed, so jobs
+          execute at [min speed cap]. The cap need not be a feasible DVS
+          level — it models hardware throttling below the commanded
+          level. *)
+}
+(** A fault scenario for one processor, as seen by the simulator. Build
+    these by hand or from a {!Rt_fault.Fault.scenario}. *)
+
+val no_injection : injection
+(** The identity injection: [run_injected ~inject:no_injection] behaves
+    exactly like {!run}. *)
+
 val run :
   ?horizon:float -> proc:Rt_power.Processor.t -> speed:float ->
   Rt_task.Task.periodic list -> (outcome, string) result
 (** Simulate the tasks on one processor at constant [speed]. [horizon]
     defaults to the hyper-period (in ticks, as a float). Errors on an
     infeasible speed for the processor, [speed <= 0] with a non-empty task
-    set, duplicate task ids, or a non-positive horizon. A task set that
-    merely {e overloads} the processor is not an error — the misses are
-    reported in the outcome. *)
+    set, duplicate task ids, a non-positive horizon, or hyper-period
+    overflow. A task set that merely {e overloads} the processor is not an
+    error — the misses are reported in the outcome. *)
+
+val run_injected :
+  ?horizon:float -> proc:Rt_power.Processor.t -> speed:float ->
+  inject:injection -> Rt_task.Task.periodic list ->
+  (outcome, string) result
+(** {!run} under a fault scenario: execution times are inflated by
+    [inject.overrun], the effective speed is clamped to
+    [inject.speed_cap], and no job executes past [inject.crash_at].
+    The {e commanded} [speed] must still be feasible for the processor
+    (same validation as {!run}); the derated effective speed need not
+    be, since derating models hardware misbehaviour. Additional errors:
+    a non-finite or non-positive overrun factor for some task, a
+    non-finite or negative crash time, or a non-finite or non-positive
+    speed cap. *)
 
 val feasible_speed : Rt_task.Task.periodic list -> float
 (** The minimum constant speed that meets all deadlines under EDF: the

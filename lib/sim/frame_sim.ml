@@ -208,6 +208,120 @@ let validate ?eps t =
     Ok ()
   else Error "total_energy disagrees with the slice integral"
 
+type injection = {
+  overrun : int -> float;
+  crash : int -> float option;
+  speed_cap : float option;
+}
+
+let no_injection =
+  { overrun = (fun _ -> 1.); crash = (fun _ -> None); speed_cap = None }
+
+type fault_report = {
+  missed : int list;
+  delivered : (int * float) list;
+  faulty_energy : float;
+  dead_time : float;
+}
+
+let run_injected ?nominal ~inject t =
+  let ( let* ) = Result.bind in
+  let items = Rt_partition.Partition.all_items t.partition in
+  let m = Rt_partition.Partition.m t.partition in
+  let* () =
+    List.fold_left
+      (fun acc (it : Task.item) ->
+        let* () = acc in
+        let f = inject.overrun it.item_id in
+        if Fc.exact_gt f 0. && Float.is_finite f then Ok ()
+        else
+          Error
+            (Printf.sprintf "Frame_sim: overrun factor %.6g for task %d" f
+               it.item_id))
+      (Ok ()) items
+  in
+  let rec check_crashes j =
+    if j = m then Ok ()
+    else
+      match inject.crash j with
+      | None -> check_crashes (j + 1)
+      | Some tc ->
+          if Fc.exact_ge tc 0. && Float.is_finite tc then check_crashes (j + 1)
+          else
+            Error
+              (Printf.sprintf "Frame_sim: crash time %.6g for processor %d" tc j)
+  in
+  let* () = check_crashes 0 in
+  let* cap =
+    match inject.speed_cap with
+    | None -> Ok None
+    | Some c ->
+        if Fc.exact_gt c 0. && Float.is_finite c then Ok (Some c)
+        else Error "Frame_sim: speed_cap must be finite and > 0"
+  in
+  let nominal_of =
+    match nominal with
+    | Some f -> f
+    | None ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (it : Task.item) -> Hashtbl.replace tbl it.item_id it.weight)
+          items;
+        fun id -> Option.value ~default:0. (Hashtbl.find_opt tbl id)
+  in
+  let delivered = Hashtbl.create 16 in
+  List.iter
+    (fun (it : Task.item) -> Hashtbl.replace delivered it.item_id 0.)
+    items;
+  let energy = ref 0. in
+  let dead = ref 0. in
+  List.iter
+    (fun tl ->
+      let stop =
+        match inject.crash tl.proc_index with
+        | None -> t.frame_length
+        | Some tc -> Float.min tc t.frame_length
+      in
+      dead := !dead +. (t.frame_length -. stop);
+      List.iter
+        (fun s ->
+          let t1 = Float.min s.t1 stop in
+          let dt = t1 -. s.t0 in
+          if Fc.exact_gt dt 0. then
+            match s.task_id with
+            | None -> energy := !energy +. (dt *. idle_power_of t.proc)
+            | Some id ->
+                let actual =
+                  match cap with
+                  | None -> s.speed
+                  | Some c -> Float.min s.speed c
+                in
+                let prev =
+                  Option.value ~default:0. (Hashtbl.find_opt delivered id)
+                in
+                Hashtbl.replace delivered id (prev +. (dt *. actual));
+                if Fc.exact_gt actual 0. then
+                  energy := !energy +. (dt *. Power_model.power t.proc.model actual))
+        tl.slices)
+    t.timelines;
+  let got id = Option.value ~default:0. (Hashtbl.find_opt delivered id) in
+  let missed =
+    List.filter_map
+      (fun (it : Task.item) ->
+        let want =
+          nominal_of it.item_id *. inject.overrun it.item_id *. t.frame_length
+        in
+        if Fc.lt (got it.item_id) want then Some it.item_id else None)
+      items
+  in
+  Ok
+    {
+      missed;
+      delivered = List.map (fun (it : Task.item) -> (it.item_id, got it.item_id)) items;
+      faulty_energy = !energy;
+      dead_time = !dead;
+    }
+
 let glyph_of_id id =
   let alphabet = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ" in
   alphabet.[id mod String.length alphabet]

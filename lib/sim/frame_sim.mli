@@ -51,6 +51,51 @@ val energy_of_slices : proc:Rt_power.Processor.t -> slice list -> float
     dormancy-appropriate idle power: leakage when dormant-disable, zero
     when dormant-enable). *)
 
+type injection = {
+  overrun : int -> float;
+      (** per-task WCEC inflation factor (1.0 = nominal); must be finite
+          and positive for every partitioned item *)
+  crash : int -> float option;
+      (** per-{e processor} crash time: processor [j] executes nothing
+          after [crash j]; [None] = healthy *)
+  speed_cap : float option;
+      (** DVS derating: every task slice actually runs at
+          [min planned_speed cap] — planned speeds above the cap silently
+          under-deliver cycles *)
+}
+(** A fault scenario replayed against a built schedule. Build these by
+    hand or from a {!Rt_fault.Fault.scenario}. *)
+
+val no_injection : injection
+(** The identity injection: replaying it reports no misses (for a
+    schedule that passes {!validate}) and the nominal energy. *)
+
+type fault_report = {
+  missed : int list;
+      (** ids whose delivered cycles fall short of
+          [nominal · overrun · frame] (tolerant comparison) *)
+  delivered : (int * float) list;  (** cycles actually executed, per task *)
+  faulty_energy : float;
+      (** energy of the degraded execution: task slices at their actual
+          (possibly capped) speed, idle slices at the dormancy-appropriate
+          idle power, nothing after a crash *)
+  dead_time : float;
+      (** total processor-time lost to crashes, [Σ_j (frame − stop_j)] *)
+}
+
+val run_injected :
+  ?nominal:(int -> float) -> inject:injection -> t ->
+  (fault_report, string) result
+(** Replay a built schedule under a fault scenario. Each processor
+    executes its planned slices until its crash time (if any); task
+    slices deliver [dt × min(speed, cap)] cycles. Task [id] needs
+    [nominal id × overrun id × frame_length] cycles to finish —
+    [nominal] defaults to the partitioned item's weight, but callers
+    verifying a {e degraded} plan whose items already carry inflated
+    weights must pass the original weights here, otherwise the overrun
+    would be double-counted. Errors on a non-finite/non-positive overrun
+    factor or speed cap, or a non-finite/negative crash time. *)
+
 val gantt : t -> string
 (** ASCII Gantt chart, one row per processor; digits/letters identify
     tasks, ['.'] idle. *)

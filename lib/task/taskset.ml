@@ -13,9 +13,14 @@ let total_penalty_frame ts =
 let total_penalty_items items =
   List.fold_left (fun acc (i : Task.item) -> acc +. i.item_penalty) 0. items
 
-let hyper_period = function
-  | [] -> invalid_arg "Taskset.hyper_period: empty task set"
-  | ts -> Rt_prelude.Math_util.lcm_list (List.map (fun (t : Task.periodic) -> t.period) ts)
+let hyper_period_checked = function
+  | [] -> Error "Taskset.hyper_period: empty task set"
+  | ts ->
+      Rt_prelude.Math_util.lcm_list_checked
+        (List.map (fun (t : Task.periodic) -> t.period) ts)
+
+let hyper_period ts =
+  match hyper_period_checked ts with Ok v -> v | Error e -> invalid_arg e
 
 let check_ids ids =
   if Task.distinct_ids ids then Ok () else Error "duplicate task ids"

@@ -14,6 +14,13 @@ val hyper_period : Task.periodic list -> int
 (** Least common multiple of the periods.
     @raise Invalid_argument on an empty set or overflow. *)
 
+val hyper_period_checked : Task.periodic list -> (int, string) result
+(** [hyper_period] with the empty set and LCM overflow (adversarial period
+    grids, e.g. large coprime periods) reported as a typed error — the
+    entry points that admit untrusted task sets ({!Rt_core.Problem},
+    {!Rt_sim.Edf_sim}) route through this instead of catching
+    exceptions. *)
+
 val well_formed_frame : Task.frame list -> (unit, string) result
 (** Unique ids; non-empty sets are not required. *)
 

@@ -1,0 +1,146 @@
+(* Deterministic fault-injection stress (run via `dune build @stress`).
+
+   The acceptance bar for the robustness work: under an injected
+   processor crash and 1.5x WCEC overruns, every shedding/repartitioning
+   degradation policy must finish with ZERO deadline misses in BOTH
+   simulators (frame and EDF) while the no-op baseline demonstrably
+   misses. All scenarios are derived from fixed seeds, so a failure here
+   is reproducible, not flaky. *)
+
+open Rt_core
+module Fault = Rt_fault.Fault
+module Degrade = Rt_fault.Degrade
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "  [ok]   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "  [FAIL] %s\n%!" name
+  end
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ e)
+
+let proc_ideal =
+  Rt_power.Processor.xscale
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let proc_levels =
+  Rt_power.Processor.xscale_levels ~dormancy:Rt_power.Processor.Dormant_disable
+
+let shed_policies =
+  [ Degrade.Shed_density; Degrade.Shed_marginal; Degrade.Repartition_ltf ]
+
+(* ------------------------------------------------------------------ *)
+(* Frame simulator: crash at t=0 plus 1.5x overrun on every accepted
+   task. The no-op plan loses a processor and under-provisions the rest;
+   recovery re-plans on the survivors. *)
+
+let frame_case () =
+  print_endline "frame simulator: processor crash + 1.5x WCEC overrun";
+  let p =
+    Rt_expkit.Instances.frame_instance ~proc:proc_ideal ~seed:2026 ~n:12 ~m:4
+      ~load:0.8 ()
+  in
+  let baseline = Greedy.ltf_reject p in
+  let overruns =
+    List.map
+      (fun id -> Fault.Wcec_overrun { task_id = id; factor = 1.5 })
+      (Solution.accepted_ids baseline)
+  in
+  let sc = Fault.Proc_crash { proc = 1; at = 0. } :: overruns in
+  let no_op = ok_exn "no-op" (Degrade.recover_frame p sc ~baseline Degrade.No_op) in
+  check "no-op baseline misses deadlines" (no_op.Degrade.misses <> []);
+  List.iter
+    (fun policy ->
+      let r = ok_exn (Degrade.policy_name policy)
+          (Degrade.recover_frame p sc ~baseline policy)
+      in
+      check (Degrade.policy_name policy ^ ": zero deadline misses")
+        (r.Degrade.misses = []))
+    shed_policies
+
+(* ------------------------------------------------------------------ *)
+(* EDF simulator: same fault classes over one hyper-period of a seeded
+   periodic set. *)
+
+let periodic_case () =
+  print_endline "EDF simulator: processor crash + 1.5x WCEC overrun";
+  let _p, tasks =
+    Rt_expkit.Instances.periodic_instance ~proc:proc_levels ~seed:2026 ~n:8
+      ~m:2 ~total_util:0.6 ()
+  in
+  let overruns =
+    List.map
+      (fun (t : Rt_task.Task.periodic) ->
+        Fault.Wcec_overrun { task_id = t.id; factor = 1.5 })
+      tasks
+  in
+  let sc = Fault.Proc_crash { proc = 1; at = 0. } :: overruns in
+  let recover = Degrade.recover_periodic ~proc:proc_levels ~m:2 ~tasks sc in
+  let no_op = ok_exn "no-op" (recover Degrade.No_op) in
+  check "no-op baseline misses deadlines" (no_op.Degrade.misses <> []);
+  List.iter
+    (fun policy ->
+      let r = ok_exn (Degrade.policy_name policy) (recover policy) in
+      check (Degrade.policy_name policy ^ ": zero deadline misses")
+        (r.Degrade.misses = []))
+    shed_policies
+
+(* ------------------------------------------------------------------ *)
+(* Seeded sweep: across many generated scenarios (crashes, overruns and
+   derates all active), the shedding policies must never miss in the
+   frame simulator. *)
+
+let generated_sweep () =
+  print_endline "seeded scenario sweep: shed policies never miss";
+  let rates =
+    {
+      Fault.overrun_prob = 0.3;
+      overrun_factor = 1.5;
+      crash_prob = 0.3;
+      derate_prob = 0.3;
+      derate_factor = 0.8;
+    }
+  in
+  let bad = ref [] in
+  for seed = 1 to 25 do
+    let p =
+      Rt_expkit.Instances.frame_instance ~proc:proc_ideal ~seed ~n:10 ~m:3
+        ~load:0.7 ()
+    in
+    let baseline = Greedy.ltf_reject p in
+    let rng = Rt_prelude.Rng.create ~seed:(seed * 7919) in
+    let sc =
+      Fault.gen rng rates
+        ~task_ids:
+          (List.map (fun (it : Rt_task.Task.item) -> it.item_id) p.Problem.items)
+        ~m:p.Problem.m ~horizon:p.Problem.horizon
+    in
+    List.iter
+      (fun policy ->
+        match Degrade.recover_frame p sc ~baseline policy with
+        | Error e ->
+            bad := Printf.sprintf "seed %d %s: %s" seed
+                (Degrade.policy_name policy) e :: !bad
+        | Ok r ->
+            if r.Degrade.misses <> [] then
+              bad := Printf.sprintf "seed %d %s: misses" seed
+                  (Degrade.policy_name policy) :: !bad)
+      shed_policies
+  done;
+  List.iter (fun m -> Printf.printf "    %s\n" m) !bad;
+  check "25 seeds x 3 policies, zero misses everywhere" (!bad = [])
+
+let () =
+  frame_case ();
+  periodic_case ();
+  generated_sweep ();
+  if !failures > 0 then begin
+    Printf.printf "stress_fault: %d check(s) FAILED\n" !failures;
+    exit 1
+  end
+  else print_endline "stress_fault: all checks passed"

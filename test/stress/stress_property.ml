@@ -1,0 +1,64 @@
+(* Seeded property stress (run via `dune build @stress`).
+
+   200 random instances — 100 frame, 100 periodic, spanning light load
+   through heavy overload on both ideal and level-domain processors —
+   and every rejection heuristic (plus its local-search polish) must
+   emit a solution that passes full [Rt_core.Solution.validate],
+   including the concrete frame-simulator round trip. Everything is
+   derived from the loop seed, so failures reproduce exactly. *)
+
+open Rt_core
+
+let failures = ref 0
+
+let proc_ideal =
+  Rt_power.Processor.xscale
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let proc_levels =
+  Rt_power.Processor.xscale_levels ~dormancy:Rt_power.Processor.Dormant_disable
+
+let algorithms =
+  Greedy.named
+  @ List.map
+      (fun (name, alg) -> (name ^ "+ls", Local_search.with_local_search alg))
+      Greedy.named
+
+let check_instance label p =
+  List.iter
+    (fun (name, alg) ->
+      match Solution.validate p (alg p) with
+      | Ok () -> ()
+      | Error e ->
+          incr failures;
+          Printf.printf "[FAIL] %s / %s: %s\n%!" label name e)
+    algorithms
+
+let () =
+  let instances = ref 0 in
+  for seed = 1 to 100 do
+    (* frame instances: load 0.4 .. 2.2 (overload forces rejections) *)
+    let load = 0.4 +. (float_of_int (seed mod 5) *. 0.45) in
+    let m = 1 + (seed mod 4) in
+    let n = 6 + (seed mod 10) in
+    let proc = if seed mod 2 = 0 then proc_ideal else proc_levels in
+    let p = Rt_expkit.Instances.frame_instance ~proc ~seed ~n ~m ~load () in
+    check_instance (Printf.sprintf "frame seed=%d m=%d load=%.2f" seed m load) p;
+    incr instances;
+    (* periodic instances: total utilization 0.3 .. 1.8 *)
+    let util = 0.3 +. (float_of_int (seed mod 4) *. 0.5) in
+    let p2, _tasks =
+      Rt_expkit.Instances.periodic_instance ~proc ~seed ~n ~m ~total_util:util
+        ()
+    in
+    check_instance
+      (Printf.sprintf "periodic seed=%d m=%d util=%.2f" seed m util)
+      p2;
+    incr instances
+  done;
+  Printf.printf "stress_property: %d instances x %d algorithms validated\n"
+    !instances (List.length algorithms);
+  if !failures > 0 then begin
+    Printf.printf "stress_property: %d validation failure(s)\n" !failures;
+    exit 1
+  end

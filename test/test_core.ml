@@ -66,6 +66,20 @@ let test_problem_of_frame () =
       check_float 1e-12 "load factor" 0.5 (Problem.load_factor p);
       check_float 1e-12 "capacity" 1. (Problem.capacity p)
 
+let test_problem_of_periodic_overflow () =
+  (* coprime near-max-int periods: the hyper-period lcm would overflow,
+     and that must surface as a typed error, not a garbage horizon *)
+  let tasks =
+    [
+      Task.periodic ~penalty:1. ~id:0 ~cycles:1 ~period:max_int ();
+      Task.periodic ~penalty:1. ~id:1 ~cycles:1 ~period:(max_int - 1) ();
+    ]
+  in
+  check_bool "overflow is a typed error" true
+    (Result.is_error (Problem.of_periodic ~proc:cubic ~m:2 tasks));
+  check_bool "empty set is a typed error" true
+    (Result.is_error (Problem.of_periodic ~proc:cubic ~m:2 []))
+
 let test_problem_of_periodic () =
   let tasks =
     [
@@ -204,6 +218,35 @@ let prop_local_search_never_hurts =
           (cost_exn p s').Solution.total
           <= (cost_exn p s).Solution.total +. 1e-9)
         Greedy.named)
+
+let test_local_search_budgeted () =
+  let p = random_instance ~seed:42 ~n:12 ~m:3 ~load:1.8 () in
+  let s = Greedy.ltf_reject p in
+  (* zero budget: identity solution, flagged exhausted *)
+  (match Local_search.improve_budgeted ~max_moves:0 p s with
+  | Error e -> Alcotest.failf "budgeted: %s" e
+  | Ok b ->
+      check_int "no moves applied" 0 b.Local_search.moves;
+      check_bool "exhausted" true b.Local_search.exhausted;
+      check_float 1e-12 "identity cost" (cost_exn p s).Solution.total
+        (cost_exn p b.Local_search.solution).Solution.total);
+  (* default budget: converges, matching the raising wrapper *)
+  (match Local_search.improve_budgeted p s with
+  | Error e -> Alcotest.failf "budgeted: %s" e
+  | Ok b ->
+      check_bool "not exhausted" false b.Local_search.exhausted;
+      check_float 1e-9 "matches improve"
+        (cost_exn p (Local_search.improve p s)).Solution.total
+        (cost_exn p b.Local_search.solution).Solution.total);
+  (* an infeasible start is a typed error, not an exception *)
+  let items = items_of [ (0.9, 1.); (0.9, 1.) ] in
+  let p' = problem_exn ~proc:cubic ~m:1 ~horizon:1. items in
+  let overloaded =
+    { Solution.partition = Rt_partition.Partition.of_buckets [| items |];
+      rejected = [] }
+  in
+  check_bool "overloaded input is a typed error" true
+    (Result.is_error (Local_search.improve_budgeted p' overloaded))
 
 let prop_heuristics_above_optimal =
   qtest ~count:40 "no heuristic beats the exact optimum"
@@ -357,6 +400,8 @@ let () =
           Alcotest.test_case "problem validation" `Quick test_problem_make_validation;
           Alcotest.test_case "of_frame" `Quick test_problem_of_frame;
           Alcotest.test_case "of_periodic" `Quick test_problem_of_periodic;
+          Alcotest.test_case "of_periodic hyper-period overflow" `Quick
+            test_problem_of_periodic_overflow;
           Alcotest.test_case "cost and validate" `Quick
             test_solution_cost_and_validate;
           Alcotest.test_case "overload caught" `Quick test_solution_overload_caught;
@@ -379,6 +424,8 @@ let () =
           Alcotest.test_case "density trims" `Quick test_density_trims;
           prop_all_algorithms_valid;
           prop_local_search_never_hurts;
+          Alcotest.test_case "budgeted local search" `Quick
+            test_local_search_budgeted;
           prop_heuristics_above_optimal;
           Alcotest.test_case "random baseline valid" `Quick test_random_reject_valid;
           Alcotest.test_case "best_of" `Quick test_best_of;

@@ -120,6 +120,108 @@ let test_node_limit () =
   | _ -> Alcotest.fail "node limit should fire"
 
 (* ------------------------------------------------------------------ *)
+(* Anytime (budgeted) search *)
+
+let test_budgeted_zero_budget_seed () =
+  (* even a zero node budget returns the all-reject incumbent, typed
+     exhausted rather than raising like the node_limit path *)
+  let items = items_of [ (0.5, 1.); (0.4, 2.) ] in
+  match
+    Rt_exact.Search.branch_and_bound_budgeted ~node_budget:0 ~m:2 ~capacity:1.
+      ~bucket_cost:cubic_cost items
+  with
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Ok a ->
+      check_bool "exhausted" true a.Rt_exact.Search.exhausted;
+      let b = a.Rt_exact.Search.best in
+      check_int "all rejected" 2 (List.length b.Rt_exact.Search.rejected);
+      check_float 1e-12 "cost = total penalty" 3. b.Rt_exact.Search.cost
+
+let test_budgeted_completes_matches_optimum () =
+  let items = items_of [ (0.8, 100.); (0.8, 100.); (0.3, 0.01) ] in
+  let opt =
+    Rt_exact.Search.branch_and_bound ~m:2 ~capacity:1.
+      ~bucket_cost:cubic_cost items
+  in
+  (match
+     Rt_exact.Search.branch_and_bound_budgeted ~node_budget:1_000_000 ~m:2
+       ~capacity:1. ~bucket_cost:cubic_cost items
+   with
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Ok a ->
+      check_bool "not exhausted" false a.Rt_exact.Search.exhausted;
+      check_float 1e-12 "matches branch-and-bound"
+        opt.Rt_exact.Search.cost a.Rt_exact.Search.best.Rt_exact.Search.cost);
+  match
+    Rt_exact.Search.exhaustive_budgeted ~m:2 ~capacity:1.
+      ~bucket_cost:cubic_cost items
+  with
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Ok a ->
+      check_bool "exhaustive not exhausted" false a.Rt_exact.Search.exhausted;
+      check_float 1e-12 "exhaustive matches too"
+        opt.Rt_exact.Search.cost a.Rt_exact.Search.best.Rt_exact.Search.cost
+
+let test_budgeted_hardness_anytime () =
+  (* acceptance criterion: on a hardness instance a tiny node budget must
+     come back exhausted with a valid best-so-far whose cost still sits
+     above the convex pooled lower bound *)
+  let gadget =
+    match
+      Rt_core.Hardness.partition_gadget
+        [ 7; 9; 11; 13; 15; 17; 19; 21; 23; 25; 27; 29 ]
+    with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "gadget: %s" e
+  in
+  let p = gadget.Rt_core.Hardness.problem in
+  match Rt_core.Exact.branch_and_bound_budgeted ~node_budget:50 p with
+  | Error e -> Alcotest.failf "budgeted: %s" e
+  | Ok r ->
+      check_bool "exhausted" true r.Rt_core.Exact.exhausted;
+      check_bool "visited more nodes than the budget allows incumbents for"
+        true (r.Rt_core.Exact.nodes > 50);
+      (match Rt_core.Solution.validate p r.Rt_core.Exact.solution with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid incumbent: %s" e);
+      let c =
+        match Rt_core.Solution.cost p r.Rt_core.Exact.solution with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "cost: %s" e
+      in
+      check_bool "incumbent cost >= lower bound" true
+        (c.Rt_core.Solution.total >= Rt_core.Bounds.lower_bound p -. 1e-9)
+
+let test_budgeted_time_budget () =
+  (* an already-expired time budget stops the search at the next clock
+     poll (every 1024 nodes), so a big instance must come back exhausted
+     with an incumbent no worse than all-reject *)
+  let items =
+    items_of (List.init 18 (fun i -> (0.1 +. (0.01 *. float_of_int i), 0.5)))
+  in
+  let all_reject = Rt_task.Taskset.total_penalty_items items in
+  match
+    Rt_exact.Search.branch_and_bound_budgeted ~time_budget:0. ~m:3 ~capacity:1.
+      ~bucket_cost:cubic_cost items
+  with
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Ok a ->
+      check_bool "exhausted" true a.Rt_exact.Search.exhausted;
+      check_bool "incumbent no worse than all-reject" true
+        (a.Rt_exact.Search.best.Rt_exact.Search.cost <= all_reject +. 1e-12)
+
+let test_budgeted_bad_args () =
+  let items = items_of [ (0.5, 1.) ] in
+  check_bool "m < 1 is a typed error" true
+    (Result.is_error
+       (Rt_exact.Search.branch_and_bound_budgeted ~m:0 ~capacity:1.
+          ~bucket_cost:cubic_cost items));
+  check_bool "capacity <= 0 is a typed error" true
+    (Result.is_error
+       (Rt_exact.Search.exhaustive_budgeted ~m:2 ~capacity:0.
+          ~bucket_cost:cubic_cost items))
+
+(* ------------------------------------------------------------------ *)
 (* Knapsack *)
 
 let linear_cost w = 0.001 *. float_of_int w
@@ -249,6 +351,19 @@ let () =
           prop_bnb_matches_exhaustive;
           prop_search_solution_consistent;
           Alcotest.test_case "node limit" `Quick test_node_limit;
+        ] );
+      ( "anytime",
+        [
+          Alcotest.test_case "zero budget returns the seed" `Quick
+            test_budgeted_zero_budget_seed;
+          Alcotest.test_case "generous budget completes" `Quick
+            test_budgeted_completes_matches_optimum;
+          Alcotest.test_case "hardness instance, tiny budget" `Quick
+            test_budgeted_hardness_anytime;
+          Alcotest.test_case "expired time budget" `Quick
+            test_budgeted_time_budget;
+          Alcotest.test_case "bad arguments are typed errors" `Quick
+            test_budgeted_bad_args;
         ] );
       ( "knapsack",
         [

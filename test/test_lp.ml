@@ -19,6 +19,7 @@ let optimal_exn p =
   | Simplex.Optimal { value; solution } -> (value, solution)
   | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Simplex.Iteration_limit _ -> Alcotest.fail "unexpected pivot-limit"
 
 (* ------------------------------------------------------------------ *)
 
@@ -133,6 +134,48 @@ let test_malformed () =
        (Simplex.solve
           { Simplex.minimize = [| Float.nan |]; constraints = [] }))
 
+let test_beale_cycling () =
+  (* Beale's classic cycling instance: a naive most-negative-cost pivot
+     rule cycles forever on this degenerate LP; Bland's rule must
+     terminate at the optimum -0.05 *)
+  let p =
+    {
+      Simplex.minimize = [| -0.75; 150.; -0.02; 6. |];
+      constraints =
+        [
+          ([| 0.25; -60.; -0.04; 9. |], Simplex.Le, 0.);
+          ([| 0.5; -90.; -0.02; 3. |], Simplex.Le, 0.);
+          ([| 0.; 0.; 1.; 0. |], Simplex.Le, 1.);
+        ];
+    }
+  in
+  let v, x = optimal_exn p in
+  check_float 1e-7 "value" (-0.05) v;
+  check_bool "solution feasible" true (Simplex.feasible p x)
+
+let test_pivot_limit () =
+  (* a tiny budget on a non-trivial instance must surface as the typed
+     Iteration_limit outcome, not an error or a bogus optimum *)
+  let p =
+    {
+      Simplex.minimize = [| -3.; -5. |];
+      constraints =
+        [
+          ([| 1.; 0. |], Simplex.Le, 4.);
+          ([| 0.; 2. |], Simplex.Le, 12.);
+          ([| 3.; 2. |], Simplex.Le, 18.);
+        ];
+    }
+  in
+  (match Simplex.solve ~max_pivots:1 p with
+  | Ok (Simplex.Iteration_limit { pivots }) ->
+      check_bool "pivots within budget" true (pivots <= 1)
+  | Ok _ -> Alcotest.fail "expected Iteration_limit"
+  | Error e -> Alcotest.failf "unexpected error: %s" e);
+  (* the same instance solves fine with the default budget *)
+  let v, _ = optimal_exn p in
+  check_float 1e-7 "default budget solves" (-36.) v
+
 (* randomized: on random bounded-feasible LPs the simplex optimum must be
    feasible and no sampled feasible point may beat it *)
 let prop_optimum_dominates_samples =
@@ -157,7 +200,8 @@ let prop_optimum_dominates_samples =
       let p = { Simplex.minimize; constraints = box :: random_rows } in
       match Simplex.solve p with
       | Error _ -> false
-      | Ok Simplex.Infeasible | Ok Simplex.Unbounded ->
+      | Ok Simplex.Infeasible | Ok Simplex.Unbounded | Ok (Simplex.Iteration_limit _)
+        ->
           false (* 0 is feasible and the box bounds everything *)
       | Ok (Simplex.Optimal { value; solution }) ->
           Simplex.feasible p solution
@@ -189,6 +233,9 @@ let () =
           Alcotest.test_case "redundant equalities" `Quick
             test_redundant_equalities;
           Alcotest.test_case "malformed input" `Quick test_malformed;
+          Alcotest.test_case "Beale cycling instance" `Quick
+            test_beale_cycling;
+          Alcotest.test_case "pivot limit" `Quick test_pivot_limit;
           prop_optimum_dominates_samples;
         ] );
     ]

@@ -55,6 +55,21 @@ let test_gcd_lcm () =
     (Invalid_argument "Math_util.lcm: non-positive argument") (fun () ->
       ignore (Math_util.lcm 0 3))
 
+let test_lcm_checked () =
+  check_bool "small ok" true (Math_util.lcm_checked 12 18 = Ok 36);
+  check_bool "non-positive is an error" true
+    (Result.is_error (Math_util.lcm_checked 0 3));
+  (* consecutive integers are coprime, so this lcm is their product —
+     far past max_int; the guard must catch it before the multiply *)
+  check_bool "overflow is an error" true
+    (Result.is_error (Math_util.lcm_checked max_int (max_int - 1)));
+  check_bool "list ok" true
+    (Math_util.lcm_list_checked [ 100; 200; 250; 400; 500 ] = Ok 2000);
+  check_bool "empty list is an error" true
+    (Result.is_error (Math_util.lcm_list_checked []));
+  check_bool "list overflow is an error" true
+    (Result.is_error (Math_util.lcm_list_checked [ max_int; max_int - 1 ]))
+
 let test_pow_int () =
   check_int "2^10" 1024 (Math_util.pow_int 2 10);
   check_int "x^0" 1 (Math_util.pow_int 7 0);
@@ -250,6 +265,8 @@ let () =
       ( "math_util",
         [
           Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "checked lcm overflow guard" `Quick
+            test_lcm_checked;
           Alcotest.test_case "pow_int" `Quick test_pow_int;
           Alcotest.test_case "ranges" `Quick test_ranges;
           Alcotest.test_case "golden section" `Quick test_golden_section;

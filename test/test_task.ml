@@ -86,6 +86,26 @@ let test_hyper_period () =
   in
   check_int "lcm of periods" 2000 (Taskset.hyper_period ts)
 
+let test_hyper_period_checked () =
+  let ts =
+    [
+      Task.periodic ~id:0 ~cycles:1 ~period:100 ();
+      Task.periodic ~id:1 ~cycles:1 ~period:250 ();
+    ]
+  in
+  check_bool "small ok" true (Taskset.hyper_period_checked ts = Ok 500);
+  check_bool "empty is an error" true
+    (Result.is_error (Taskset.hyper_period_checked []));
+  (* near-max-int coprime periods: the hyper-period would overflow *)
+  let adversarial =
+    [
+      Task.periodic ~id:0 ~cycles:1 ~period:max_int ();
+      Task.periodic ~id:1 ~cycles:1 ~period:(max_int - 1) ();
+    ]
+  in
+  check_bool "overflow is a typed error" true
+    (Result.is_error (Taskset.hyper_period_checked adversarial))
+
 let test_load_factor () =
   let items = [ Task.item ~id:0 ~weight:0.5 (); Task.item ~id:1 ~weight:1.0 () ] in
   check_float 1e-12 "load over 2 procs" 0.75
@@ -239,6 +259,8 @@ let () =
         [
           Alcotest.test_case "queries" `Quick test_taskset_queries;
           Alcotest.test_case "hyper-period" `Quick test_hyper_period;
+          Alcotest.test_case "hyper-period overflow guard" `Quick
+            test_hyper_period_checked;
           Alcotest.test_case "load factor" `Quick test_load_factor;
         ] );
       ( "penalty",

@@ -30,31 +30,36 @@ let float_module_non_float =
 let repo_float_vals =
   [
     "acceptance_ratio"; "awake_overhead"; "balanced_energy";
-    "break_even_time"; "bucket_energy"; "critical_speed"; "dynamic_power";
-    "e_max"; "e_min"; "energy"; "energy_cycles"; "energy_of_slices";
-    "energy_per_cycle"; "feasible_speed"; "geometric_mean"; "idle_energy";
-    "idle_power"; "laxity_speed"; "load_factor"; "log_uniform";
-    "lower_bound"; "makespan"; "mean"; "mean_over"; "median";
-    "min_rejected_penalty"; "optimal_cost"; "peak_intensity"; "percentile";
-    "plan_rate"; "plan_throughput"; "solution_total"; "stddev";
-    "total_penalty"; "total_penalty_frame"; "total_penalty_items";
-    "total_utilization"; "total_weight"; "utilization";
+    "break_even_time"; "bucket_energy"; "critical_speed"; "derate";
+    "dynamic_power"; "e_max"; "e_min"; "energy"; "energy_cycles";
+    "energy_of_slices"; "energy_per_cycle"; "feasible_speed";
+    "geometric_mean"; "idle_energy"; "idle_power"; "laxity_speed";
+    "load_factor"; "log_uniform"; "lower_bound"; "makespan"; "mean";
+    "mean_over"; "median"; "min_rejected_penalty"; "optimal_cost";
+    "overrun_factor"; "peak_intensity"; "percentile"; "plan_rate";
+    "plan_throughput"; "solution_total"; "stddev"; "total_penalty";
+    "total_penalty_frame"; "total_penalty_items"; "total_utilization";
+    "total_weight"; "utilization";
   ]
 
 (* Record fields declared with type [float] somewhere in [lib/]. *)
 let float_fields =
   [
     "all_accepted_cost"; "alloc_cost"; "alpha"; "alt_power"; "arrival";
-    "busy_time"; "coeff"; "cost"; "cost_rhs"; "cycles"; "deadline";
-    "duration"; "dvs_weight"; "energy"; "energy_budget"; "eps"; "e_sw";
-    "exec_energy"; "fraction"; "frame"; "frame_length"; "horizon";
+    "at"; "busy_time"; "coeff"; "cost"; "cost_ratio"; "cost_rhs";
+    "crash_prob"; "cycles"; "dead_time"; "deadline"; "derate_factor";
+    "derate_prob"; "duration"; "dvs_weight"; "energy"; "energy_budget";
+    "energy_delta"; "energy_fault_free"; "energy_faulty"; "eps"; "e_sw";
+    "exec_energy"; "extra_penalty"; "factor"; "fault_rate";
+    "faulty_energy"; "fraction"; "frame"; "frame_length"; "horizon";
     "idle_energy_awake"; "idle_energy_proc"; "idle_energy_sleep";
     "intensity"; "item_penalty"; "item_power_factor"; "late_by";
     "level_penalty"; "linear"; "lp_value"; "makespan"; "mean"; "median";
-    "p_ind"; "peak_speed"; "penalty"; "power_factor"; "proc_energy"; "rate";
-    "realized_energy"; "release"; "remaining"; "rhs"; "s_max"; "s_min";
-    "speed"; "stddev"; "t0"; "t1"; "t_sw"; "time_used"; "total";
-    "total_energy"; "wcet"; "weight"; "work";
+    "miss_pct"; "overrun_prob"; "p_ind"; "peak_speed"; "penalty";
+    "power_factor"; "proc_energy"; "rate"; "realized_energy"; "release";
+    "remaining"; "rhs"; "shed_pct"; "s_max"; "s_min"; "speed"; "stddev";
+    "t0"; "t1"; "t_sw"; "time_used"; "total"; "total_energy"; "wcet";
+    "weight"; "work";
   ]
 
 let returns_float (path : string list) =

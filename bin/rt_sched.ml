@@ -386,6 +386,37 @@ let qos proc_name penalty_name seed n m load steps curve =
             ];
           Ok ())
 
+let fuzz seed count time_budget corpus_dir =
+  let config =
+    {
+      Rt_check.Fuzz.default_config with
+      Rt_check.Fuzz.seed;
+      count;
+      time_budget;
+    }
+  in
+  let report = Rt_check.Fuzz.run ~config () in
+  print_string (Rt_check.Fuzz.summary report);
+  match report.Rt_check.Fuzz.failures with
+  | [] -> Ok ()
+  | failures ->
+      (match corpus_dir with
+      | None -> ()
+      | Some dir ->
+          List.iteri
+            (fun i f ->
+              let name = Printf.sprintf "fuzz-seed%d-%02d" seed i in
+              match
+                Rt_check.Corpus.save ~dir
+                  (Rt_check.Fuzz.failure_entry ~name f)
+              with
+              | Ok path -> Printf.printf "  saved %s\n" path
+              | Error e -> Printf.printf "  %s\n" e)
+            failures);
+      Error
+        (`Msg
+          (Printf.sprintf "fuzz found %d failure(s)" (List.length failures)))
+
 (* ---------------------------------------------------------------- *)
 
 let proc_arg =
@@ -516,6 +547,45 @@ let faults_cmd =
         (const faults $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
        $ load_arg $ fault_rate_arg))
 
+let count_arg =
+  Arg.(
+    value
+    & opt int Rt_check.Fuzz.default_config.Rt_check.Fuzz.count
+    & info [ "count" ] ~doc:"Instances to generate.")
+
+let fuzz_seed_arg =
+  Arg.(
+    value
+    & opt int Rt_check.Fuzz.default_config.Rt_check.Fuzz.seed
+    & info [ "seed" ] ~doc:"Base seed; every instance derives from it.")
+
+let time_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SECONDS"
+        ~doc:"Stop generating new instances after this much CPU time.")
+
+let corpus_dir_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "corpus-dir" ] ~docv:"DIR"
+        ~doc:
+          "Save each minimized failure as a corpus entry in this \
+           (existing) directory.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "cross-check every heuristic against the exact solvers, the \
+          simulators and the metamorphic laws on seeded random instances")
+    Term.(
+      term_result
+        (const fuzz $ fuzz_seed_arg $ count_arg $ time_budget_arg
+       $ corpus_dir_arg))
+
 let cmd =
   Cmd.group
     (Cmd.info "rt_sched" ~version:"1.0.0"
@@ -528,6 +598,7 @@ let cmd =
       online_cmd;
       qos_cmd;
       faults_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,54 @@
+(** The differential fuzzing driver.
+
+    One run draws [count] instances from {!Instance.generate} (every
+    instance derives deterministically from [seed], so a report
+    reproduces bit-for-bit), pushes each through every registered
+    heuristic × every {!Oracle}, checks every {!Laws} law on the
+    instance itself, and greedily {!Instance.minimize}s any failure
+    before reporting it. Used by the [@fuzz] dune alias, the
+    [rt_sched fuzz] CLI subcommand, and the mutation smoke-checks run
+    while developing solver changes. *)
+
+type config = {
+  seed : int;
+  count : int;  (** instances to generate *)
+  time_budget : float option;
+      (** optional wall-clock cap in seconds; the run stops early (with
+          the instances completed so far) when exceeded *)
+  exact_cap : int;  (** passed to {!Oracle.context} *)
+  params : Instance.params;  (** generation distribution *)
+}
+
+val default_config : config
+(** seed 20260807, count 500, no time budget, exact cap 10, default
+    generation parameters — the fixed CI configuration. *)
+
+type failure = {
+  algorithm : string;  (** ["-"] when a law (not an algorithm) failed *)
+  oracle : string;
+  detail : string;  (** failure message on the minimized instance *)
+  minimized : Instance.t;
+  original : Instance.t;
+}
+
+type report = {
+  instances : int;  (** instances actually generated *)
+  oracle_checks : int;  (** algorithm × oracle outcomes that ran (non-skip) *)
+  law_checks : int;  (** law outcomes that ran (non-skip) *)
+  skipped : int;  (** outcomes skipped (instance above the exact cap) *)
+  failures : failure list;
+}
+
+val algorithms : (string * (Rt_core.Problem.t -> Rt_core.Solution.t)) list
+(** Every deterministic heuristic under test: the {!Rt_core.Greedy}
+    registry plus each one's local-search polish. *)
+
+val run : ?config:config -> unit -> report
+
+val failure_entry : name:string -> failure -> Corpus.entry
+(** Package a failure for {!Corpus.save}, recording the exact optimum of
+    the minimized instance when available. *)
+
+val summary : report -> string
+(** Multi-line human-readable summary (callers print it; this module
+    never writes to any channel). *)

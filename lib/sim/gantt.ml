@@ -17,21 +17,33 @@ let render ?(width = 72) ~horizon segments =
   let rows = ref [] in
   List.iter
     (fun s -> if not (List.mem_assoc s.row !rows) then
-        rows := (s.row, Bytes.make width '.') :: !rows)
+        rows := (s.row, (Bytes.make width '.', Array.make width (-1))) :: !rows)
     segments;
   let rows_in_order = List.rev !rows in
   let col t =
     let c = int_of_float (t /. horizon *. float_of_int width) in
     max 0 (min (width - 1) c)
   in
-  List.iter
-    (fun s ->
-      let line = List.assoc s.row rows_in_order in
+  (* cells_of.(i) = cells currently painted by segment i; a later segment
+     may only steal a cell whose owner keeps at least one other cell, so
+     no non-empty segment is ever erased entirely (short slices stay
+     visible next to long neighbours) *)
+  let cells_of = Array.make (List.length segments) 0 in
+  List.iteri
+    (fun i s ->
+      let line, owner = List.assoc s.row rows_in_order in
       if Fc.exact_gt s.t1 s.t0 then
         for c = col s.t0 to col (s.t1 -. (1e-12 *. horizon)) do
-          Bytes.set line c s.glyph
+          let prev = owner.(c) in
+          if prev < 0 || cells_of.(prev) > 1 then begin
+            if prev >= 0 then cells_of.(prev) <- cells_of.(prev) - 1;
+            owner.(c) <- i;
+            cells_of.(i) <- cells_of.(i) + 1;
+            Bytes.set line c s.glyph
+          end
         done)
     segments;
+  let rows_in_order = List.map (fun (r, (line, _)) -> (r, line)) rows_in_order in
   let label_width =
     List.fold_left (fun acc (r, _) -> max acc (String.length r)) 0 rows_in_order
   in

@@ -10,6 +10,10 @@ type segment = {
 val render : ?width:int -> horizon:float -> segment list -> string
 (** Render segments onto a [width]-column timeline (default 72) spanning
     [\[0, horizon\]]. Rows appear in first-occurrence order; overlapping
-    segments on a row are drawn last-writer-wins. A scale line with the
-    horizon is appended. @raise Invalid_argument on non-positive horizon or
-    width, or segments outside the horizon. *)
+    segments on a row are drawn last-writer-wins, except that a segment
+    never erases another segment's {e last} remaining cell — every
+    non-empty segment keeps at least one visible cell, so short slices
+    stay visible next to long neighbours (unless more segments than cells
+    compete for the same span). A scale line with the horizon is appended.
+    @raise Invalid_argument on non-positive horizon or width, or segments
+    outside the horizon. *)

@@ -1,10 +1,12 @@
 (* Seeded property stress (run via `dune build @stress`).
 
-   200 random instances — 100 frame, 100 periodic, spanning light load
-   through heavy overload on both ideal and level-domain processors —
-   and every rejection heuristic (plus its local-search polish) must
-   emit a solution that passes full [Rt_core.Solution.validate],
-   including the concrete frame-simulator round trip. Everything is
+   300 random instances and every rejection heuristic (plus its
+   local-search polish). The frame half draws from the shared
+   [Rt_check.Instance] generator and pushes every algorithm through the
+   full differential-oracle registry (structural validation, lower
+   bound, exact optimum on small instances, simulator replay). The
+   periodic half keeps the wider-period workloads the frame model
+   cannot express and validates each solution end to end. Everything is
    derived from the loop seed, so failures reproduce exactly. *)
 
 open Rt_core
@@ -18,13 +20,41 @@ let proc_ideal =
 let proc_levels =
   Rt_power.Processor.xscale_levels ~dormancy:Rt_power.Processor.Dormant_disable
 
-let algorithms =
-  Greedy.named
-  @ List.map
-      (fun (name, alg) -> (name ^ "+ls", Local_search.with_local_search alg))
-      Greedy.named
+let algorithms = Rt_check.Fuzz.algorithms
 
-let check_instance label p =
+let stress_params =
+  {
+    Rt_check.Instance.default_params with
+    Rt_check.Instance.n_hi = 16;
+    m_hi = 4;
+    load_lo = 0.4;
+    load_hi = 2.2;
+  }
+
+let check_frame_instance seed =
+  let rng = Rt_prelude.Rng.create ~seed:(seed * 65_537) in
+  let inst = Rt_check.Instance.generate rng stress_params in
+  let label =
+    Printf.sprintf "frame seed=%d %s" seed (Rt_check.Instance.label inst)
+  in
+  match Rt_check.Oracle.context inst with
+  | Error e ->
+      incr failures;
+      Printf.printf "[FAIL] %s: no context: %s\n%!" label e
+  | Ok ctx ->
+      List.iter
+        (fun (name, alg) ->
+          let s = alg (Rt_check.Oracle.problem ctx) in
+          match
+            Rt_check.Oracle.first_failure (Rt_check.Oracle.run_all ctx s)
+          with
+          | None -> ()
+          | Some (oracle, e) ->
+              incr failures;
+              Printf.printf "[FAIL] %s / %s / %s: %s\n%!" label name oracle e)
+        algorithms
+
+let check_periodic_instance label p =
   List.iter
     (fun (name, alg) ->
       match Solution.validate p (alg p) with
@@ -37,21 +67,20 @@ let check_instance label p =
 let () =
   let instances = ref 0 in
   for seed = 1 to 100 do
-    (* frame instances: load 0.4 .. 2.2 (overload forces rejections) *)
-    let load = 0.4 +. (float_of_int (seed mod 5) *. 0.45) in
+    (* frame instances through the shared generator + oracle registry *)
+    check_frame_instance seed;
+    check_frame_instance (seed + 1000);
+    instances := !instances + 2;
+    (* periodic instances: total utilization 0.3 .. 1.8 *)
+    let util = 0.3 +. (float_of_int (seed mod 4) *. 0.5) in
     let m = 1 + (seed mod 4) in
     let n = 6 + (seed mod 10) in
     let proc = if seed mod 2 = 0 then proc_ideal else proc_levels in
-    let p = Rt_expkit.Instances.frame_instance ~proc ~seed ~n ~m ~load () in
-    check_instance (Printf.sprintf "frame seed=%d m=%d load=%.2f" seed m load) p;
-    incr instances;
-    (* periodic instances: total utilization 0.3 .. 1.8 *)
-    let util = 0.3 +. (float_of_int (seed mod 4) *. 0.5) in
     let p2, _tasks =
       Rt_expkit.Instances.periodic_instance ~proc ~seed ~n ~m ~total_util:util
         ()
     in
-    check_instance
+    check_periodic_instance
       (Printf.sprintf "periodic seed=%d m=%d util=%.2f" seed m util)
       p2;
     incr instances

@@ -2,6 +2,7 @@
    and the RS-LEUF / First-Fit processor-count minimizers. *)
 
 open Rt_alloc
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -119,7 +120,7 @@ let prop_e_rounding_no_worse =
     (fun (seed, gamma) ->
       let inst = gen_instance seed 3 8 gamma in
       match (Rounding.rounding inst, Rounding.e_rounding inst) with
-      | Ok r, Ok er -> er.Alloc.alloc_cost <= r.Alloc.alloc_cost +. 1e-9
+      | Ok r, Ok er -> Fc.leq ~eps:1e-9 er.Alloc.alloc_cost r.Alloc.alloc_cost
       | Error _, Error _ -> true (* both infeasible: consistent *)
       | _ -> false)
 
@@ -133,7 +134,7 @@ let prop_rounded_builds_are_valid =
       | Ok b -> (
           match Alloc.pack inst b.Alloc.placements with
           | Ok b2 ->
-              Float.abs (b2.Alloc.alloc_cost -. b.Alloc.alloc_cost) < 1e-9
+              Fc.approx_eq ~eps:1e-9 b2.Alloc.alloc_cost b.Alloc.alloc_cost
           | Error _ -> false))
 
 let prop_lp_bound_below_builds =
@@ -142,7 +143,7 @@ let prop_lp_bound_below_builds =
     (fun (seed, gamma) ->
       let inst = gen_instance seed 2 6 gamma in
       match (Rounding.lp_lower_bound inst, Rounding.e_rounding inst) with
-      | Some lb, Ok b -> lb <= b.Alloc.alloc_cost +. 1e-6
+      | Some lb, Ok b -> Fc.leq ~eps:1e-6 lb b.Alloc.alloc_cost
       | None, Error _ -> true
       | _ -> false)
 
@@ -210,7 +211,7 @@ let prop_rs_leuf_never_more_processors_than_ff =
       with
       | Ok ff, Ok rs ->
           rs.Rs_leuf.processors <= ff.Rs_leuf.processors
-          && rs.Rs_leuf.energy <= budget +. 1e-6
+          && Fc.leq ~eps:1e-6 rs.Rs_leuf.energy budget
       | Error _, Error _ -> true
       | Ok _, Error _ -> false (* RS-LEUF must succeed whenever FF does *)
       | Error _, Ok _ -> true)
@@ -222,7 +223,7 @@ let test_rs_leuf_respects_budget () =
   match Rs_leuf.rs_leuf ~proc:leaky_ideal ~frame:1000. ~budget:500. items with
   | Error e -> Alcotest.fail e
   | Ok o ->
-      check_bool "within budget" true (o.Rs_leuf.energy <= 500. +. 1e-6);
+      check_bool "within budget" true (Fc.leq ~eps:1e-6 o.Rs_leuf.energy 500.);
       check_bool "at least one processor" true (o.Rs_leuf.processors >= 1)
 
 let () =

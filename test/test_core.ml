@@ -4,6 +4,7 @@
 
 open Rt_task
 open Rt_core
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -285,7 +286,7 @@ let prop_exhaustive_equals_bnb =
       let p = random_instance ~seed ~n:7 ~m:2 ~load:1.3 () in
       let a = (cost_exn p (Exact.exhaustive p)).Solution.total in
       let b = (cost_exn p (Exact.branch_and_bound p)).Solution.total in
-      Float.abs (a -. b) < 1e-9)
+      Fc.approx_eq ~eps:1e-9 a b)
 
 (* ------------------------------------------------------------------ *)
 (* Uni_dp *)
@@ -326,7 +327,7 @@ let prop_uni_dp_matches_exhaustive =
       | Error _ -> false
       | Ok o ->
           let opt = Exact.optimal_cost o.Uni_dp.problem in
-          Float.abs (o.Uni_dp.cost -. opt) < 1e-6)
+          Fc.approx_eq ~eps:1e-6 o.Uni_dp.cost opt)
 
 let prop_uni_dp_scaled_sound =
   qtest ~count:40 "scaled DP: feasible, never below exact, exact at scale 1"
@@ -345,8 +346,8 @@ let prop_uni_dp_scaled_sound =
       with
       | Ok e, Ok s, Ok s1 ->
           Solution.validate s.Uni_dp.problem s.Uni_dp.solution = Ok ()
-          && s.Uni_dp.cost >= e.Uni_dp.cost -. 1e-9
-          && Float.abs (s1.Uni_dp.cost -. e.Uni_dp.cost) < 1e-9
+          && Fc.geq ~eps:1e-9 s.Uni_dp.cost e.Uni_dp.cost
+          && Fc.approx_eq ~eps:1e-9 s1.Uni_dp.cost e.Uni_dp.cost
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)

@@ -2,6 +2,7 @@
    search, and the knapsack DP. *)
 
 open Rt_task
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -90,7 +91,7 @@ let prop_bnb_matches_exhaustive =
         Rt_exact.Search.branch_and_bound ~m ~capacity:1.
           ~bucket_cost:cubic_cost items
       in
-      Float.abs (a.Rt_exact.Search.cost -. b.Rt_exact.Search.cost) < 1e-9)
+      Fc.approx_eq ~eps:1e-9 a.Rt_exact.Search.cost b.Rt_exact.Search.cost)
 
 let prop_search_solution_consistent =
   qtest ~count:60 "search output: capacity respected, cost re-derivable"
@@ -105,8 +106,8 @@ let prop_search_solution_consistent =
       let loads = Rt_partition.Partition.loads s.Rt_exact.Search.partition in
       let energy = Array.fold_left (fun acc l -> acc +. cubic_cost l) 0. loads in
       let penalty = Taskset.total_penalty_items s.Rt_exact.Search.rejected in
-      Array.for_all (fun l -> l <= 1. +. 1e-9) loads
-      && Float.abs (energy +. penalty -. s.Rt_exact.Search.cost) < 1e-9)
+      Array.for_all (fun l -> Fc.leq ~eps:1e-9 l 1.) loads
+      && Fc.approx_eq ~eps:1e-9 (energy +. penalty) s.Rt_exact.Search.cost)
 
 let test_node_limit () =
   let items =
@@ -208,7 +209,8 @@ let test_budgeted_time_budget () =
   | Ok a ->
       check_bool "exhausted" true a.Rt_exact.Search.exhausted;
       check_bool "incumbent no worse than all-reject" true
-        (a.Rt_exact.Search.best.Rt_exact.Search.cost <= all_reject +. 1e-12)
+        (Fc.leq ~eps:1e-12 a.Rt_exact.Search.best.Rt_exact.Search.cost
+           all_reject)
 
 let test_budgeted_bad_args () =
   let items = items_of [ (0.5, 1.) ] in
@@ -280,7 +282,7 @@ let prop_knapsack_matches_brute_force =
         Rt_exact.Knapsack.solve ~capacity ~cycles ~penalties ~accept_cost
       in
       let bf = brute_force_knapsack ~capacity ~cycles ~penalties ~accept_cost in
-      Float.abs (c.Rt_exact.Knapsack.cost -. bf) < 1e-9)
+      Fc.approx_eq ~eps:1e-9 c.Rt_exact.Knapsack.cost bf)
 
 let prop_knapsack_choice_consistent =
   qtest ~count:80 "reported cost matches the reconstructed accept set"
@@ -299,7 +301,9 @@ let prop_knapsack_choice_consistent =
         c.Rt_exact.Knapsack.accepted;
       !w = c.Rt_exact.Knapsack.total_cycles
       && !w <= capacity
-      && Float.abs (accept_cost !w +. !pen -. c.Rt_exact.Knapsack.cost) < 1e-9)
+      && Fc.approx_eq ~eps:1e-9
+           (accept_cost !w +. !pen)
+           c.Rt_exact.Knapsack.cost)
 
 let prop_scaled_feasible_and_bounded =
   qtest ~count:60 "scaled DP stays feasible and within the documented gap"

@@ -2,6 +2,7 @@
    leakage-aware policy-energy model behind E8. *)
 
 open Rt_task
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -40,6 +41,52 @@ let test_replicate () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "all-NaN must raise"
 
+(* Re-running an experiment pipeline with the same seeds must reproduce
+   the result table byte for byte — every aggregate, every rendered
+   cell. This is the repository's replication guarantee: a table in the
+   paper report can always be regenerated from its seed. *)
+let test_runner_deterministic () =
+  let run () =
+    let proc = xscale_enable ~t_sw:0. ~e_sw:0. in
+    let seeds = Rt_expkit.Runner.seeds ~base:2024 ~n:12 in
+    let summary_for load =
+      Rt_expkit.Runner.replicate ~seeds ~f:(fun seed ->
+          let p =
+            Rt_expkit.Instances.frame_instance ~proc ~seed ~n:8 ~m:2 ~load ()
+          in
+          Rt_expkit.Instances.solution_total p (Rt_core.Greedy.ltf_reject p))
+    in
+    let table =
+      List.fold_left
+        (fun t load ->
+          let s = summary_for load in
+          Rt_prelude.Tablefmt.add_row t
+            [
+              Rt_prelude.Tablefmt.float_cell load;
+              string_of_int s.Rt_prelude.Stats.n;
+              Rt_prelude.Tablefmt.float_cell ~decimals:6
+                s.Rt_prelude.Stats.mean;
+              Rt_prelude.Tablefmt.float_cell ~decimals:6
+                s.Rt_prelude.Stats.stddev;
+            ])
+        (Rt_prelude.Tablefmt.create [ "load"; "n"; "mean"; "stddev" ])
+        [ 0.6; 1.1; 1.7 ]
+    in
+    (summary_for 1.1, Rt_prelude.Tablefmt.render table,
+     Rt_prelude.Tablefmt.to_csv table)
+  in
+  let s1, rendered1, csv1 = run () in
+  let s2, rendered2, csv2 = run () in
+  check_bool "aggregates identical to the bit" true
+    (s1.Rt_prelude.Stats.n = s2.Rt_prelude.Stats.n
+    && Fc.exact_eq s1.Rt_prelude.Stats.mean s2.Rt_prelude.Stats.mean
+    && Fc.exact_eq s1.Rt_prelude.Stats.stddev s2.Rt_prelude.Stats.stddev
+    && Fc.exact_eq s1.Rt_prelude.Stats.min s2.Rt_prelude.Stats.min
+    && Fc.exact_eq s1.Rt_prelude.Stats.max s2.Rt_prelude.Stats.max
+    && Fc.exact_eq s1.Rt_prelude.Stats.median s2.Rt_prelude.Stats.median);
+  Alcotest.(check string) "rendered table byte-identical" rendered1 rendered2;
+  Alcotest.(check string) "csv byte-identical" csv1 csv2
+
 (* ------------------------------------------------------------------ *)
 (* Instances *)
 
@@ -50,10 +97,10 @@ let test_frame_instance_shape () =
   in
   check_int "n items" 15 (List.length p.Rt_core.Problem.items);
   check_bool "load near target" true
-    (Float.abs (Rt_core.Problem.load_factor p -. 1.3) < 0.05);
+    (Fc.approx_eq ~eps:0.05 (Rt_core.Problem.load_factor p) 1.3);
   check_bool "penalties assigned" true
     (List.for_all
-       (fun (it : Task.item) -> it.Task.item_penalty > 0.)
+       (fun (it : Task.item) -> Fc.exact_gt it.Task.item_penalty 0.)
        p.Rt_core.Problem.items)
 
 let test_frame_instance_deterministic () =
@@ -98,12 +145,12 @@ let test_consolidate_merges_light_processors () =
   let c = Rt_partition.La_ltf.consolidate ~proc:leaky_enable p in
   let nonempty =
     Array.to_list (Rt_partition.Partition.loads c)
-    |> List.filter (fun l -> l > 0.)
+    |> List.filter (fun l -> Fc.exact_gt l 0.)
   in
   check_int "merged to two" 2 (List.length nonempty);
   check_bool "loads within critical speed" true
     (List.for_all
-       (fun l -> l <= Rt_power.Processor.critical_speed leaky_enable +. 1e-9)
+       (fun l -> Fc.leq l (Rt_power.Processor.critical_speed leaky_enable))
        nonempty);
   check_int "same item count" 4 (Rt_partition.Partition.size c)
 
@@ -152,7 +199,7 @@ let prop_consolidate_never_raises_e8_energy =
       in
       let base = e { Rt_expkit.Exp_leakage.ff = false; procrastinate = false } in
       let ff = e { Rt_expkit.Exp_leakage.ff = true; procrastinate = false } in
-      ff <= base +. 1e-9)
+      Fc.leq ff base)
 
 let prop_procrastination_never_hurts =
   qtest "coalescing idle (PROC) never increases energy"
@@ -173,8 +220,9 @@ let prop_procrastination_never_hurts =
       in
       List.for_all
         (fun ff ->
-          e { Rt_expkit.Exp_leakage.ff; procrastinate = true }
-          <= e { Rt_expkit.Exp_leakage.ff; procrastinate = false } +. 1e-9)
+          Fc.leq
+            (e { Rt_expkit.Exp_leakage.ff; procrastinate = true })
+            (e { Rt_expkit.Exp_leakage.ff; procrastinate = false }))
         [ false; true ])
 
 (* ------------------------------------------------------------------ *)
@@ -212,6 +260,8 @@ let () =
         [
           Alcotest.test_case "seeds distinct" `Quick test_seeds_distinct;
           Alcotest.test_case "replicate" `Quick test_replicate;
+          Alcotest.test_case "deterministic replication" `Quick
+            test_runner_deterministic;
         ] );
       ( "instances",
         [

@@ -3,6 +3,8 @@
    executable theorems. *)
 
 open Rt_task
+module Fc = Rt_prelude.Float_cmp
+module Instance = Rt_check.Instance
 
 let check_bool = Alcotest.(check bool)
 
@@ -13,10 +15,6 @@ let cubic = Rt_power.Processor.cubic ()
 let xscale_enable =
   Rt_power.Processor.xscale
     ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
-let xscale_levels =
-  Rt_power.Processor.xscale_levels
-    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
-
 let algorithms =
   [
     ("ltf-reject", Rt_core.Greedy.ltf_reject);
@@ -98,36 +96,25 @@ let prop_periodic_pipeline_edf_clean =
 let prop_levels_pipeline =
   qtest ~count:40
     "discrete-level processors: algorithms validate and beat nobody unfairly"
-    QCheck2.Gen.(pair (int_range 1 10_000) (float_range 0.5 1.8))
-    (fun (seed, load) ->
-      let p =
-        let rng = Rt_prelude.Rng.create ~seed in
-        let tasks =
-          Gen.frame_tasks_with_load rng ~n:10 ~m:2 ~s_max:1.
-            ~frame_length:1000. ~load
-        in
-        let items =
-          Taskset.items_of_frames ~frame_length:1000. tasks
-          |> Penalty.assign
-               (Penalty.Proportional { factor = 1.5; jitter = 0.2 })
-               rng ~proc:xscale_levels ~horizon:1000.
-        in
-        match
-          Rt_core.Problem.make ~proc:xscale_levels ~m:2 ~horizon:1000. items
-        with
-        | Ok p -> p
-        | Error e -> invalid_arg e
-      in
-      let opt = Rt_core.Exact.optimal_cost p in
-      List.for_all
-        (fun (_, alg) ->
-          let s = alg p in
-          Rt_core.Solution.validate p s = Ok ()
-          &&
-          match Rt_core.Solution.cost p s with
-          | Ok c -> c.Rt_core.Solution.total >= opt -. 1e-6
-          | Error _ -> false)
-        algorithms)
+    (Instance.qcheck_gen
+       ~params:{ Instance.default_params with Instance.m_hi = 2 }
+       ())
+    (fun inst ->
+      (* pin the shared generator's draw to the level-domain preset *)
+      let inst = { inst with Instance.proc = Instance.Xscale_levels } in
+      match Instance.to_problem inst with
+      | Error _ -> false
+      | Ok p ->
+          let opt = Rt_core.Exact.optimal_cost p in
+          List.for_all
+            (fun (_, alg) ->
+              let s = alg p in
+              Rt_core.Solution.validate p s = Ok ()
+              &&
+              match Rt_core.Solution.cost p s with
+              | Ok c -> Fc.geq ~eps:1e-6 c.Rt_core.Solution.total opt
+              | Error _ -> false)
+            algorithms)
 
 (* ------------------------------------------------------------------ *)
 (* 3. published bounds as executable theorems *)
@@ -159,7 +146,7 @@ let prop_ltf_energy_bound_113 =
           Rt_exact.Search.branch_and_bound ~m ~capacity:1. ~bucket_cost items
         in
         opt.Rt_exact.Search.rejected <> []
-        || opt.Rt_exact.Search.cost <= 0.
+        || Fc.exact_le opt.Rt_exact.Search.cost 0.
         ||
         let e =
           Array.fold_left
@@ -167,26 +154,28 @@ let prop_ltf_energy_bound_113 =
             0.
             (Rt_partition.Partition.loads part)
         in
-        e <= (1.13 *. opt.Rt_exact.Search.cost) +. 1e-9
+        Fc.leq ~eps:1e-9 e (1.13 *. opt.Rt_exact.Search.cost)
       end)
 
 (* Graham in energy clothing is covered in test_partition; here the exact
    solvers agree across formulations on the uniprocessor slice. *)
 let prop_exact_agree_m1 =
   qtest ~count:40 "m=1: branch-and-bound and the cycles DP find one optimum"
-    QCheck2.Gen.(
-      list_size (int_range 1 8) (pair (int_range 50 400) (float_range 0.1 60.)))
-    (fun specs ->
-      let tasks =
-        List.mapi
-          (fun id (c, pen) -> Task.frame ~penalty:pen ~id ~cycles:c ())
-          specs
-      in
-      match Rt_core.Uni_dp.exact ~proc:cubic ~frame_length:1000. tasks with
+    (Instance.qcheck_gen
+       ~params:
+         { Instance.default_params with Instance.n_hi = 8; m_hi = 1 }
+       ())
+    (fun inst ->
+      match
+        Rt_core.Uni_dp.exact
+          ~proc:(Instance.processor inst.Instance.proc)
+          ~frame_length:(float_of_int inst.Instance.frame_ticks)
+          (Instance.frame_tasks inst)
+      with
       | Error _ -> false
       | Ok o ->
           let bnb = Rt_core.Exact.optimal_cost o.Rt_core.Uni_dp.problem in
-          Float.abs (bnb -. o.Rt_core.Uni_dp.cost) < 1e-6)
+          Fc.approx_eq ~eps:1e-6 bnb o.Rt_core.Uni_dp.cost)
 
 (* ------------------------------------------------------------------ *)
 (* 4. the CLI-facing instance builders stay consistent with the core *)
@@ -200,7 +189,7 @@ let test_expkit_instance_roundtrip () =
   check_bool "validates" true (Rt_core.Solution.validate p s = Ok ());
   let lb = Rt_core.Bounds.lower_bound p in
   check_bool "lower bound sound" true
-    (Rt_expkit.Instances.solution_total p s >= lb -. 1e-6)
+    (Fc.geq ~eps:1e-6 (Rt_expkit.Instances.solution_total p s) lb)
 
 let () =
   Alcotest.run "integration"

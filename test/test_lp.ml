@@ -2,6 +2,7 @@
    randomized cross-checks against brute-force feasible sampling. *)
 
 open Rt_lp
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -205,7 +206,7 @@ let prop_optimum_dominates_samples =
           false (* 0 is feasible and the box bounds everything *)
       | Ok (Simplex.Optimal { value; solution }) ->
           Simplex.feasible p solution
-          && Float.abs (Simplex.value p solution -. value) < 1e-6
+          && Fc.approx_eq ~eps:1e-6 (Simplex.value p solution) value
           &&
           (* random feasible samples cannot beat the optimum *)
           let ok = ref true in

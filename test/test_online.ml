@@ -1,6 +1,7 @@
 (* Tests for rt_online: job streams and the online admission controller. *)
 
 open Rt_online
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -104,7 +105,7 @@ let test_preemption_by_tighter_deadline () =
   let o = simulate_exn ~policy:Admission.Admit_all [ j0; j1 ] in
   check_int "both admitted" 2 (List.length o.Admission.admitted);
   check_bool "work done before the last deadline" true
-    (o.Admission.makespan <= 200. +. 1e-6)
+    (Fc.leq ~eps:1e-6 o.Admission.makespan 200.)
 
 let test_duplicate_ids_rejected () =
   let j = job ~id:0 ~arrival:0. ~cycles:1. ~deadline:10. ~penalty:0. in
@@ -146,8 +147,8 @@ let prop_simulation_sound =
               List.length o.Admission.admitted
               + List.length o.Admission.rejected
               = List.length jobs
-              && Float.abs (o.Admission.total -. (o.Admission.energy +. o.Admission.penalty))
-                 < 1e-9)
+              && Fc.approx_eq ~eps:1e-9 o.Admission.total
+                   (o.Admission.energy +. o.Admission.penalty))
         policies)
 
 let prop_above_lower_bound =
@@ -188,7 +189,7 @@ let prop_mp_m1_equals_uniprocessor =
           with
           | Ok a, Ok b ->
               a.Admission.admitted = b.Admission.admitted
-              && Float.abs (a.Admission.total -. b.Admission.total) < 1e-9
+              && Fc.approx_eq ~eps:1e-9 a.Admission.total b.Admission.total
           | _ -> false)
         policies)
 
@@ -264,11 +265,11 @@ let prop_yds_work_conserved =
       in
       let rec non_increasing = function
         | a :: (b :: _ as rest) ->
-            a.Yds.intensity >= b.Yds.intensity -. 1e-9 && non_increasing rest
+            Fc.geq ~eps:1e-9 a.Yds.intensity b.Yds.intensity
+            && non_increasing rest
         | _ -> true
       in
-      Float.abs (total_work -. total_cycles) < 1e-6 *. Float.max 1. total_cycles
-      && non_increasing bs)
+      Fc.approx_eq ~eps:1e-6 total_work total_cycles && non_increasing bs)
 
 (* Only one direction holds: full admission implies an offline-feasible
    set. The converse fails because the online executor runs at the current
@@ -284,7 +285,7 @@ let prop_admission_implies_yds_feasible =
       | Error _ -> false
       | Ok o ->
           o.Admission.rejected <> []
-          || Yds.peak_intensity jobs <= 1. +. 1e-6)
+          || Fc.leq ~eps:1e-6 (Yds.peak_intensity jobs) 1.)
 
 let prop_yds_no_worse_than_online =
   qtest ~count:40 "when everything is admitted, YDS energy <= online energy"

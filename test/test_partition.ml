@@ -3,6 +3,7 @@
 
 open Rt_task
 open Rt_partition
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -213,7 +214,8 @@ let test_hetero_energy_beats_common_speed () =
                        hetero_proc.Rt_power.Processor.model 0.6)))
           0. items
       in
-      check_bool "KKT speeds no worse" true (a.Hetero.energy <= common +. 1e-9)
+      check_bool "KKT speeds no worse" true
+        (Fc.leq ~eps:1e-9 a.Hetero.energy common)
 
 let test_leuf_produces_feasible_partition () =
   let rng = Rt_prelude.Rng.create ~seed:12 in
@@ -238,7 +240,9 @@ let prop_estimated_times_capped =
       in
       let times = Hetero.estimated_times hetero_proc ~m:3 ~horizon:5. items in
       List.length times = 8
-      && List.for_all (fun (_, t) -> t >= 0. && t <= 5. +. 1e-9) times)
+      && List.for_all
+           (fun (_, t) -> Fc.geq ~eps:1e-9 t 0. && Fc.leq ~eps:1e-9 t 5.)
+           times)
 
 (* ------------------------------------------------------------------ *)
 (* Migration (McNaughton + migratory optimum) *)
@@ -321,7 +325,7 @@ let prop_migration_lower_bounds_partition =
         in
         match Migration.energy_lower_bound ~proc:mig_proc ~m ~frame:100. items with
         | None -> false
-        | Some lb -> lb <= part_energy +. 1e-6
+        | Some lb -> Fc.leq ~eps:1e-6 lb part_energy
       end)
 
 let () =

@@ -163,8 +163,8 @@ let prop_summary_consistent =
     (fun xs ->
       let s = Stats.summarize xs in
       s.Stats.n = List.length xs
-      && Float.abs (s.Stats.mean -. Stats.mean xs) < 1e-9
-      && Float.abs (s.Stats.median -. Stats.median xs) < 1e-9)
+      && Float_cmp.approx_eq ~eps:1e-9 s.Stats.mean (Stats.mean xs)
+      && Float_cmp.approx_eq ~eps:1e-9 s.Stats.median (Stats.median xs))
 
 (* ------------------------------------------------------------------ *)
 (* Rng *)
@@ -221,7 +221,7 @@ let prop_uunifast =
       let rng = Rng.create ~seed:(n + int_of_float (total *. 1000.)) in
       let us = Rng.uunifast rng ~n ~total in
       List.length us = n
-      && Float.abs (List.fold_left ( +. ) 0. us -. total) < 1e-9
+      && Float_cmp.approx_eq ~eps:1e-9 (List.fold_left ( +. ) 0. us) total
       && List.for_all (fun u -> u >= -1e-12) us)
 
 (* ------------------------------------------------------------------ *)

@@ -2,6 +2,7 @@
 
 open Rt_task
 open Rt_core
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -96,7 +97,7 @@ let prop_exhaustive_beats_greedy =
       let sg = Qos.greedy_degrade p tasks in
       let se = Qos.exhaustive p tasks in
       match (Qos.cost p tasks sg, Qos.cost p tasks se) with
-      | Ok cg, Ok ce -> ce <= cg +. 1e-6
+      | Ok cg, Ok ce -> Fc.leq ~eps:1e-6 ce cg
       | _ -> false)
 
 let prop_richer_menus_never_hurt =
@@ -116,7 +117,7 @@ let prop_richer_menus_never_hurt =
       let cb = Qos.cost p binary (Qos.exhaustive p binary) in
       let cm = Qos.cost p multi (Qos.exhaustive p multi) in
       match (cb, cm) with
-      | Ok b, Ok m -> m <= b +. 1e-6
+      | Ok b, Ok m -> Fc.leq ~eps:1e-6 m b
       | _ -> false)
 
 let prop_greedy_solutions_validate =

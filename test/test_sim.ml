@@ -3,6 +3,8 @@
 
 open Rt_power
 open Rt_task
+module Fc = Rt_prelude.Float_cmp
+module Instance = Rt_check.Instance
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -84,27 +86,50 @@ let test_frame_gantt_renders () =
       let s = Rt_sim.Frame_sim.gantt sim in
       check_bool "non-empty gantt" true (String.length s > 0)
 
+(* the shared rt_check generator produces the instance; LTF keeps only
+   what fits, so the built schedule must always validate *)
+let ltf_partition_of inst =
+  match Instance.to_problem inst with
+  | Error e -> invalid_arg e
+  | Ok p ->
+      let s = Rt_core.Greedy.ltf_reject p in
+      (p, s.Rt_core.Solution.partition)
+
 let prop_frame_roundtrip =
   qtest "random feasible partitions build and validate on all processors"
-    QCheck2.Gen.(
-      triple (int_range 1 4)
-        (list_size (int_range 1 8) (float_range 0.02 0.3))
-        (int_range 0 2))
-    (fun (m, weights, kind) ->
-      let proc =
-        match kind with 0 -> cubic | 1 -> xscale_enable | _ -> levels
-      in
-      let items = items_of weights in
-      let part = Rt_partition.Heuristics.ltf ~m items in
-      if
-        Rt_prelude.Float_cmp.gt
-          (Rt_partition.Partition.makespan part)
-          (Processor.s_max proc)
-      then true (* infeasible instance: out of scope for this property *)
-      else
-        match Rt_sim.Frame_sim.build ~proc ~frame_length:5. part with
-        | Error _ -> false
-        | Ok sim -> Rt_sim.Frame_sim.validate sim = Ok ())
+    (Instance.qcheck_gen ())
+    (fun inst ->
+      let proc = Instance.processor inst.Instance.proc in
+      let _, part = ltf_partition_of inst in
+      match
+        Rt_sim.Frame_sim.build ~proc
+          ~frame_length:(float_of_int inst.Instance.frame_ticks)
+          part
+      with
+      | Error _ -> false
+      | Ok sim -> Rt_sim.Frame_sim.validate sim = Ok ())
+
+let prop_frame_slices_disjoint =
+  qtest "per-processor slices are sorted, disjoint, and tile the frame"
+    (Instance.qcheck_gen ())
+    (fun inst ->
+      let proc = Instance.processor inst.Instance.proc in
+      let frame_length = float_of_int inst.Instance.frame_ticks in
+      let _, part = ltf_partition_of inst in
+      match Rt_sim.Frame_sim.build ~proc ~frame_length part with
+      | Error _ -> false
+      | Ok sim ->
+          List.for_all
+            (fun tl ->
+              let rec contiguous at = function
+                | [] -> Fc.approx_eq ~eps:1e-6 at frame_length
+                | sl :: rest ->
+                    Fc.approx_eq ~eps:1e-6 sl.Rt_sim.Frame_sim.t0 at
+                    && Fc.leq sl.Rt_sim.Frame_sim.t0 sl.Rt_sim.Frame_sim.t1
+                    && contiguous sl.Rt_sim.Frame_sim.t1 rest
+              in
+              contiguous 0. tl.Rt_sim.Frame_sim.slices)
+            sim.Rt_sim.Frame_sim.timelines)
 
 (* ------------------------------------------------------------------ *)
 (* Edf_sim *)
@@ -167,11 +192,11 @@ let test_edf_energy_accounting () =
       check_float 1e-6 "awake idle = leakage × idle" (0.1 *. idle)
         o.Rt_sim.Edf_sim.idle_energy_awake;
       check_bool "sleeping never beats staying awake by more than idle" true
-        (o.Rt_sim.Edf_sim.idle_energy_sleep
-        <= o.Rt_sim.Edf_sim.idle_energy_awake +. 1e-9);
+        (Fc.leq o.Rt_sim.Edf_sim.idle_energy_sleep
+           o.Rt_sim.Edf_sim.idle_energy_awake);
       check_bool "coalesced idle cheapest" true
-        (o.Rt_sim.Edf_sim.idle_energy_proc
-        <= o.Rt_sim.Edf_sim.idle_energy_sleep +. 1e-9)
+        (Fc.leq o.Rt_sim.Edf_sim.idle_energy_proc
+           o.Rt_sim.Edf_sim.idle_energy_sleep)
 
 let test_edf_preemption_happens () =
   (* long task released at 0, short task with tighter deadlines preempts *)
@@ -222,8 +247,7 @@ let prop_edf_busy_time_identity =
         | Error _ -> false
         | Ok o ->
             let expected = u /. speed *. o.Rt_sim.Edf_sim.horizon in
-            Float.abs (o.Rt_sim.Edf_sim.busy_time -. expected)
-            < 1e-6 *. Float.max 1. expected
+            Fc.approx_eq ~eps:1e-6 o.Rt_sim.Edf_sim.busy_time expected
             &&
             (* gaps + busy tile the horizon *)
             let gap_total =
@@ -231,8 +255,9 @@ let prop_edf_busy_time_identity =
                 (fun acc g -> acc +. (g.Rt_sim.Edf_sim.g1 -. g.Rt_sim.Edf_sim.g0))
                 0. o.Rt_sim.Edf_sim.gaps
             in
-            Float.abs (gap_total +. o.Rt_sim.Edf_sim.busy_time -. o.Rt_sim.Edf_sim.horizon)
-            < 1e-6 *. o.Rt_sim.Edf_sim.horizon)
+            Fc.approx_eq ~eps:1e-6
+              (gap_total +. o.Rt_sim.Edf_sim.busy_time)
+              o.Rt_sim.Edf_sim.horizon)
 
 let test_edf_gantt_renders () =
   match Rt_sim.Edf_sim.gantt ~proc:cubic ~speed:1.0 periodic_set with
@@ -263,6 +288,42 @@ let test_gantt_rejects_out_of_range () =
         (Rt_sim.Gantt.render ~horizon:1.
            [ { Rt_sim.Gantt.t0 = 0.; t1 = 2.; row = "A"; glyph = '#' } ]))
 
+let test_gantt_short_segment_survives () =
+  (* a long later segment may not erase a short earlier one: both glyphs
+     must stay visible even though they compete for the same first cell *)
+  let out =
+    Rt_sim.Gantt.render ~width:10 ~horizon:10.
+      [
+        { Rt_sim.Gantt.t0 = 0.; t1 = 0.01; row = "P0"; glyph = '#' };
+        { Rt_sim.Gantt.t0 = 0.01; t1 = 10.; row = "P0"; glyph = '*' };
+      ]
+  in
+  check_bool "short segment visible" true (String.contains out '#');
+  check_bool "long segment visible" true (String.contains out '*')
+
+let glyph_of_id id = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ".[id mod 36]
+
+let prop_gantt_never_drops_accepted_tasks =
+  qtest "frame gantt shows a glyph for every accepted task"
+    (Instance.qcheck_gen ())
+    (fun inst ->
+      let proc = Instance.processor inst.Instance.proc in
+      match Instance.to_problem inst with
+      | Error _ -> false
+      | Ok p -> (
+          let s = Rt_core.Greedy.ltf_reject p in
+          match
+            Rt_sim.Frame_sim.build ~proc
+              ~frame_length:(float_of_int inst.Instance.frame_ticks)
+              s.Rt_core.Solution.partition
+          with
+          | Error _ -> false
+          | Ok sim ->
+              let out = Rt_sim.Frame_sim.gantt sim in
+              List.for_all
+                (fun id -> String.contains out (glyph_of_id id))
+                (Rt_core.Solution.accepted_ids s)))
+
 let () =
   Alcotest.run "rt_sim"
     [
@@ -279,6 +340,7 @@ let () =
             test_frame_rejects_power_factor;
           Alcotest.test_case "gantt renders" `Quick test_frame_gantt_renders;
           prop_frame_roundtrip;
+          prop_frame_slices_disjoint;
         ] );
       ( "edf_sim",
         [
@@ -298,5 +360,8 @@ let () =
         [
           Alcotest.test_case "basic render" `Quick test_gantt_basic;
           Alcotest.test_case "range check" `Quick test_gantt_rejects_out_of_range;
+          Alcotest.test_case "short segment survives" `Quick
+            test_gantt_short_segment_survives;
+          prop_gantt_never_drops_accepted_tasks;
         ] );
     ]

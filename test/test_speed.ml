@@ -3,6 +3,7 @@
 
 open Rt_power
 open Rt_speed
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -116,7 +117,7 @@ let test_levels_disable_idle_mixing () =
     +. 0.08
   in
   check_bool "hull no worse than naive bottom-level plan" true
-    (r <= always_bottom +. 1e-9)
+    (Fc.leq ~eps:1e-9 r always_bottom)
 
 let prop_rate_monotone_in_load =
   qtest "rate is non-decreasing in the load (all processor kinds)"
@@ -130,7 +131,7 @@ let prop_rate_monotone_in_load =
         | _ -> levels_enable
       in
       let r1 = rate_exn proc u and r2 = rate_exn proc (u +. 0.01) in
-      r1 <= r2 +. 1e-9)
+      Fc.leq ~eps:1e-9 r1 r2)
 
 let prop_rate_convex =
   qtest "rate is midpoint-convex in the load"
@@ -236,7 +237,7 @@ let test_sync_beats_or_matches_worse_splits () =
       (* naive: t1 = t2 = 1; deltas 1 and 2; energy = 2·Pd(1)·1 + 1·Pd(2)·1 *)
       let naive = (2. *. 1.) +. (1. *. 8.) in
       check_bool "KKT split no worse than equal split" true
-        (s.Sync_global.energy <= naive +. 1e-9)
+        (Fc.leq ~eps:1e-9 s.Sync_global.energy naive)
 
 let prop_sync_no_worse_than_any_two_interval_split =
   qtest "2-proc KKT energy <= any sampled manual split" ~count:60
@@ -254,7 +255,7 @@ let prop_sync_no_worse_than_any_two_interval_split =
                 (2. *. (w1 /. t1) ** 3. *. t1)
                 +. (if delta > 0. then (delta /. t2) ** 3. *. t2 else 0.)
               in
-              s.Sync_global.energy <= manual +. 1e-6)
+              Fc.leq ~eps:1e-6 s.Sync_global.energy manual)
             (Rt_prelude.Math_util.frange ~lo:0.2 ~hi:1.8 ~steps:30))
 
 let prop_sync_staircase_structure =

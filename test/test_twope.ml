@@ -1,6 +1,7 @@
 (* Tests for rt_twope: the heterogeneous DVS + non-DVS two-PE system. *)
 
 open Rt_twope
+module Fc = Rt_prelude.Float_cmp
 
 let check_float eps = Alcotest.(check (float eps))
 let check_bool = Alcotest.(check bool)
@@ -112,7 +113,7 @@ let prop_dp_optimal_independent =
       let tasks = gen_tasks seed 9 total_alt (seed mod 2 = 0) in
       let opt = cost_exn independent (Twope.exhaustive independent tasks) in
       let dp = cost_exn independent (Twope.dp independent tasks) in
-      Float.abs (dp -. opt) < 1e-9)
+      Fc.approx_eq ~eps:1e-9 dp opt)
 
 let prop_e_greedy_never_beats_optimum_and_is_feasible =
   qtest ~count:50 "e-greedy: feasible and at least the optimum"
@@ -132,7 +133,7 @@ let prop_s_greedy_never_worse_than_all_kept =
       let all_kept = { Twope.kept = tasks; offloaded = [] } in
       let base = cost_exn dependent all_kept in
       let s = cost_exn dependent (Twope.s_greedy dependent tasks) in
-      s <= base +. 1e-9)
+      Fc.leq ~eps:1e-9 s base)
 
 let test_e_greedy_offloads_everything_when_it_fits () =
   let tasks = tasks_of [ (0.5, 300); (0.4, 300); (0.2, 300) ] in

@@ -53,7 +53,7 @@ let describe name tasks solution =
             in
             (c.Qos.task_id, f))
           solution.Qos.choices
-        |> List.sort compare
+        |> List.sort (fun (ida, _) (idb, _) -> Int.compare ida idb)
       in
       Printf.printf "%-8s total cost %7.1f   service: %s\n" name total
         (String.concat " "

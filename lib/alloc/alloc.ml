@@ -16,7 +16,7 @@ let proc_type ~type_id ~alloc_cost ~model ~speeds =
     (fun i s ->
       if Fc.exact_le s 0. || not (Float.is_finite s) then
         invalid_arg "Alloc.proc_type: speeds must be positive and finite";
-      if i > 0 && speeds.(i - 1) >= s then
+      if i > 0 && Fc.exact_ge speeds.(i - 1) s then
         invalid_arg "Alloc.proc_type: speeds must be strictly increasing")
     speeds;
   { type_id; alloc_cost; model; speeds = Array.copy speeds }
@@ -98,8 +98,8 @@ let sum_extreme inst pick =
       | None -> acc (* task infeasible everywhere: contributes nothing *))
     0. inst.tasks
 
-let e_min inst = sum_extreme inst (fun e b -> e < b)
-let e_max inst = sum_extreme inst (fun e b -> e > b)
+let e_min inst = sum_extreme inst (fun e b -> Fc.exact_lt e b)
+let e_max inst = sum_extreme inst (fun e b -> Fc.exact_gt e b)
 
 let with_gamma ~types ~tasks ~frame ~gamma =
   if Fc.exact_lt gamma 0. || Fc.exact_gt gamma 1. then

@@ -120,7 +120,7 @@ let solve_one inst ~tasks ~order ~m' ~pin =
                         | Some k ->
                             let e = Alloc.energy inst tasks.(i) ~ti ~level:k in
                             (match acc with
-                            | Some (_, _, eb) when eb <= e -> acc
+                            | Some (_, _, eb) when Fc.exact_le eb e -> acc
                             | _ -> Some (ti, k, e)))
                       None candidates
                   in

@@ -133,7 +133,7 @@ let rs_leuf ~proc ~frame ~budget items =
                   (fun j l ->
                     if
                       Rt_prelude.Float_cmp.leq (l +. u) 1.
-                      && (!best < 0 || l < loads.(!best))
+                      && (!best < 0 || Rt_prelude.Float_cmp.exact_lt l loads.(!best))
                     then best := j)
                   loads;
                 if !best < 0 then false

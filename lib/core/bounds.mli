@@ -16,13 +16,14 @@
     golden-section scan over [W ∈ [0, min(total, m·s_max)]] finds the
     relaxation's optimum. Every feasible solution costs at least this. *)
 
-val lower_bound : Problem.t -> float
+val lower_bound : Problem.t -> float [@rt.dim "joules"]
 (** The pooled + fractional-rejection bound described above. *)
 
-val balanced_energy : Problem.t -> accepted_weight:float -> float
+val balanced_energy : Problem.t -> accepted_weight:float -> float [@rt.dim "joules"]
 (** [m · horizon · rate(W/m)] — the pooled energy term alone.
     @raise Invalid_argument if [W] is negative or above [m · s_max]. *)
 
-val min_rejected_penalty : Problem.t -> accepted_weight:float -> float
+val min_rejected_penalty :
+  Problem.t -> accepted_weight:float -> float [@rt.dim "penalty"]
 (** Fractional-knapsack minimum total penalty over rejections that bring
     the accepted weight down to [W] (0 when [W >=] total weight). *)

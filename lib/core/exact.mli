@@ -27,6 +27,6 @@ val branch_and_bound_budgeted :
     unproven optimum. All failure modes (including a cost mismatch
     against {!Solution.cost}) are typed errors, never exceptions. *)
 
-val optimal_cost : ?node_limit:int -> Problem.t -> float
+val optimal_cost : ?node_limit:int -> Problem.t -> float [@rt.dim "joules"]
 (** Total cost of [branch_and_bound] (recomputed through
     {!Solution.cost}, so a disagreement raises). *)

@@ -13,7 +13,7 @@ let feasible_min_load (p : Problem.t) partition (it : Task.item) =
     (fun j l ->
       if Rt_prelude.Float_cmp.leq (l +. it.weight) cap then
         match !best with
-        | Some (_, lbest) when lbest <= l -> ()
+        | Some (_, lbest) when Fc.exact_le lbest l -> ()
         | _ -> best := Some (j, l))
     loads;
   Option.map fst !best
@@ -155,7 +155,7 @@ let best_of algorithms (p : Problem.t) =
       List.fold_left
         (fun best alg ->
           let s = alg p in
-          if total_cost p s < total_cost p best then s else best)
+          if Fc.exact_lt (total_cost p s) (total_cost p best) then s else best)
         (a p) rest
 
 let named =

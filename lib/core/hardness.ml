@@ -33,7 +33,7 @@ let partition_gadget numbers =
 let knapsack_gadget ~capacity pairs =
   let ( let* ) = Result.bind in
   let* () =
-    if pairs = [] then Error "knapsack_gadget: empty input"
+    if List.is_empty pairs then Error "knapsack_gadget: empty input"
     else if capacity <= 0 then Error "knapsack_gadget: capacity <= 0"
     else if List.exists (fun (c, _) -> c <= 0) pairs then
       Error "knapsack_gadget: cycles must be positive"

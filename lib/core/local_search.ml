@@ -72,7 +72,7 @@ let improve_state ~max_moves (p : Problem.t) (s : Solution.t) =
       (fun j l ->
         if fits l w then
           match !best with
-          | Some (_, lb) when lb <= l -> ()
+          | Some (_, lb) when Fc.exact_le lb l -> ()
           | _ -> best := Some (j, l))
       st.loads;
     Option.map fst !best
@@ -122,12 +122,12 @@ let improve_state ~max_moves (p : Problem.t) (s : Solution.t) =
                      -. energy (l_k +. it.weight)
                    in
                    match !best with
-                   | Some (_, g) when g >= gain -> ()
+                   | Some (_, g) when Fc.exact_ge g gain -> ()
                    | _ -> best := Some (k, gain)
                  end)
                st.loads;
              match !best with
-             | Some (k, gain) when gain > eps -> Some (it, k)
+             | Some (k, gain) when Fc.exact_gt gain eps -> Some (it, k)
              | _ -> None)
            st.buckets.(!j)
        with
@@ -160,7 +160,7 @@ let improve_state ~max_moves (p : Problem.t) (s : Solution.t) =
                        energy st.loads.(j) +. energy st.loads.(k) -. energy lj
                        -. energy lk
                      in
-                     if gain > eps then begin
+                     if Fc.exact_gt gain eps then begin
                        result := Some (j, k, a, b);
                        raise Exit
                      end

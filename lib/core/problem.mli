@@ -16,7 +16,7 @@
 type t = private {
   proc : Rt_power.Processor.t;
   m : int;
-  horizon : float;
+  horizon : float; [@rt.dim "seconds"]
   items : Rt_task.Task.item list;
 }
 
@@ -39,18 +39,18 @@ val of_periodic :
     hyper-period. Errors on an empty set (no hyper-period) and on
     hyper-period overflow (adversarial period grids). *)
 
-val capacity : t -> float
+val capacity : t -> float [@rt.dim "speed"]
 (** Per-processor load capacity: [s_max]. *)
 
-val load_factor : t -> float
+val load_factor : t -> float [@rt.dim "1"]
 (** Total weight over [m · s_max]; above 1.0 rejection is forced. *)
 
-val total_penalty : t -> float
+val total_penalty : t -> float [@rt.dim "penalty"]
 
 val item : t -> int -> Rt_task.Task.item option
 (** Lookup by id. *)
 
-val bucket_energy : t -> float -> float
+val bucket_energy : t -> float -> float [@rt.dim "joules"]
 (** [horizon · rate(load)] — the cost one processor contributes at the
     given load. @raise Invalid_argument when [load] exceeds the capacity
     (no feasible plan). *)

@@ -95,7 +95,12 @@ let cost (p : Problem.t) tasks solution =
       (fun (it : Task.item) -> (it.item_id, it.weight))
       (Rt_partition.Partition.all_items solution.partition)
   in
-  let norm = List.sort compare in
+  let norm =
+    List.sort (fun (ida, wa) (idb, wb) ->
+        match Int.compare ida idb with
+        | 0 -> Float.compare wa wb
+        | c -> c)
+  in
   let* () =
     if
       List.length placed = List.length expected
@@ -184,7 +189,7 @@ let greedy_degrade (p : Problem.t) tasks =
               let _, c = pack_cost p tasks idx in
               idx.(t.id) <- idx.(t.id) - 1;
               match !best with
-              | Some (_, cb) when cb <= c -> ()
+              | Some (_, cb) when Rt_prelude.Float_cmp.exact_le cb c -> ()
               | _ -> best := Some (t.id, c)
             end)
           tasks;
@@ -205,7 +210,7 @@ let greedy_degrade (p : Problem.t) tasks =
                     let l1 = List.nth t.levels (idx.(t.id) + 1) in
                     let drop = l0.weight -. l1.weight in
                     match !heaviest with
-                    | Some (_, d) when d >= drop -> ()
+                    | Some (_, d) when Rt_prelude.Float_cmp.exact_ge d drop -> ()
                     | _ -> heaviest := Some (t.id, drop)
                   end)
                 tasks;
@@ -272,7 +277,7 @@ let exhaustive (p : Problem.t) tasks =
           in
           let total = s.Rt_exact.Search.cost +. penalty in
           match !best with
-          | Some (_, _, bc) when bc <= total -> ()
+          | Some (_, _, bc) when Rt_prelude.Float_cmp.exact_le bc total -> ()
           | _ -> best := Some (Array.copy idx, s.Rt_exact.Search.partition, total)
         end
       in

@@ -16,8 +16,8 @@
     measures how much graceful degradation actually buys. *)
 
 type level = private {
-  weight : float;  (** required-speed contribution at this level; >= 0 *)
-  level_penalty : float;  (** >= 0, finite *)
+  weight : float;  [@rt.dim "speed"] (** required-speed contribution at this level; >= 0 *)
+  level_penalty : float;  [@rt.dim "penalty"] (** >= 0, finite *)
 }
 
 type qtask = private {

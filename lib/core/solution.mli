@@ -12,9 +12,9 @@ type t = {
 }
 
 type cost = {
-  energy : float;  (** Σ_j horizon · rate(load_j), including idle processors *)
-  penalty : float;  (** Σ over rejected items *)
-  total : float;
+  energy : float;  [@rt.dim "joules"] (** Σ_j horizon · rate(load_j), including idle processors *)
+  penalty : float;  [@rt.dim "penalty"] (** Σ over rejected items *)
+  total : float; [@rt.dim "joules"]
 }
 
 val cost : Problem.t -> t -> (cost, string) result
@@ -36,7 +36,7 @@ val accepted_ids : t -> int list
 val rejected_ids : t -> int list
 (** Sorted. *)
 
-val acceptance_ratio : Problem.t -> t -> float
+val acceptance_ratio : Problem.t -> t -> float [@rt.dim "1"]
 (** Accepted items over total items (1.0 for an empty problem). *)
 
 val pp : Format.formatter -> t -> unit

@@ -11,7 +11,7 @@
 type outcome = {
   problem : Problem.t;  (** the m = 1 instance the tasks induce *)
   solution : Solution.t;
-  cost : float;  (** recomputed through {!Solution.cost} *)
+  cost : float;  [@rt.dim "joules"] (** recomputed through {!Solution.cost} *)
 }
 
 val exact :

@@ -30,7 +30,7 @@ let solve ~capacity ~cycles ~penalties ~accept_cost =
     for w = capacity downto 0 do
       let reject = dp.(w) +. p in
       let accept = if w >= c then dp.(w - c) else Float.infinity in
-      if accept < reject then begin
+      if Rt_prelude.Float_cmp.exact_lt accept reject then begin
         dp.(w) <- accept;
         keep.(i).(w) <- true
       end
@@ -41,7 +41,7 @@ let solve ~capacity ~cycles ~penalties ~accept_cost =
   for w = 0 to capacity do
     if Float.is_finite dp.(w) then begin
       let cost = dp.(w) +. accept_cost w in
-      if cost < !best_cost then begin
+      if Rt_prelude.Float_cmp.exact_lt cost !best_cost then begin
         best_cost := cost;
         best_w := w
       end

@@ -5,7 +5,7 @@ let replicate ~seeds ~f =
   let values =
     List.filter (fun v -> not (Float.is_nan v)) (List.map f seeds)
   in
-  if values = [] then
+  if List.is_empty values then
     invalid_arg "Runner.replicate: every replication returned NaN";
   Rt_prelude.Stats.summarize values
 

@@ -35,7 +35,7 @@ let derate sc =
 
 let surviving sc ~m =
   List.filter
-    (fun j -> crash_time sc j = None)
+    (fun j -> Option.is_none (crash_time sc j))
     (Rt_prelude.Math_util.range 0 (m - 1))
 
 let validate ~m sc =

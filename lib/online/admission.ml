@@ -33,7 +33,7 @@ let density_speed actives ~now =
       (fun (work, best) a ->
         let work = work +. a.remaining in
         let slack = a.job.Job.deadline -. now in
-        if slack <= eps then (work, Float.infinity)
+        if Fc.exact_le slack eps then (work, Float.infinity)
         else (work, Float.max best (work /. slack)))
       (0., 0.) sorted
   in
@@ -186,7 +186,7 @@ let simulate_mp ~(proc : Processor.t) ~m ~policy jobs =
                   then begin
                     let est = marginal_estimate proc !actives ~now:!now j in
                     match !best with
-                    | Some (_, eb) when eb <= est -> ()
+                    | Some (_, eb) when Fc.exact_le eb est -> ()
                     | _ -> best := Some (actives, est)
                   end)
                 processors;

@@ -13,17 +13,19 @@ let check jobs =
 (* the maximum-intensity interval over the candidate endpoints (arrivals ×
    deadlines); ties broken toward the earliest interval for determinism *)
 let critical_interval jvs =
-  let starts = List.sort_uniq compare (List.map (fun j -> j.a) jvs) in
-  let ends = List.sort_uniq compare (List.map (fun j -> j.d) jvs) in
+  let starts = List.sort_uniq Float.compare (List.map (fun j -> j.a) jvs) in
+  let ends = List.sort_uniq Float.compare (List.map (fun j -> j.d) jvs) in
   let best = ref None in
   List.iter
     (fun t1 ->
       List.iter
         (fun t2 ->
-          if t2 > t1 then begin
+          if Fc.exact_gt t2 t1 then begin
             let work =
               List.fold_left
-                (fun acc j -> if j.a >= t1 && j.d <= t2 then acc +. j.c else acc)
+                (fun acc j ->
+                  if Fc.exact_ge j.a t1 && Fc.exact_le j.d t2 then acc +. j.c
+                  else acc)
                 0. jvs
             in
             if Fc.exact_gt work 0. then begin
@@ -50,11 +52,15 @@ let blocks jobs =
     | Some (intensity, t1, t2, work) ->
         let length = t2 -. t1 in
         let survivors =
-          List.filter (fun j -> not (j.a >= t1 && j.d <= t2)) jvs
+          List.filter
+            (fun j -> not (Fc.exact_ge j.a t1 && Fc.exact_le j.d t2))
+            jvs
         in
         (* excise [t1, t2]: times inside the window collapse onto t1 *)
         let squeeze t =
-          if t <= t1 then t else if t >= t2 then t -. length else t1
+          if Fc.exact_le t t1 then t
+          else if Fc.exact_ge t t2 then t -. length
+          else t1
         in
         List.iter
           (fun j ->

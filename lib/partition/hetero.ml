@@ -162,7 +162,9 @@ let leuf (proc : Processor.t) ~m ~horizon items =
   List.fold_left
     (fun p it ->
       let best = ref 0 in
-      Array.iteri (fun j l -> if l < est_load.(!best) then best := j) est_load;
+      Array.iteri
+        (fun j l -> if Fc.exact_lt l est_load.(!best) then best := j)
+        est_load;
       est_load.(!best) <- est_load.(!best) +. time_of it;
       Partition.add p !best it)
     (Partition.empty ~m) sorted

@@ -47,10 +47,12 @@ let extreme_by ~better p = function
            j rest)
 
 let best_fit ~m ~capacity items =
-  fit_by ~m ~capacity items ~choose:(fun p -> extreme_by ~better:( > ) p)
+  fit_by ~m ~capacity items
+    ~choose:(fun p -> extreme_by ~better:Rt_prelude.Float_cmp.exact_gt p)
 
 let worst_fit ~m ~capacity items =
-  fit_by ~m ~capacity items ~choose:(fun p -> extreme_by ~better:( < ) p)
+  fit_by ~m ~capacity items
+    ~choose:(fun p -> extreme_by ~better:Rt_prelude.Float_cmp.exact_lt p)
 
 let capacity_respected ~capacity p =
   Array.for_all

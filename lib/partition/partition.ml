@@ -43,7 +43,9 @@ let makespan t = Array.fold_left Float.max 0. (loads t)
 let min_load_index t =
   let ls = loads t in
   let best = ref 0 in
-  Array.iteri (fun j l -> if l < ls.(!best) then best := j) ls;
+  Array.iteri
+    (fun j l -> if Rt_prelude.Float_cmp.exact_lt l ls.(!best) then best := j)
+    ls;
   !best
 
 let processor_of t id =

@@ -16,10 +16,10 @@
     [t] time units at speed [s] is [t * P(s)]. *)
 
 type t = private {
-  p_ind : float;  (** speed-independent power (leakage); >= 0 *)
+  p_ind : float;  [@rt.dim "watts"] (** speed-independent power (leakage); >= 0 *)
   coeff : float;  (** coefficient of the [s^alpha] term; > 0 *)
-  alpha : float;  (** exponent of the dynamic term; > 1 *)
-  linear : float;  (** short-circuit term, proportional to speed; >= 0 *)
+  alpha : float;  [@rt.dim "1"] (** exponent of the dynamic term; > 1 *)
+  linear : float;  [@rt.dim "joules/cycles"] (** short-circuit term, proportional to speed; >= 0 *)
 }
 
 val make : ?p_ind:float -> ?linear:float -> coeff:float -> alpha:float -> unit -> t
@@ -27,26 +27,26 @@ val make : ?p_ind:float -> ?linear:float -> coeff:float -> alpha:float -> unit -
     @raise Invalid_argument when a parameter is out of the documented range
     (including non-finite values). *)
 
-val power : t -> float -> float
+val power : t -> float -> float [@rt.dim "watts"]
 (** [power m s] is [P(s)] for [s >= 0]. @raise Invalid_argument on
     negative speed. *)
 
-val dynamic_power : t -> float -> float
+val dynamic_power : t -> float -> float [@rt.dim "watts"]
 (** The speed-dependent part [P_d(s) = P(s) - p_ind]. *)
 
-val energy : t -> speed:float -> time:float -> float
+val energy : t -> speed:float -> time:float -> float [@rt.dim "joules"]
 (** [energy m ~speed ~time] is [time * P(speed)]; the workload completed is
     [speed * time] cycles. @raise Invalid_argument on negative time. *)
 
-val energy_cycles : t -> speed:float -> cycles:float -> float
+val energy_cycles : t -> speed:float -> cycles:float -> float [@rt.dim "joules"]
 (** Energy to execute [cycles] cycles at constant [speed > 0]:
     [cycles / speed * P(speed)]. *)
 
-val energy_per_cycle : t -> float -> float
+val energy_per_cycle : t -> float -> float [@rt.dim "joules/cycles"]
 (** [P(s)/s] for [s > 0] — the per-cycle energy whose minimizer is the
     critical speed. *)
 
-val critical_speed : t -> s_max:float -> float
+val critical_speed : t -> s_max:float -> float [@rt.dim "speed"]
 (** The speed in [(0, s_max\]] minimizing [P(s)/s]. Closed form
     [(p_ind / ((alpha-1) coeff))^(1/alpha)] when [linear = 0]; numeric
     (golden-section, [P(s)/s] is unimodal for this model family) otherwise.

@@ -77,7 +77,7 @@ let nearest_level_above t s =
       let found = ref None in
       Array.iter
         (fun l ->
-          if !found = None && Rt_prelude.Float_cmp.geq ~eps l s then
+          if Option.is_none !found && Rt_prelude.Float_cmp.geq ~eps l s then
             found := Some l)
         levels;
       !found
@@ -88,12 +88,14 @@ let levels_around t s =
   | Levels levels ->
       let n = Array.length levels in
       if Rt_prelude.Float_cmp.gt s levels.(n - 1) then None
-      else if s <= levels.(0) then Some (levels.(0), levels.(0))
+      else if Rt_prelude.Float_cmp.exact_le s levels.(0) then
+        Some (levels.(0), levels.(0))
       else begin
         (* find i with levels.(i) <= s <= levels.(i+1) *)
         let rec go i =
           if i = n - 1 then (levels.(n - 1), levels.(n - 1))
-          else if s <= levels.(i + 1) then (levels.(i), levels.(i + 1))
+          else if Rt_prelude.Float_cmp.exact_le s levels.(i + 1) then
+            (levels.(i), levels.(i + 1))
           else go (i + 1)
         in
         Some (go 0)
@@ -110,7 +112,10 @@ let critical_speed t =
          all levels is just as simple and obviously correct *)
       Array.to_list levels
       |> List.map (fun l -> (Power_model.energy_per_cycle t.model l, l))
-      |> List.fold_left min (Float.infinity, levels.(0))
+      |> List.fold_left
+           (fun acc c ->
+             if Rt_prelude.Float_cmp.exact_lt (fst c) (fst acc) then c else acc)
+           (Float.infinity, levels.(0))
       |> snd
 
 let idle_power t = t.model.Power_model.p_ind

@@ -9,7 +9,7 @@
     copies of one descriptor. *)
 
 type speed_domain =
-  | Ideal of { s_min : float; s_max : float }
+  | Ideal of { s_min : float; [@rt.dim "speed"] s_max : float [@rt.dim "speed"] }
       (** continuous spectrum [\[s_min, s_max\]], [0 <= s_min <= s_max] *)
   | Levels of float array
       (** finite speeds, strictly increasing, all [> 0] *)
@@ -17,7 +17,7 @@ type speed_domain =
 type dormancy =
   | Dormant_disable
       (** cannot sleep: pays [p_ind] whenever idle (speed 0, no progress) *)
-  | Dormant_enable of { t_sw : float; e_sw : float }
+  | Dormant_enable of { t_sw : float; [@rt.dim "seconds"] e_sw : float [@rt.dim "joules"] }
       (** can sleep at zero power; waking costs [t_sw] time and [e_sw]
           energy per sleep/wake round trip *)
 
@@ -32,10 +32,10 @@ val make :
 (** @raise Invalid_argument on malformed domains (unsorted/non-positive
     levels, inverted or negative ideal bounds, negative overheads). *)
 
-val s_max : t -> float
+val s_max : t -> float [@rt.dim "speed"]
 (** Fastest available speed. *)
 
-val s_min : t -> float
+val s_min : t -> float [@rt.dim "speed"]
 (** Slowest available {e running} speed ([s_min] of the spectrum or the
     lowest level); being idle at speed 0 is always possible. *)
 
@@ -46,7 +46,7 @@ val speed_feasible : ?eps:float -> t -> float -> bool
     speed must coincide (within [eps]) with one of the levels; speed [0.]
     (idle) is always feasible. *)
 
-val nearest_level_above : t -> float -> float option
+val nearest_level_above : t -> float -> float option [@rt.dim "speed"]
 (** For level domains, the slowest level [>= s] (within tolerance); [None]
     if [s] exceeds the top level. For ideal domains, [s] clamped up to
     [s_min] if below, [None] if [s > s_max]. *)
@@ -57,11 +57,11 @@ val levels_around : t -> float -> (float * float) option
     level returns [(bottom, bottom)]; [None] if [s] is above the top level.
     @raise Invalid_argument on ideal domains. *)
 
-val critical_speed : t -> float
+val critical_speed : t -> float [@rt.dim "speed"]
 (** {!Power_model.critical_speed} projected into the domain: for level
     domains, the level with minimal per-cycle energy. *)
 
-val idle_power : t -> float
+val idle_power : t -> float [@rt.dim "watts"]
 (** Power drawn while idle-but-awake: [p_ind] (dynamic power vanishes at
     speed 0 for the polynomial model). *)
 

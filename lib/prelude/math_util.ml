@@ -51,7 +51,8 @@ let frange ~lo ~hi ~steps =
 let invphi = (sqrt 5. -. 1.) /. 2.
 
 let golden_section_min ?(tol = 1e-10) ?(max_iter = 200) ~f ~lo ~hi () =
-  if lo > hi then invalid_arg "Math_util.golden_section_min: lo > hi";
+  if Float_cmp.exact_gt lo hi then
+    invalid_arg "Math_util.golden_section_min: lo > hi";
   (* invariant: the minimum lies in [a, b]; xa < xb are the interior probes
      with cached values fa, fb *)
   let a = ref lo and b = ref hi in
@@ -114,6 +115,6 @@ let bisect_root ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   end
 
 let bisect_decreasing ?(tol = 1e-12) ?(max_iter = 200) ~f ~target ~lo ~hi () =
-  if f lo <= target then lo
-  else if f hi >= target then hi
+  if Float_cmp.exact_le (f lo) target then lo
+  else if Float_cmp.exact_ge (f hi) target then hi
   else bisect_root ~tol ~max_iter ~f:(fun x -> f x -. target) ~lo ~hi ()

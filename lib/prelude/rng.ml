@@ -11,7 +11,7 @@ let int t ~lo ~hi =
   lo + Random.State.int t (hi - lo + 1)
 
 let float t ~lo ~hi =
-  if lo > hi then invalid_arg "Rng.float: lo > hi";
+  if Float_cmp.exact_gt lo hi then invalid_arg "Rng.float: lo > hi";
   lo +. Random.State.float t (hi -. lo)
 
 let bool t = Random.State.bool t
@@ -19,7 +19,7 @@ let bool t = Random.State.bool t
 let log_uniform t ~lo ~hi =
   if Float_cmp.exact_le lo 0. || Float_cmp.exact_le hi 0. then
     invalid_arg "Rng.log_uniform: bounds <= 0";
-  if lo > hi then invalid_arg "Rng.log_uniform: lo > hi";
+  if Float_cmp.exact_gt lo hi then invalid_arg "Rng.log_uniform: lo > hi";
   exp (float t ~lo:(log lo) ~hi:(log hi))
 
 let choice t = function

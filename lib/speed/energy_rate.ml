@@ -38,10 +38,14 @@ let lower_hull points =
 let mix_on_hull hull u =
   let rec find = function
     | [ (x, y) ] ->
-        if Rt_prelude.Float_cmp.approx_eq x u || u < x then Some ((x, y), (x, y))
+        if
+          Rt_prelude.Float_cmp.approx_eq x u
+          || Rt_prelude.Float_cmp.exact_lt u x
+        then Some ((x, y), (x, y))
         else None
     | (x1, y1) :: ((x2, _) :: _ as rest) ->
-        if u > x2 then find rest else Some ((x1, y1), List.hd rest)
+        if Rt_prelude.Float_cmp.exact_gt u x2 then find rest
+        else Some ((x1, y1), List.hd rest)
     | [] -> None
   in
   match find hull with

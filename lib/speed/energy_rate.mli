@@ -24,15 +24,15 @@
     them. *)
 
 type segment = {
-  speed : float;  (** a feasible running speed, or 0. for idle/sleep *)
-  fraction : float;  (** fraction of the horizon spent at [speed] *)
+  speed : float;  [@rt.dim "speed"] (** a feasible running speed, or 0. for idle/sleep *)
+  fraction : float;  [@rt.dim "1"] (** fraction of the horizon spent at [speed] *)
 }
 
 type plan = {
   segments : segment list;
       (** fractions sum to 1 (within tolerance); speeds are feasible for
           the processor; ordered fastest first *)
-  rate : float;  (** average power of the plan = energy per unit horizon *)
+  rate : float;  [@rt.dim "watts"] (** average power of the plan = energy per unit horizon *)
 }
 
 val optimal : ?power_factor:float -> Rt_power.Processor.t -> u:float -> plan option
@@ -41,19 +41,22 @@ val optimal : ?power_factor:float -> Rt_power.Processor.t -> u:float -> plan opt
     [power_factor] scales the speed-dependent power (heterogeneous tasks).
     @raise Invalid_argument on negative or non-finite [u]. *)
 
-val rate : ?power_factor:float -> Rt_power.Processor.t -> u:float -> float option
+val rate :
+  ?power_factor:float -> Rt_power.Processor.t -> u:float ->
+  float option [@rt.dim "watts"]
 (** Average power of the optimal plan. *)
 
 val energy :
   ?power_factor:float -> Rt_power.Processor.t -> u:float -> horizon:float ->
-  float option
+  float option [@rt.dim "joules"]
 (** [rate × horizon]. @raise Invalid_argument on negative horizon. *)
 
-val plan_rate : ?power_factor:float -> Rt_power.Processor.t -> plan -> float
+val plan_rate :
+  ?power_factor:float -> Rt_power.Processor.t -> plan -> float [@rt.dim "watts"]
 (** Recompute a plan's average power from its segments (idle/sleep segments
     charged per the processor's dormancy); used to cross-check [rate]. *)
 
-val plan_throughput : plan -> float
+val plan_throughput : plan -> float [@rt.dim "speed"]
 (** [Σ speed·fraction] — the required speed the plan actually delivers. *)
 
 val validate :

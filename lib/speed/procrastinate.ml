@@ -17,7 +17,8 @@ let idle_energy (proc : Processor.t) ~interval =
   match proc.dormancy with
   | Processor.Dormant_disable -> awake
   | Processor.Dormant_enable { t_sw; e_sw } ->
-      if interval >= t_sw then Float.min awake e_sw else awake
+      if Rt_prelude.Float_cmp.exact_ge interval t_sw then Float.min awake e_sw
+      else awake
 
 let should_sleep (proc : Processor.t) ~interval =
   match proc.dormancy with

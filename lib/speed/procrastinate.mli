@@ -11,12 +11,13 @@
     window) against coalesced idle (one gap per hyper-period), which is
     what experiment E8 sweeps. *)
 
-val break_even_time : Rt_power.Processor.t -> float
+val break_even_time : Rt_power.Processor.t -> float [@rt.dim "seconds"]
 (** Interval length above which sleeping beats staying awake. [infinity]
     for dormant-disable processors and whenever [p_ind = 0] (sleeping can
     then never save energy but still costs [E_sw]). *)
 
-val idle_energy : Rt_power.Processor.t -> interval:float -> float
+val idle_energy :
+  Rt_power.Processor.t -> interval:float -> float [@rt.dim "joules"]
 (** Minimum energy spent over one idle interval of the given length:
     [min(p_ind·interval, E_sw)] when sleeping is feasible
     ([interval >= t_sw]), [p_ind·interval] otherwise.
@@ -26,7 +27,7 @@ val should_sleep : Rt_power.Processor.t -> interval:float -> bool
 (** [true] iff sleeping is feasible and strictly cheaper. *)
 
 val idle_energy_fragmented :
-  Rt_power.Processor.t -> total_idle:float -> gaps:int -> float
+  Rt_power.Processor.t -> total_idle:float -> gaps:int -> float [@rt.dim "joules"]
 (** Idle energy when the processor's total idle time is split into [gaps]
     equal intervals — the no-procrastination model ([gaps] = number of
     frames in the hyper-period). [gaps = 1] is the fully coalesced

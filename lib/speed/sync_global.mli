@@ -19,15 +19,15 @@
     [p_ind = 0] and [linear = 0]. *)
 
 type interval = {
-  duration : float;
-  speed : float;
+  duration : float; [@rt.dim "seconds"]
+  speed : float; [@rt.dim "speed"]
   active : int;  (** number of processors running during this interval *)
 }
 
 type schedule = {
   intervals : interval list;  (** in execution order; zero-length dropped *)
-  energy : float;  (** Σ active · P_d(speed) · duration *)
-  peak_speed : float;  (** highest common speed used (0 if no work) *)
+  energy : float;  [@rt.dim "joules"] (** Σ active · P_d(speed) · duration *)
+  peak_speed : float;  [@rt.dim "speed"] (** highest common speed used (0 if no work) *)
 }
 
 val solve :
@@ -38,7 +38,8 @@ val solve :
     linear terms. *)
 
 val energy_independent :
-  Rt_power.Power_model.t -> window:float -> workloads:float array -> float
+  Rt_power.Power_model.t -> window:float -> workloads:float array ->
+  float [@rt.dim "joules"]
 (** Energy when every processor picks its own uniform speed [w_i / D] —
     the independent-rails lower reference the companion compares against.
     @raise Invalid_argument on the same conditions as {!solve}. *)

@@ -53,7 +53,11 @@ let assign t rng ~proc ~horizon items =
         jittered rng jitter (factor *. mean_weight /. it.weight *. mean_ref)
     | Bimodal { low; high; p_high } ->
         let level =
-          if Rt_prelude.Rng.float rng ~lo:0. ~hi:1. < p_high then high
+          if
+            Rt_prelude.Float_cmp.exact_lt
+              (Rt_prelude.Rng.float rng ~lo:0. ~hi:1.)
+              p_high
+          then high
           else low
         in
         level *. ref_e

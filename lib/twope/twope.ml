@@ -124,7 +124,7 @@ let e_greedy sys tasks =
       | Some ks ->
           let best =
             match best with
-            | Some (_, w) when w <= weight_of ks -> best
+            | Some (_, w) when Fc.exact_le w (weight_of ks) -> best
             | _ -> Some (ks, weight_of ks)
           in
           (* evict the last (largest-index) element of the cover *)
@@ -166,7 +166,7 @@ let dp _sys tasks =
   done;
   let best_c = ref 0 in
   for c = 0 to cap do
-    if value.(c) > value.(!best_c) then best_c := c
+    if Fc.exact_gt value.(c) value.(!best_c) then best_c := c
   done;
   let offloaded = ref [] and kept = ref [] in
   let c = ref !best_c in
@@ -197,7 +197,8 @@ let s_greedy sys tasks =
           offloaded = t :: acc.offloaded;
         }
       in
-      if cost_or_inf sys moved < cost_or_inf sys acc then moved else acc
+      if Fc.exact_lt (cost_or_inf sys moved) (cost_or_inf sys acc) then moved
+      else acc
     end
   in
   let all_kept = { kept = tasks; offloaded = [] } in
@@ -212,11 +213,13 @@ let s_greedy sys tasks =
             offloaded = [ t ];
           }
         in
-        if cost_or_inf sys candidate < cost_or_inf sys best then candidate
+        if Fc.exact_lt (cost_or_inf sys candidate) (cost_or_inf sys best)
+        then candidate
         else best)
       all_kept tasks
   in
-  if cost_or_inf sys pass1 <= cost_or_inf sys single then pass1 else single
+  if Fc.exact_le (cost_or_inf sys pass1) (cost_or_inf sys single) then pass1
+  else single
 
 let exhaustive sys tasks =
   let best = ref { kept = tasks; offloaded = [] } in
@@ -224,7 +227,7 @@ let exhaustive sys tasks =
   Rt_exact.Subsets.iter tasks (fun (offloaded, kept) ->
       let a = { kept; offloaded } in
       let c = cost_or_inf sys a in
-      if c < !best_cost then begin
+      if Fc.exact_lt c !best_cost then begin
         best := a;
         best_cost := c
       end);

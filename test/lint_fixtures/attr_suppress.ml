@@ -1,0 +1,8 @@
+(* must end with exactly one finding: the second comparison carries an
+   [@rt.lint.ignore] attribute, the first does not *)
+let too_low x = x < 1.0
+
+let also_low x = (x < 1.0) [@rt.lint.ignore "float-cmp"]
+
+(* a suppression naming a different rule must not silence anything *)
+let still_flagged x = (x > 2.0) [@rt.lint.ignore "phys-cmp"]

@@ -1,0 +1,8 @@
+(* must flag: seconds + joules is dimensional nonsense (twice) *)
+let horizon = 5.0
+
+let fuel = 2.0
+
+let nonsense = horizon +. fuel
+
+let worst = Float.min horizon fuel

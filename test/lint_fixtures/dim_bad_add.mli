@@ -1,0 +1,7 @@
+val horizon : float [@rt.dim "seconds"]
+
+val fuel : float [@rt.dim "joules"]
+
+val nonsense : float
+
+val worst : float

@@ -1,0 +1,13 @@
+(* must pass: products and quotients combine dimensions correctly, so every
+   inferred dimension agrees with its interface annotation *)
+let span = 4.0
+
+let rate = 2.5
+
+let energy = rate *. span
+
+let speed = 3.0
+
+let work = speed *. span
+
+let per_cycle = energy /. work

@@ -1,0 +1,11 @@
+val span : float [@rt.dim "seconds"]
+
+val rate : float [@rt.dim "watts"]
+
+val energy : float [@rt.dim "joules"]
+
+val speed : float [@rt.dim "cycles/seconds"]
+
+val work : float [@rt.dim "cycles"]
+
+val per_cycle : float [@rt.dim "joules/cycles"]

@@ -1,0 +1,5 @@
+(* must flag: the two record fields carry different dimensions, so adding
+   them is meaningless *)
+type job = { span : float; fuel : float }
+
+let total j = j.span +. j.fuel

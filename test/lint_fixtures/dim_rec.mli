@@ -1,0 +1,6 @@
+type job = {
+  span : float; [@rt.dim "seconds"]
+  fuel : float; [@rt.dim "joules"]
+}
+
+val total : job -> float

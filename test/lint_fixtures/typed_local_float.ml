@@ -1,0 +1,11 @@
+(* must flag: the float flows through local bindings the old parsetree
+   name-heuristic pass could not see (regression for the Sig_table
+   false negative) *)
+let pick xs =
+  let threshold = 1.5 in
+  List.filter (fun x -> x < threshold) xs
+
+let shadowed () =
+  let margin = 0.25 in
+  let probe y = margin > y in
+  probe 0.5

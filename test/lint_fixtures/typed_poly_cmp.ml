@@ -1,0 +1,10 @@
+(* must flag: polymorphic comparison/hashing instantiated at float-bearing
+   types, where bit-equality is not the domain's equality *)
+let order (xs : (int * float) list) = List.sort compare xs
+
+let key (x : float * int) = Hashtbl.hash x
+
+let same (a : float option) (b : float option) = a = b
+
+(* must pass: explicit per-field comparison *)
+let by_id (a : int * float) (b : int * float) = Int.compare (fst a) (fst b)

@@ -1,0 +1,7 @@
+(* must flag: ambient global Random state (twice); explicit Random.State
+   threading must pass *)
+let seed () = Random.self_init ()
+
+let draw () = Random.float 1.0
+
+let ok st = Random.State.float st 1.0

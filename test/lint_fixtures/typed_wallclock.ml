@@ -1,0 +1,2 @@
+(* must flag: a wall-clock read inside library code *)
+let stamp () = Sys.time ()

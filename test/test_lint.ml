@@ -95,6 +95,80 @@ let test_suppression () =
   check_int "malformed pragma reported" 1 (count "suppression" rules);
   check_int "reasonless pragma does not suppress" 1 (count "phys-cmp" rules)
 
+(* ------------------------------------------------------------------ *)
+(* typed rules: findings with exact locations *)
+
+let findings_of path = Lint_core.lint_file ~as_lib:true (fixture path)
+
+let locations rule path =
+  findings_of path
+  |> List.filter_map (fun (f : Lint_core.finding) ->
+         if f.Lint_core.rule = rule then Some f.Lint_core.line else None)
+
+let test_local_float () =
+  (* the old Sig_table pass could not see locally-bound floats *)
+  check_int "both local comparisons flagged" 2
+    (count "float-cmp" (rules_of "typed_local_float.ml"));
+  Alcotest.(check (list int))
+    "at the comparison sites" [ 6; 10 ]
+    (locations "float-cmp" "typed_local_float.ml")
+
+let test_typed_poly_cmp () =
+  let rules = rules_of "typed_poly_cmp.ml" in
+  check_int "sort/hash/equality at float-bearing types" 3
+    (count "poly-cmp" rules);
+  check_int "nothing else flagged" 3 (List.length rules)
+
+let test_typed_random () =
+  let rules = rules_of "typed_random.ml" in
+  check_int "self_init + ambient draw flagged" 2 (count "ambient-random" rules);
+  check_int "explicit Random.State passes" 2 (List.length rules)
+
+let test_typed_wallclock () =
+  Alcotest.(check (list int))
+    "Sys.time flagged at its site" [ 2 ]
+    (locations "wallclock" "typed_wallclock.ml")
+
+let test_attr_suppress () =
+  (* three bad comparisons; exactly one is suppressed (the one whose
+     attribute names the right rule) *)
+  Alcotest.(check (list int))
+    "suppression silences exactly one finding" [ 3; 8 ]
+    (locations "float-cmp" "attr_suppress.ml")
+
+(* ------------------------------------------------------------------ *)
+(* units of measure *)
+
+let test_dim_planted () =
+  (* the frozen regression: seconds + joules must be rejected, at the
+     addition's exact location *)
+  Alcotest.(check (list int))
+    "seconds+joules rejected where it happens" [ 6; 8 ]
+    (locations "dim-mismatch" "dim_bad_add.ml");
+  let msgs =
+    findings_of "dim_bad_add.ml"
+    |> List.map (fun (f : Lint_core.finding) -> f.Lint_core.msg)
+  in
+  check_bool "message names both dimensions" true
+    (List.exists
+       (fun m ->
+         let has s =
+           let n = String.length s in
+           let rec go i =
+             i + n <= String.length m && (String.sub m i n = s || go (i + 1))
+           in
+           go 0
+         in
+         has "seconds" && has "joules")
+       msgs)
+
+let test_dim_combination () = clean "dim_good.ml" ()
+
+let test_dim_fields () =
+  Alcotest.(check (list int))
+    "mixed-dimension field addition rejected" [ 5 ]
+    (locations "dim-mismatch" "dim_rec.ml")
+
 let () =
   Alcotest.run "rt_lint"
     [
@@ -146,6 +220,27 @@ let () =
         [
           Alcotest.test_case "reasoned pragmas suppress" `Quick
             test_suppression;
+          Alcotest.test_case "attributes silence exactly one" `Quick
+            test_attr_suppress;
           Alcotest.test_case "diagnostic format" `Quick test_diagnostic_format;
+        ] );
+      ( "typed",
+        [
+          Alcotest.test_case "locally-bound floats flagged" `Quick
+            test_local_float;
+          Alcotest.test_case "poly compare at float-bearing types" `Quick
+            test_typed_poly_cmp;
+          Alcotest.test_case "ambient randomness flagged" `Quick
+            test_typed_random;
+          Alcotest.test_case "wall-clock reads flagged" `Quick
+            test_typed_wallclock;
+        ] );
+      ( "dims",
+        [
+          Alcotest.test_case "planted seconds+joules rejected" `Quick
+            test_dim_planted;
+          Alcotest.test_case "products/quotients combine" `Quick
+            test_dim_combination;
+          Alcotest.test_case "record fields carry dims" `Quick test_dim_fields;
         ] );
     ]

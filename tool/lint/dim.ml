@@ -1,0 +1,193 @@
+(* Dimension (units-of-measure) algebra for the rt-lint dim analysis.
+
+   A dimension is an integer exponent vector over the three base units the
+   scheduling domain needs: seconds (time), cycles (work) and joules
+   (energy).  The derived quantities the paper manipulates are products of
+   these: speed = cycles/second, watts = joules/second, and the rejection
+   penalty is measured in energy units (the paper's objective sums energy
+   and penalty, so they must be commensurate — see docs/UNITS.md). *)
+
+type t = { second : int; cycle : int; joule : int }
+
+type v = Any | Unknown | Dim of t
+
+let dimensionless = { second = 0; cycle = 0; joule = 0 }
+let seconds = { dimensionless with second = 1 }
+let cycles = { dimensionless with cycle = 1 }
+let joules = { dimensionless with joule = 1 }
+let speed = { dimensionless with cycle = 1; second = -1 }
+let watts = { dimensionless with joule = 1; second = -1 }
+
+let names =
+  [
+    ("dimensionless", dimensionless);
+    ("1", dimensionless);
+    ("seconds", seconds);
+    ("cycles", cycles);
+    ("joules", joules);
+    (* rejection penalties are energy-commensurate: the objective is
+       energy(accepted) + penalty(rejected) *)
+    ("penalty", joules);
+    ("speed", speed);
+    ("watts", watts);
+    ("hertz", { dimensionless with second = -1 });
+  ]
+
+let equal a b = a.second = b.second && a.cycle = b.cycle && a.joule = b.joule
+
+let mul a b =
+  {
+    second = a.second + b.second;
+    cycle = a.cycle + b.cycle;
+    joule = a.joule + b.joule;
+  }
+
+let div a b =
+  {
+    second = a.second - b.second;
+    cycle = a.cycle - b.cycle;
+    joule = a.joule - b.joule;
+  }
+
+let pow a n =
+  { second = a.second * n; cycle = a.cycle * n; joule = a.joule * n }
+
+let to_string d =
+  (* preferred names first: every alias list entry maps a spelling to a
+     vector, so search for the first canonical (non-alias) match *)
+  let canonical =
+    [
+      ("dimensionless", dimensionless);
+      ("seconds", seconds);
+      ("cycles", cycles);
+      ("joules", joules);
+      ("speed", speed);
+      ("watts", watts);
+    ]
+  in
+  match List.find_opt (fun (_, v) -> equal v d) canonical with
+  | Some (n, _) -> n
+  | None ->
+      let base =
+        [ ("seconds", d.second); ("cycles", d.cycle); ("joules", d.joule) ]
+      in
+      let factors =
+        List.filter_map
+          (fun (n, e) ->
+            if e = 0 then None
+            else if e = 1 then Some n
+            else Some (Printf.sprintf "%s^%d" n e))
+          base
+      in
+      String.concat "*" factors
+
+(* ------------------------------------------------------------------ *)
+(* Parsing "joules", "cycles/seconds", "watts*seconds", "seconds^-1" …  *)
+(* ------------------------------------------------------------------ *)
+
+type token = Name of string | Star | Slash | Caret | Int of int
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' -> go (i + 1) acc
+      | '*' -> go (i + 1) (Star :: acc)
+      | '/' -> go (i + 1) (Slash :: acc)
+      | '^' -> go (i + 1) (Caret :: acc)
+      | c when (c >= 'a' && c <= 'z') || c = '_' ->
+          let j = ref i in
+          while
+            !j < n
+            && ((s.[!j] >= 'a' && s.[!j] <= 'z')
+               || (s.[!j] >= '0' && s.[!j] <= '9')
+               || s.[!j] = '_')
+          do
+            incr j
+          done;
+          go !j (Name (String.sub s i (!j - i)) :: acc)
+      | c when (c >= '0' && c <= '9') || c = '-' ->
+          let j = ref (i + 1) in
+          while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+            incr j
+          done;
+          let lit = String.sub s i (!j - i) in
+          (match int_of_string_opt lit with
+          | Some k -> go !j (Int k :: acc)
+          | None -> Error (Printf.sprintf "bad exponent %S" lit))
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let* toks = tokenize s in
+  let term = function
+    | Name "1" :: rest -> Ok (dimensionless, rest)
+    | Name n :: rest -> (
+        match List.assoc_opt n names with
+        | Some d -> (
+            match rest with
+            | Caret :: Int k :: rest' -> Ok (pow d k, rest')
+            | Caret :: _ -> Error "expected integer after ^"
+            | _ -> Ok (d, rest))
+        | None -> Error (Printf.sprintf "unknown dimension %S" n))
+    | Int 1 :: rest -> Ok (dimensionless, rest)
+    | _ -> Error "expected a dimension name"
+  in
+  let rec rest_of acc = function
+    | [] -> Ok acc
+    | Star :: toks ->
+        let* t, toks = term toks in
+        rest_of (mul acc t) toks
+    | Slash :: toks ->
+        let* t, toks = term toks in
+        rest_of (div acc t) toks
+    | _ -> Error "expected * or / between dimensions"
+  in
+  if String.trim s = "" then Error "empty dimension annotation"
+  else
+    let* t, toks = term toks in
+    rest_of t toks
+
+(* ------------------------------------------------------------------ *)
+(* The value lattice used during inference                             *)
+(* ------------------------------------------------------------------ *)
+
+let v_to_string = function
+  | Any -> "any"
+  | Unknown -> "unknown"
+  | Dim d -> to_string d
+
+(* Combine the dimensions of two operands of an additive operation
+   (+., -., comparison): [Any] (a bare literal) unifies with anything,
+   [Unknown] disables the check, and two [Dim]s must agree. *)
+let unify a b =
+  match (a, b) with
+  | Any, x | x, Any -> Ok x
+  | Unknown, _ | _, Unknown -> Ok Unknown
+  | Dim da, Dim db -> if equal da db then Ok a else Error (da, db)
+
+let v_mul a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> Unknown
+  | Any, x | x, Any -> x
+  | Dim da, Dim db -> Dim (mul da db)
+
+let v_div a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> Unknown
+  | Any, Any -> Any
+  | Any, Dim db -> Dim (div dimensionless db)
+  | Dim da, Any -> Dim da
+  | Dim da, Dim db -> Dim (div da db)
+
+(* Join for the two branches of an if/match producing a float: keep the
+   dimension only when every branch agrees. *)
+let join a b =
+  match (a, b) with
+  | Any, x | x, Any -> x
+  | Dim da, Dim db when equal da db -> a
+  | _ -> Unknown

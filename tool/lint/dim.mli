@@ -1,0 +1,48 @@
+(** Dimension (units-of-measure) algebra for rt-lint's dim analysis.
+
+    Dimensions are integer exponent vectors over the base units of the
+    scheduling domain — seconds, cycles, joules.  Derived names: [speed]
+    (cycles/second), [watts] (joules/second), and [penalty], an alias for
+    [joules] because the paper's objective sums energy and rejection
+    penalty (see docs/UNITS.md). *)
+
+type t = { second : int; cycle : int; joule : int }
+
+type v =
+  | Any  (** a bare literal: unifies with any dimension *)
+  | Unknown  (** no information: disables checking downstream *)
+  | Dim of t
+
+val dimensionless : t
+val seconds : t
+val cycles : t
+val joules : t
+val speed : t
+val watts : t
+
+val equal : t -> t -> bool
+val mul : t -> t -> t
+val div : t -> t -> t
+val pow : t -> int -> t
+
+val of_string : string -> (t, string) result
+(** Parse an annotation payload: a name ([seconds], [cycles], [joules],
+    [penalty], [speed], [watts], [hertz], [dimensionless], [1]) or a
+    product/quotient expression such as ["joules/cycles"],
+    ["watts*seconds"], ["seconds^-1"]. *)
+
+val to_string : t -> string
+(** Render with a canonical name when one exists, else as a product of
+    base units with exponents. *)
+
+val v_to_string : v -> string
+
+val unify : v -> v -> (v, t * t) result
+(** Operand combination for additive operations ([+.], [-.], comparisons):
+    mismatched [Dim]s are an [Error] carrying both sides. *)
+
+val v_mul : v -> v -> v
+val v_div : v -> v -> v
+
+val join : v -> v -> v
+(** Branch join ([if]/[match]): the common dimension, or [Unknown]. *)

@@ -1,0 +1,212 @@
+(* The dimension table: [@rt.dim "..."] annotations harvested from the
+   repository's interfaces.
+
+   Unlike the deleted Sig_table (a hand-maintained name list that went
+   stale), this table is derived from the checked-in [.mli] files on every
+   run: a [val] whose result type is [float] (or [float option]) and every
+   record field of type [float] may carry an [@rt.dim] annotation naming
+   the quantity's dimension.  The typed pass then propagates those
+   dimensions through the typedtree. *)
+
+open Parsetree
+
+type entry = { dim : Dim.t; line : int }
+
+type t = {
+  values : (string * string, entry) Hashtbl.t; (* (module, val name) *)
+  fields : (string * string, entry) Hashtbl.t; (* (module, field name) *)
+  (* per-interface coverage: file -> (annotated, unannotated-with-names) *)
+  mutable decls : (string * string * int * bool) list;
+      (* (file, decl name, line, annotated) — float-valued decls only *)
+}
+
+let create () =
+  { values = Hashtbl.create 256; fields = Hashtbl.create 256; decls = [] }
+
+let modname_of_path path =
+  Filename.basename path |> Filename.remove_extension
+  |> String.capitalize_ascii
+
+(* ------------------------------------------------------------------ *)
+(* Attribute extraction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let string_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let rt_dim_attr attrs =
+  List.find_opt (fun a -> a.attr_name.txt = "rt.dim") attrs
+
+(* ------------------------------------------------------------------ *)
+(* Float-valued declarations in a parsetree signature                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec result_type (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_arrow (_, _, r) -> result_type r
+  | Ptyp_poly (_, r) -> result_type r
+  | _ -> t
+
+let is_float_constr (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
+  | _ -> false
+
+let is_floatish_result (t : core_type) =
+  is_float_constr t
+  ||
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt = Longident.Lident "option"; _ }, [ a ]) ->
+      is_float_constr a
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Harvesting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let record_decl tbl ~file ~name ~line annotated =
+  tbl.decls <- (file, name, line, annotated) :: tbl.decls
+
+let add_annot tbl store ~file ~modname ~name ~floatish attrs loc errors =
+  match rt_dim_attr attrs with
+  | None ->
+      if floatish then record_decl tbl ~file ~name ~line:(line_of loc) false;
+      errors
+  | Some a -> (
+      match string_payload a.attr_payload with
+      | None ->
+          Finding.of_location ~file ~rule:"dim-annotation"
+            ~msg:"[@rt.dim] payload must be a string literal" a.attr_loc
+          :: errors
+      | Some s -> (
+          match Dim.of_string s with
+          | Error e ->
+              Finding.of_location ~file ~rule:"dim-annotation"
+                ~msg:(Printf.sprintf "bad dimension %S: %s" s e)
+                a.attr_loc
+              :: errors
+          | Ok d ->
+              Hashtbl.replace store (modname, name)
+                { dim = d; line = line_of loc };
+              if floatish then
+                record_decl tbl ~file ~name ~line:(line_of loc) true;
+              errors))
+
+let harvest_label tbl ~file ~modname (ld : label_declaration) errors =
+  let attrs = ld.pld_attributes @ ld.pld_type.ptyp_attributes in
+  add_annot tbl tbl.fields ~file ~modname ~name:ld.pld_name.txt
+    ~floatish:(is_float_constr ld.pld_type)
+    attrs ld.pld_loc errors
+
+let harvest_type_decl tbl ~file ~modname (td : type_declaration) errors =
+  let errors =
+    match td.ptype_kind with
+    | Ptype_record labels ->
+        List.fold_left
+          (fun errors ld -> harvest_label tbl ~file ~modname ld errors)
+          errors labels
+    | Ptype_variant constrs ->
+        List.fold_left
+          (fun errors (cd : constructor_declaration) ->
+            match cd.pcd_args with
+            | Pcstr_record labels ->
+                List.fold_left
+                  (fun errors ld -> harvest_label tbl ~file ~modname ld errors)
+                  errors labels
+            | Pcstr_tuple _ -> errors)
+          errors constrs
+    | _ -> errors
+  in
+  errors
+
+let harvest_value tbl ~file ~modname (vd : value_description) errors =
+  let result = result_type vd.pval_type in
+  (* [val f : a -> b [@rt.dim "..."]] parses with the attribute on the whole
+     arrow type, so look there as well as on the result constructor *)
+  let attrs =
+    vd.pval_attributes @ vd.pval_type.ptyp_attributes
+    @ result.ptyp_attributes
+  in
+  add_annot tbl tbl.values ~file ~modname ~name:vd.pval_name.txt
+    ~floatish:(is_floatish_result result)
+    attrs vd.pval_loc errors
+
+let rec harvest_signature tbl ~file ~modname (sg : signature) errors =
+  List.fold_left
+    (fun errors (item : signature_item) ->
+      match item.psig_desc with
+      | Psig_value vd -> harvest_value tbl ~file ~modname vd errors
+      | Psig_type (_, tds) ->
+          List.fold_left
+            (fun errors td -> harvest_type_decl tbl ~file ~modname td errors)
+            errors tds
+      | Psig_module
+          { pmd_type = { pmty_desc = Pmty_signature sg; _ }; pmd_name; _ } ->
+          (* nested modules contribute under their own name *)
+          let modname =
+            match pmd_name.txt with Some n -> n | None -> modname
+          in
+          harvest_signature tbl ~file ~modname sg errors
+      | _ -> errors)
+    errors sg
+
+let add_interface tbl path =
+  let modname = modname_of_path path in
+  match Pparse.parse_interface ~tool_name:"rt-lint" path with
+  | exception _ -> [] (* unparseable files are reported by the main pass *)
+  | sg -> List.rev (harvest_signature tbl ~file:path ~modname sg [])
+
+let value_dim tbl ~modname name =
+  Option.map
+    (fun e -> e.dim)
+    (Hashtbl.find_opt tbl.values (modname, name))
+
+let field_dim tbl ~modname name =
+  Option.map
+    (fun e -> e.dim)
+    (Hashtbl.find_opt tbl.fields (modname, name))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type coverage = {
+  total : int;
+  annotated : int;
+  missing : (string * int * string) list; (* file, line, decl name *)
+}
+
+let has_prefix ~prefix s =
+  let n = String.length prefix in
+  String.length s >= n && String.sub s 0 n = prefix
+
+let coverage tbl ~under =
+  let selected =
+    List.filter
+      (fun (file, _, _, _) ->
+        under = [] || List.exists (fun p -> has_prefix ~prefix:p file) under)
+      tbl.decls
+  in
+  let annotated, missing =
+    List.fold_left
+      (fun (n, miss) (file, name, line, ok) ->
+        if ok then (n + 1, miss) else (n, (file, line, name) :: miss))
+      (0, []) selected
+  in
+  {
+    total = List.length selected;
+    annotated;
+    missing = List.sort Stdlib.compare missing;
+  }

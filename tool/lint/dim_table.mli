@@ -1,0 +1,38 @@
+(** Dimension annotations harvested from interface files.
+
+    [@rt.dim "..."] annotations on [val] declarations and float record
+    fields in [.mli] files seed the typed dimension analysis (see
+    docs/UNITS.md).  The table replaces the deleted hand-maintained
+    [Sig_table]: it is rebuilt from the checked-in interfaces on every
+    lint run, so it cannot go stale. *)
+
+type t
+
+val create : unit -> t
+
+val modname_of_path : string -> string
+(** ["lib/core/problem.mli"] → ["Problem"]. *)
+
+val string_payload : Parsetree.payload -> string option
+(** The string literal of an attribute payload, if it is one. *)
+
+val add_interface : t -> string -> Finding.t list
+(** Parse one [.mli] and record its annotations.  Returned findings are
+    [dim-annotation] diagnostics for malformed payloads; unparseable files
+    contribute nothing (the main pass reports the parse error). *)
+
+val value_dim : t -> modname:string -> string -> Dim.t option
+(** Result dimension of [modname.name] when annotated. *)
+
+val field_dim : t -> modname:string -> string -> Dim.t option
+(** Dimension of record field [name] declared in [modname]. *)
+
+type coverage = {
+  total : int;  (** float-valued declarations seen *)
+  annotated : int;
+  missing : (string * int * string) list;  (** file, line, decl name *)
+}
+
+val coverage : t -> under:string list -> coverage
+(** Coverage restricted to interfaces whose path starts with one of
+    [under] (all interfaces when [under] is empty). *)

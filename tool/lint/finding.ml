@@ -1,0 +1,33 @@
+(* The diagnostic record every rt-lint pass produces. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+let compare a b =
+  match Stdlib.compare a.file b.file with
+  | 0 -> (
+      match Stdlib.compare a.line b.line with
+      | 0 -> (
+          match Stdlib.compare a.col b.col with
+          | 0 -> Stdlib.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let of_location ~file ~rule ~msg (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    msg;
+  }

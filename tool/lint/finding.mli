@@ -1,0 +1,18 @@
+(** The diagnostic record every rt-lint pass produces. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (** rule id, e.g. ["float-cmp"] *)
+  msg : string;
+}
+
+val to_string : t -> string
+(** Render as [file:line:col: [rule-id] message]. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, column and rule id. *)
+
+val of_location : file:string -> rule:string -> msg:string -> Location.t -> t
+(** Build a finding at the start of a compiler-libs location. *)

@@ -1,8 +1,11 @@
-(* rt-lint engine: parse .ml/.mli files with compiler-libs and walk the
-   parsetree with an [Ast_iterator], enforcing the repository contracts
-   described in docs/LINT.md.  Purely syntactic — no typing pass. *)
+(* rt-lint engine, v2: a syntactic pass over the parsetree for the purity
+   rules plus a typed pass over the typedtree (see Typed_lint) for
+   everything that needs real type information.  PR 1's Sig_table name
+   heuristics are gone: float detection and the dimension analysis use the
+   compiler's own inference, via the .cmt files dune produces (repo walk)
+   or a standalone typing run (self-contained fixtures). *)
 
-type finding = {
+type finding = Finding.t = {
   file : string;
   line : int;
   col : int;
@@ -10,19 +13,11 @@ type finding = {
   msg : string;
 }
 
-let to_string f =
-  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
-
-let compare_finding a b =
-  match compare a.file b.file with
-  | 0 -> (
-      match compare a.line b.line with
-      | 0 -> ( match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
-      | c -> c)
-  | c -> c
+let to_string = Finding.to_string
+let compare_finding = Finding.compare
 
 (* ------------------------------------------------------------------ *)
-(* Suppression pragmas                                                 *)
+(* Suppression pragmas (comment-based, line-scoped)                     *)
 (* ------------------------------------------------------------------ *)
 
 (* A suppression is a comment of the form
@@ -73,84 +68,75 @@ let contains_at line i sub =
 
 let scan_pragmas path =
   let allows = ref [] and raise_docs = ref [] and malformed = ref [] in
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lnum = ref 0 in
-      try
-        while true do
-          let line = input_line ic in
-          incr lnum;
-          String.iteri
-            (fun i c ->
-              if c = '@' && contains_at line i "@raise" then
-                raise_docs := !lnum :: !raise_docs
-              else if c = 'l' && contains_at line i "lint:" then
-                match parse_pragma line i with
-                | Ok rule -> allows := (!lnum, rule) :: !allows
-                | Error () -> malformed := (!lnum, i) :: !malformed)
-            line
-        done;
-        assert false (* lint: allow-no-raise "input_line loop exits via End_of_file" *)
-      with End_of_file ->
-        { allows = !allows; raise_docs = !raise_docs; malformed = !malformed })
+  match open_in path with
+  | exception Sys_error _ ->
+      { allows = []; raise_docs = []; malformed = [] }
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let lnum = ref 0 in
+          try
+            while true do
+              let line = input_line ic in
+              incr lnum;
+              String.iteri
+                (fun i c ->
+                  if c = '@' && contains_at line i "@raise" then
+                    raise_docs := !lnum :: !raise_docs
+                  else if c = 'l' && contains_at line i "lint:" then
+                    match parse_pragma line i with
+                    | Ok rule -> allows := (!lnum, rule) :: !allows
+                    | Error () -> malformed := (!lnum, i) :: !malformed)
+                line
+            done;
+            assert false (* lint: allow-no-raise "input_line loop exits via End_of_file" *)
+          with End_of_file ->
+            {
+              allows = !allows;
+              raise_docs = !raise_docs;
+              malformed = !malformed;
+            })
 
 (* ------------------------------------------------------------------ *)
-(* Syntactic float detection                                           *)
+(* Suppression attributes: [@rt.lint.ignore "rule"]                     *)
 (* ------------------------------------------------------------------ *)
+
+(* The in-source alternative to pragmas: an attribute on an expression,
+   let-binding, val declaration, or the whole module ([@@@rt.lint.ignore])
+   silences the named rule inside the attributed node's span.  The payload
+   must name exactly one rule, so a suppression never blankets more than
+   one class of finding. *)
+
+type span = { rule : string; from_line : int; to_line : int }
+
+let span_of_attr (loc : Location.t) rule =
+  {
+    rule;
+    from_line = loc.loc_start.Lexing.pos_lnum;
+    to_line = loc.loc_end.Lexing.pos_lnum;
+  }
 
 open Parsetree
 
-let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+let ignore_spans_of_attrs ~host_loc attrs (spans, bad) =
+  List.fold_left
+    (fun (spans, bad) (a : attribute) ->
+      if a.attr_name.txt <> "rt.lint.ignore" then (spans, bad)
+      else
+        match Dim_table.string_payload a.attr_payload with
+        | Some rule -> (span_of_attr host_loc rule :: spans, bad)
+        | None -> (spans, a.attr_loc :: bad))
+    (spans, bad) attrs
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic rule predicates                                            *)
+(* ------------------------------------------------------------------ *)
 
 (* [Longident.flatten]/[last] raise on functor applications ([F(X).f]);
-   those paths never name a comparison or print function, so fold them to
+   those paths never name a print or failure function, so fold them to
    harmless values. *)
 let flatten lid = try Longident.flatten lid with _ -> []
-let last_name lid = try Longident.last lid with _ -> ""
-
-let is_float_type (t : core_type) =
-  match t.ptyp_desc with
-  | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
-  | _ -> false
-
-let rec floatish (e : expression) =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_float _) -> true
-  | Pexp_ident { txt; _ } -> Sig_table.returns_float (flatten txt)
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
-      match flatten txt with
-      | [ op ] when List.mem op float_ops -> true
-      | path ->
-          Sig_table.returns_float path
-          || ((path = [ "fst" ] || path = [ "snd" ])
-              && List.exists (fun (_, a) -> floatish a) args))
-  | Pexp_field (_, { txt; _ }) -> Sig_table.field_is_float (last_name txt)
-  | Pexp_constraint (_, t) -> is_float_type t
-  | Pexp_ifthenelse (_, e1, Some e2) -> floatish e1 || floatish e2
-  | Pexp_open (_, e)
-  | Pexp_sequence (_, e)
-  | Pexp_let (_, _, e)
-  | Pexp_letmodule (_, _, e) ->
-      floatish e
-  | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* Rule predicates                                                     *)
-(* ------------------------------------------------------------------ *)
-
-let cmp_names = [ "="; "<"; "<="; ">"; ">="; "<>"; "compare"; "min"; "max" ]
-
-let comparison_of path =
-  match path with
-  | [ x ] | [ "Stdlib"; x ] when List.mem x cmp_names -> Some x
-  | _ -> None
-
-let phys_cmp_of path =
-  match path with
-  | [ ("==" | "!=") as x ] | [ "Stdlib"; (("==" | "!=") as x) ] -> Some x
-  | _ -> None
 
 let is_print path =
   match path with
@@ -167,31 +153,19 @@ let is_failwith path =
   match path with [ "failwith" ] | [ "Stdlib"; "failwith" ] -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* The per-file pass                                                   *)
+(* The syntactic per-file pass                                          *)
 (* ------------------------------------------------------------------ *)
 
 type ctx = {
   path : string;
-  in_lib : bool;          (* R2/R3 only bind inside lib/ *)
-  check_floats : bool;    (* off inside Float_cmp itself *)
-  pragmas : pragmas;
-  mutable found : finding list;
+  in_lib : bool; (* no-print / no-raise only bind inside lib/ *)
+  mutable found : Finding.t list;
+  mutable spans : span list;
+  mutable bad_attrs : Location.t list;
 }
 
-let suppressed ctx rule line =
-  List.exists
-    (fun (l, r) -> r = rule && (l = line || l = line - 1))
-    ctx.pragmas.allows
-  || (rule = "no-raise"
-      && List.exists
-           (fun l -> l = line || l = line - 1 || l = line - 2)
-           ctx.pragmas.raise_docs)
-
 let report ctx (loc : Location.t) rule msg =
-  let p = loc.loc_start in
-  let line = p.Lexing.pos_lnum and col = p.Lexing.pos_cnum - p.Lexing.pos_bol in
-  if not (suppressed ctx rule line) then
-    ctx.found <- { file = ctx.path; line; col; rule; msg } :: ctx.found
+  ctx.found <- Finding.of_location ~file:ctx.path ~rule ~msg loc :: ctx.found
 
 let check_open ctx (loc : Location.t) (lid : Longident.t) =
   match lid with
@@ -203,32 +177,11 @@ let check_open ctx (loc : Location.t) (lid : Longident.t) =
 
 let check_expr ctx (e : expression) =
   match e.pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
       let path = flatten txt in
-      (match phys_cmp_of path with
-      | Some op ->
-          report ctx e.pexp_loc "phys-cmp"
-            (Printf.sprintf
-               "physical comparison (%s) is only meaningful on mutable \
-                values; use structural comparison or an explicit id"
-               op)
-      | None -> (
-          match comparison_of path with
-          | Some op
-            when ctx.check_floats
-                 && List.exists (fun (_, a) -> floatish a) args ->
-              report ctx e.pexp_loc "float-cmp"
-                (Printf.sprintf
-                   "bare %s on a float-valued operand; route the tolerance \
-                    through Prelude.Float_cmp (or Float.min/Float.max)"
-                   (match op with
-                   | "compare" -> "compare"
-                   | "min" | "max" -> op
-                   | _ -> Printf.sprintf "(%s)" op))
-          | _ -> ()));
       if ctx.in_lib && is_failwith path then
         report ctx e.pexp_loc "no-raise"
-          "failwith in lib/ needs an @raise doc or an allow-no-raise pragma")
+          "failwith in lib/ needs an @raise doc or an allow-no-raise pragma"
   | Pexp_ident { txt; _ } when ctx.in_lib ->
       let path = flatten txt in
       if is_print path then
@@ -245,14 +198,50 @@ let check_expr ctx (e : expression) =
         "assert false in lib/ needs an @raise doc or an allow-no-raise pragma"
   | _ -> ()
 
+let whole_file_span rule = { rule; from_line = 1; to_line = max_int }
+
 let iterator ctx =
   let open Ast_iterator in
+  let add_spans ~host_loc attrs =
+    let spans, bad =
+      ignore_spans_of_attrs ~host_loc attrs (ctx.spans, ctx.bad_attrs)
+    in
+    ctx.spans <- spans;
+    ctx.bad_attrs <- bad
+  in
   {
     default_iterator with
     expr =
       (fun it e ->
         check_expr ctx e;
+        add_spans ~host_loc:e.pexp_loc e.pexp_attributes;
         default_iterator.expr it e);
+    value_binding =
+      (fun it vb ->
+        add_spans ~host_loc:vb.pvb_loc vb.pvb_attributes;
+        default_iterator.value_binding it vb);
+    value_description =
+      (fun it vd ->
+        add_spans ~host_loc:vd.pval_loc vd.pval_attributes;
+        default_iterator.value_description it vd);
+    structure_item =
+      (fun it item ->
+        (match item.pstr_desc with
+        | Pstr_attribute a when a.attr_name.txt = "rt.lint.ignore" -> (
+            match Dim_table.string_payload a.attr_payload with
+            | Some rule -> ctx.spans <- whole_file_span rule :: ctx.spans
+            | None -> ctx.bad_attrs <- a.attr_loc :: ctx.bad_attrs)
+        | _ -> ());
+        default_iterator.structure_item it item);
+    signature_item =
+      (fun it item ->
+        (match item.psig_desc with
+        | Psig_attribute a when a.attr_name.txt = "rt.lint.ignore" -> (
+            match Dim_table.string_payload a.attr_payload with
+            | Some rule -> ctx.spans <- whole_file_span rule :: ctx.spans
+            | None -> ctx.bad_attrs <- a.attr_loc :: ctx.bad_attrs)
+        | _ -> ());
+        default_iterator.signature_item it item);
     open_declaration =
       (fun it od ->
         (match od.popen_expr.pmod_desc with
@@ -264,6 +253,27 @@ let iterator ctx =
         check_open ctx od.popen_loc od.popen_expr.txt;
         default_iterator.open_description it od);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Suppression filtering                                                *)
+(* ------------------------------------------------------------------ *)
+
+let suppressed pragmas spans (f : Finding.t) =
+  List.exists
+    (fun (l, r) -> r = f.rule && (l = f.line || l = f.line - 1))
+    pragmas.allows
+  || (f.rule = "no-raise"
+     && List.exists
+          (fun l -> l = f.line || l = f.line - 1 || l = f.line - 2)
+          pragmas.raise_docs)
+  || List.exists
+       (fun s ->
+         s.rule = f.rule && s.from_line <= f.line && f.line <= s.to_line)
+       spans
+
+(* ------------------------------------------------------------------ *)
+(* Per-file driver                                                      *)
+(* ------------------------------------------------------------------ *)
 
 let has_suffix s suf =
   let n = String.length s and m = String.length suf in
@@ -278,23 +288,50 @@ let is_float_cmp_module path =
   | "float_cmp.ml" | "float_cmp.mli" -> true
   | _ -> false
 
-let lint_file ?as_lib path =
+(* How the typed pass obtains a typedtree for a [.ml] file. *)
+type typed_source =
+  | From_cmt of string  (** read this .cmt file *)
+  | Standalone  (** type against the stdlib; failures are findings *)
+  | Best_effort  (** try standalone; skip the typed pass on failure *)
+  | Untyped  (** syntactic pass only *)
+
+let typed_findings ~dims ~source ~in_lib ~check_floats path parsetree =
+  let modname = Dim_table.modname_of_path path in
+  let run str =
+    Typed_lint.check ~dims ~file:path ~modname ~in_lib ~check_floats str
+  in
+  match source with
+  | Untyped -> []
+  | From_cmt cmt -> (
+      match Typed_lint.read_cmt cmt with
+      | Ok str -> run str
+      | Error msg -> [ { file = path; line = 1; col = 0; rule = "no-cmt"; msg } ])
+  | Standalone | Best_effort -> (
+      match parsetree with
+      | None -> []
+      | Some pt -> (
+          match Typed_lint.type_standalone pt with
+          | Ok str -> run str
+          | Error msg ->
+              if source = Standalone then
+                [ { file = path; line = 1; col = 0; rule = "typecheck"; msg } ]
+              else []))
+
+let lint_file_with ~dims ~source ?as_lib path =
   let in_lib = match as_lib with Some b -> b | None -> under_lib path in
   let pragmas = scan_pragmas path in
-  let ctx =
-    {
-      path;
-      in_lib;
-      check_floats = not (is_float_cmp_module path);
-      pragmas;
-      found = [];
-    }
-  in
+  let ctx = { path; in_lib; found = []; spans = []; bad_attrs = [] } in
+  let parsetree = ref None in
   (try
      let it = iterator ctx in
      if has_suffix path ".mli" then
-       it.signature it (Pparse.parse_interface ~tool_name:"rt-lint" path)
-     else it.structure it (Pparse.parse_implementation ~tool_name:"rt-lint" path)
+       it.Ast_iterator.signature it
+         (Pparse.parse_interface ~tool_name:"rt-lint" path)
+     else begin
+       let pt = Pparse.parse_implementation ~tool_name:"rt-lint" path in
+       parsetree := Some pt;
+       it.Ast_iterator.structure it pt
+     end
    with exn ->
      let msg =
        match exn with
@@ -303,21 +340,54 @@ let lint_file ?as_lib path =
      in
      ctx.found <-
        { file = path; line = 1; col = 0; rule = "parse"; msg } :: ctx.found);
-  let bad_pragmas =
-    List.map
-      (fun (line, col) ->
-        {
-          file = path;
-          line;
-          col;
-          rule = "suppression";
-          msg =
-            "malformed lint pragma: expected (* lint: allow-<rule> \
-             \"reason\" *) with a non-empty reason";
-        })
-      pragmas.malformed
+  let typed =
+    if has_suffix path ".mli" then []
+    else
+      typed_findings ~dims ~source ~in_lib
+        ~check_floats:(not (is_float_cmp_module path))
+        path !parsetree
   in
-  List.sort compare_finding (bad_pragmas @ ctx.found)
+  let bad =
+    List.map
+      (fun (loc : Location.t) ->
+        Finding.of_location ~file:path ~rule:"suppression"
+          ~msg:
+            "malformed suppression: [@rt.lint.ignore] expects a string \
+             naming exactly one rule"
+          loc)
+      ctx.bad_attrs
+    @ List.map
+        (fun (line, col) ->
+          {
+            file = path;
+            line;
+            col;
+            rule = "suppression";
+            msg =
+              "malformed lint pragma: expected (* lint: allow-<rule> \
+               \"reason\" *) with a non-empty reason";
+          })
+        pragmas.malformed
+  in
+  let keep f = not (suppressed pragmas ctx.spans f) in
+  List.sort Finding.compare (bad @ List.filter keep (ctx.found @ typed))
+
+let sibling_dims path =
+  let dims = Dim_table.create () in
+  let mli = if has_suffix path ".ml" then path ^ "i" else path in
+  let errs = if Sys.file_exists mli then Dim_table.add_interface dims mli else [] in
+  (dims, errs)
+
+let lint_file ?as_lib path =
+  (* the standalone entry point used by the tests: dimension annotations
+     come from the file's own [@@rt.dim] bindings plus a sibling .mli *)
+  let dims, dim_errs = sibling_dims path in
+  List.sort Finding.compare
+    (dim_errs @ lint_file_with ~dims ~source:Standalone ?as_lib path)
+
+(* ------------------------------------------------------------------ *)
+(* Interface coverage                                                   *)
+(* ------------------------------------------------------------------ *)
 
 let missing_mli path =
   if
@@ -335,26 +405,109 @@ let missing_mli path =
       }
   else None
 
+(* ------------------------------------------------------------------ *)
+(* Walking                                                              *)
+(* ------------------------------------------------------------------ *)
+
 let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
 
-let rec walk acc path =
+let rec walk_suffixes sufs acc path =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list |> List.sort compare
     |> List.fold_left
          (fun acc name ->
            if List.mem name skip_dirs then acc
-           else walk acc (Filename.concat path name))
+           else walk_suffixes sufs acc (Filename.concat path name))
          acc
-  else if has_suffix path ".ml" || has_suffix path ".mli" then path :: acc
+  else if List.exists (has_suffix path) sufs then path :: acc
   else acc
 
-let lint_paths paths =
+let walk acc path = walk_suffixes [ ".ml"; ".mli" ] acc path
+
+(* Index the .cmt files dune produced for the given source roots: the
+   roots themselves (when linting from inside _build, where the .objs
+   directories sit next to the copied sources) and _build/default/<root>
+   (when linting a source checkout).  Keys are the source paths recorded
+   by the compiler, which dune passes relative to the build root — the
+   same spelling the walk produces. *)
+let cmt_index roots =
+  let tbl = Hashtbl.create 64 in
+  let add_root root =
+    List.iter
+      (fun cmt ->
+        match Cmt_format.read_cmt cmt with
+        | { Cmt_format.cmt_annots = Cmt_format.Implementation _;
+            cmt_sourcefile = Some src;
+            _;
+          } ->
+            if not (Hashtbl.mem tbl src) then Hashtbl.add tbl src cmt
+        | _ -> ()
+        | exception _ -> ())
+      (walk_suffixes [ ".cmt" ] [] root)
+  in
+  List.iter
+    (fun root ->
+      (* a single-file root carries no .cmt itself; its directory does *)
+      let root =
+        if Sys.file_exists root && not (Sys.is_directory root) then
+          Filename.dirname root
+        else root
+      in
+      if Sys.file_exists root then add_root root;
+      let built = Filename.concat "_build/default" root in
+      if Sys.file_exists built then add_root built)
+    roots;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* The repo walk                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build_dim_table files =
+  let dims = Dim_table.create () in
+  (* when invoked on individual .ml files, their sibling interfaces still
+     carry the annotations — harvest them even though they are not linted *)
+  let interfaces =
+    List.filter_map
+      (fun f ->
+        if has_suffix f ".mli" then Some f
+        else
+          let mli = f ^ "i" in
+          if (not (List.mem mli files)) && Sys.file_exists mli then Some mli
+          else None)
+      files
+    |> List.sort_uniq compare
+  in
+  let errors =
+    List.concat_map (fun f -> Dim_table.add_interface dims f) interfaces
+  in
+  (dims, errors)
+
+let lint_paths ?(require_cmts = false) paths =
   let files = List.fold_left walk [] paths in
+  let dims, dim_errors = build_dim_table files in
+  let cmts = cmt_index paths in
   let findings =
     List.concat_map
       (fun f ->
+        let source =
+          if has_suffix f ".mli" then Untyped
+          else
+            match Hashtbl.find_opt cmts f with
+            | Some cmt -> From_cmt cmt
+            | None when require_cmts ->
+                (* a source no build rule covers would silently lose the
+                   typed rules; make that visible *)
+                Standalone
+            | None -> Best_effort
+        in
         let mli = match missing_mli f with Some x -> [ x ] | None -> [] in
-        mli @ lint_file f)
+        mli @ lint_file_with ~dims ~source f)
       files
   in
-  List.sort compare_finding findings
+  List.sort Finding.compare (dim_errors @ findings)
+
+let dim_coverage paths ~under =
+  let files = List.fold_left walk [] paths in
+  let dims, _ = build_dim_table files in
+  Dim_table.coverage dims ~under

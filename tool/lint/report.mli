@@ -1,0 +1,10 @@
+(** Rendering lint findings as text, JSON, or SARIF 2.1.0. *)
+
+type format = Text | Json | Sarif
+
+val format_of_string : string -> format option
+(** ["text"], ["json"], ["sarif"]. *)
+
+val render : format -> Finding.t list -> string
+(** Render the findings; the result ends with a newline unless empty
+    (text format with no findings renders as the empty string). *)

@@ -17,7 +17,15 @@ let json_of_row (r : Rt_expkit.Exp_fault.row) =
 
 let () =
   let seeds = if Sys.getenv_opt "RT_BENCH_FULL" = None then 12 else 48 in
-  let rows = Rt_expkit.Exp_fault.sweep ~seeds () in
+  (* RT_JOBS > 1 fans the replications out over a domain pool; rows are
+     byte-identical either way (Exp_fault.sweep's determinism contract) *)
+  let domains = Rt_parallel.Pool.default_domains () in
+  let rows =
+    if domains > 1 then
+      Rt_parallel.Pool.with_pool ~domains (fun pool ->
+          Rt_expkit.Exp_fault.sweep ~pool ~seeds ())
+    else Rt_expkit.Exp_fault.sweep ~seeds ()
+  in
   let oc = open_out out_file in
   output_string oc "[\n";
   output_string oc (String.concat ",\n" (List.map json_of_row rows));

@@ -7,7 +7,8 @@ module Fc = Rt_prelude.Float_cmp
      rt_sched solve --n 12 --m 4 --load 1.6 --alg ltf-ls --gantt
      rt_sched compare --n 10 --m 2 --load 1.4 --exact
      rt_sched describe --n 6 --m 2 --load 1.2
-     rt_sched faults -n 12 -m 4 --load 0.8 --fault-rate 0.3 *)
+     rt_sched faults -n 12 -m 4 --load 0.8 --fault-rate 0.3
+     rt_sched portfolio --n 14 --m 4 --load 1.6 --jobs 4 *)
 
 open Cmdliner
 
@@ -386,7 +387,72 @@ let qos proc_name penalty_name seed n m load steps curve =
             ];
           Ok ())
 
-let fuzz seed count time_budget corpus_dir =
+(* Resolve a worker-domain count: --jobs beats RT_JOBS beats 1. A count
+   of 1 means "no pool" — run on the calling domain without spawning. *)
+let with_jobs jobs f =
+  let domains =
+    match jobs with
+    | Some j -> j
+    | None -> Rt_parallel.Pool.default_domains ()
+  in
+  if domains < 1 then Error (`Msg "--jobs must be at least 1")
+  else if domains = 1 then f None
+  else Rt_parallel.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
+let portfolio proc_name penalty_name seed n m load node_budget time_budget
+    jobs =
+  match build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load with
+  | Error e -> Error e
+  | Ok (_, p) ->
+      with_jobs jobs (fun pool ->
+          match
+            Rt_parallel.Portfolio.run ?pool ?node_budget ?time_budget p
+          with
+          | Error e -> Error (`Msg e)
+          | Ok o ->
+              Printf.printf
+                "portfolio on n=%d m=%d load=%.2f (seed %d, %d domain%s)\n" n
+                m load seed
+                (match pool with
+                | None -> 1
+                | Some pl -> Rt_parallel.Pool.size pl)
+                (match pool with Some pl when Rt_parallel.Pool.size pl > 1 -> "s" | _ -> "");
+              let table =
+                List.fold_left
+                  (fun t (st : Rt_parallel.Portfolio.stat) ->
+                    Rt_prelude.Tablefmt.add_row t
+                      [
+                        st.Rt_parallel.Portfolio.name;
+                        (match st.Rt_parallel.Portfolio.cost with
+                        | None -> "-"
+                        | Some c -> Rt_prelude.Tablefmt.float_cell c);
+                        Printf.sprintf "%.1f"
+                          (1e3 *. st.Rt_parallel.Portfolio.wall);
+                        string_of_int st.Rt_parallel.Portfolio.nodes;
+                        (if st.Rt_parallel.Portfolio.exhausted then "yes"
+                         else "");
+                      ])
+                  (Rt_prelude.Tablefmt.create
+                     ~aligns:
+                       [
+                         Rt_prelude.Tablefmt.Left;
+                         Rt_prelude.Tablefmt.Right;
+                         Rt_prelude.Tablefmt.Right;
+                         Rt_prelude.Tablefmt.Right;
+                         Rt_prelude.Tablefmt.Left;
+                       ]
+                     [ "entrant"; "cost"; "wall ms"; "nodes"; "exhausted" ])
+                  o.Rt_parallel.Portfolio.stats
+              in
+              Rt_prelude.Tablefmt.print table;
+              Printf.printf "winner: %s  total %.4f\n"
+                o.Rt_parallel.Portfolio.winner o.Rt_parallel.Portfolio.cost;
+              print_cost p o.Rt_parallel.Portfolio.solution;
+              Printf.printf "  %s\n"
+                (validation_tag p o.Rt_parallel.Portfolio.solution);
+              Ok ())
+
+let fuzz seed count time_budget corpus_dir jobs =
   let config =
     {
       Rt_check.Fuzz.default_config with
@@ -395,27 +461,34 @@ let fuzz seed count time_budget corpus_dir =
       time_budget;
     }
   in
-  let report = Rt_check.Fuzz.run ~config () in
-  print_string (Rt_check.Fuzz.summary report);
-  match report.Rt_check.Fuzz.failures with
-  | [] -> Ok ()
-  | failures ->
-      (match corpus_dir with
-      | None -> ()
-      | Some dir ->
-          List.iteri
-            (fun i f ->
-              let name = Printf.sprintf "fuzz-seed%d-%02d" seed i in
-              match
-                Rt_check.Corpus.save ~dir
-                  (Rt_check.Fuzz.failure_entry ~name f)
-              with
-              | Ok path -> Printf.printf "  saved %s\n" path
-              | Error e -> Printf.printf "  %s\n" e)
-            failures);
-      Error
-        (`Msg
-          (Printf.sprintf "fuzz found %d failure(s)" (List.length failures)))
+  let run pool =
+    let report = Rt_check.Fuzz.run ?pool ~config () in
+    print_string (Rt_check.Fuzz.summary report);
+    Ok report
+  in
+  match with_jobs jobs run with
+  | Error e -> Error e
+  | Ok report -> (
+      match report.Rt_check.Fuzz.failures with
+      | [] -> Ok ()
+      | failures ->
+          (match corpus_dir with
+          | None -> ()
+          | Some dir ->
+              List.iteri
+                (fun i f ->
+                  let name = Printf.sprintf "fuzz-seed%d-%02d" seed i in
+                  match
+                    Rt_check.Corpus.save ~dir
+                      (Rt_check.Fuzz.failure_entry ~name f)
+                  with
+                  | Ok path -> Printf.printf "  saved %s\n" path
+                  | Error e -> Printf.printf "  %s\n" e)
+                failures);
+          Error
+            (`Msg
+              (Printf.sprintf "fuzz found %d failure(s)"
+                 (List.length failures))))
 
 let lint paths rules format require_cmts =
   let roots =
@@ -571,6 +644,44 @@ let faults_cmd =
         (const faults $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
        $ load_arg $ fault_rate_arg))
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~env:(Cmd.Env.info "RT_JOBS")
+        ~doc:
+          "Worker domains for parallel solving (default: \\$(env), else \
+           1). Results are byte-identical at any value; only wall time \
+           changes.")
+
+let node_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-budget" ] ~docv:"NODES"
+        ~doc:"Node budget for the exact entrant (per subtree).")
+
+let portfolio_time_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget (monotonic) for the exact entrant; the \
+           heuristics always run to completion.")
+
+let portfolio_cmd =
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:
+         "race the greedy family against budgeted exact search, sharing \
+          the incumbent bound")
+    Term.(
+      term_result
+        (const portfolio $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
+       $ load_arg $ node_budget_arg $ portfolio_time_budget_arg $ jobs_arg))
+
 let count_arg =
   Arg.(
     value
@@ -588,7 +699,9 @@ let time_budget_arg =
     value
     & opt (some float) None
     & info [ "time-budget" ] ~docv:"SECONDS"
-        ~doc:"Stop generating new instances after this much CPU time.")
+        ~doc:
+          "Stop generating new instances after this many wall-clock \
+           seconds (monotonic).")
 
 let corpus_dir_arg =
   Arg.(
@@ -608,7 +721,7 @@ let fuzz_cmd =
     Term.(
       term_result
         (const fuzz $ fuzz_seed_arg $ count_arg $ time_budget_arg
-       $ corpus_dir_arg))
+       $ corpus_dir_arg $ jobs_arg))
 
 let lint_paths_arg =
   Arg.(
@@ -668,6 +781,7 @@ let cmd =
       online_cmd;
       qos_cmd;
       faults_cmd;
+      portfolio_cmd;
       fuzz_cmd;
       lint_cmd;
     ]

@@ -43,7 +43,13 @@ val algorithms : (string * (Rt_core.Problem.t -> Rt_core.Solution.t)) list
 (** Every deterministic heuristic under test: the {!Rt_core.Greedy}
     registry plus each one's local-search polish. *)
 
-val run : ?config:config -> unit -> report
+val run : ?pool:Rt_parallel.Pool.t -> ?config:config -> unit -> report
+(** Run the campaign. Instances derive from per-index seeds and are
+    merged into the report in index order, so a [pool] changes only the
+    wall time, never the report: parallel and sequential runs are
+    byte-identical at any domain count (when [time_budget] is unset —
+    a wall-clock budget stops the run at a scheduling-dependent point
+    by design, though always on a whole-instance boundary). *)
 
 val failure_entry : name:string -> failure -> Corpus.entry
 (** Package a failure for {!Corpus.save}, recording the exact optimum of

@@ -22,9 +22,11 @@ let branch_and_bound ?node_limit p =
 
 type budgeted = { solution : Solution.t; nodes : int; exhausted : bool }
 
-let branch_and_bound_budgeted ?node_budget ?time_budget (p : Problem.t) =
+let branch_and_bound_budgeted ?shared ?node_budget ?time_budget (p : Problem.t)
+    =
   match
-    Rt_exact.Search.branch_and_bound_budgeted ?node_budget ?time_budget ~m:p.m
+    Rt_exact.Search.branch_and_bound_budgeted ?shared ?node_budget ?time_budget
+      ~m:p.m
       ~capacity:(Problem.capacity p)
       ~bucket_cost:(Problem.bucket_energy p) p.items
   with

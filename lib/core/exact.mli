@@ -19,13 +19,15 @@ type budgeted = {
 }
 
 val branch_and_bound_budgeted :
-  ?node_budget:int -> ?time_budget:float -> Problem.t ->
-  (budgeted, string) result
+  ?shared:Rt_exact.Search.shared -> ?node_budget:int -> ?time_budget:float ->
+  Problem.t -> (budgeted, string) result
 (** Anytime oracle (wraps {!Rt_exact.Search.branch_and_bound_budgeted}):
     always returns a valid solution — seeded with all-reject, improved
-    until the node/time budget runs out — with [exhausted] flagging an
-    unproven optimum. All failure modes (including a cost mismatch
-    against {!Solution.cost}) are typed errors, never exceptions. *)
+    until the node budget or the wall-clock time budget runs out — with
+    [exhausted] flagging an unproven optimum. [shared] connects the
+    search to a cross-domain incumbent (the {!Rt_parallel.Portfolio}
+    plumbing). All failure modes (including a cost mismatch against
+    {!Solution.cost}) are typed errors, never exceptions. *)
 
 val optimal_cost : ?node_limit:int -> Problem.t -> float [@rt.dim "joules"]
 (** Total cost of [branch_and_bound] (recomputed through

@@ -40,7 +40,13 @@ let improve_state ~max_moves (p : Problem.t) (s : Solution.t) =
   let cap = Problem.capacity p in
   let st = state_of_solution s in
   let energy l = Problem.bucket_energy p l in
-  let eps = 1e-9 *. Float.max 1. (energy (Float.min cap (Array.fold_left Float.max 0. st.loads)) +. 1.) in
+  (* Gain tolerance. Scaled from the energy at full capacity — the upper
+     bound of any bucket's energy — rather than from the maximum *initial*
+     load: accept moves can grow a bucket well past the starting scale,
+     and a tolerance frozen at the smaller scale goes stale (too tight
+     relative to the float noise of the grown terms). One capacity-derived
+     value is correct for the whole run. *)
+  let eps = 1e-9 *. Float.max 1. (energy cap +. 1.) in
   let m = Array.length st.loads in
   let fits l w = Rt_prelude.Float_cmp.leq (l +. w) cap in
 

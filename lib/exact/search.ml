@@ -1,4 +1,5 @@
 module Fc = Rt_prelude.Float_cmp
+module Clock = Rt_prelude.Clock
 
 open Rt_task
 
@@ -16,65 +17,185 @@ type anytime = { best : solution; nodes : int; exhausted : bool }
 
 exception Budget_exhausted
 
-(* Shared engine. Items too large for any processor are forced rejections;
-   the rest are explored largest-first: for each item, try every used
-   bucket, the first unused bucket (symmetry breaking), and rejection.
-   [stop] is consulted at every node with the running node count; when it
-   fires, exploration aborts and the best solution found so far is
-   returned with [exhausted = true]. The incumbent is seeded with the
-   all-reject solution, so there is always a feasible best-so-far even on
-   a zero budget. *)
-let search_core ~prune ~stop ~m ~capacity ~bucket_cost items =
+(* ---------------------------------------------------------------- *)
+(* Shared incumbent: a monotonically decreasing cost bound published
+   across domains. Readers prune against it *strictly* (only subtrees
+   that cannot even tie the published bound are cut), so the solution a
+   search returns never depends on when a sibling's publication lands —
+   the determinism contract docs/PARALLEL.md spells out. *)
+
+type shared = float Atomic.t
+
+let shared () = Atomic.make infinity
+let shared_best = Atomic.get
+
+let rec publish cell cost =
+  let cur = Atomic.get cell in
+  if Fc.exact_lt cost cur && not (Atomic.compare_and_set cell cur cost) then
+    publish cell cost
+
+(* ---------------------------------------------------------------- *)
+(* Engine and search state.
+
+   The immutable [engine] holds the prepared instance: placeable items
+   sorted largest-first, forced rejections (items too heavy for any
+   processor) and their penalty. A [state] is a node of the search tree —
+   the first [next] items decided, the rest open. [root] is the empty
+   prefix; [expand] enumerates a node's children in depth-first visit
+   order (buckets 0..used, first unused bucket for symmetry breaking,
+   then rejection), which is what makes a frontier split equivalent to
+   the sequential search: all leaves of subtree i precede all leaves of
+   subtree i+1 in DFS order. *)
+
+type engine = {
+  m : int;
+  capacity : float;
+  bucket_cost : float -> float;
+  arr : Task.item array;
+  forced : Task.item list;
+  forced_penalty : float;
+}
+
+type state = {
+  next : int;
+  used : int;
+  loads : float array;
+  buckets : Task.item list array;
+  rejected : Task.item list;
+  penalty : float;
+}
+
+let prepare ~m ~capacity ~bucket_cost items =
   let forced, placeable =
-    List.partition
-      (fun (it : Task.item) -> Rt_prelude.Float_cmp.gt it.weight capacity)
-      items
+    List.partition (fun (it : Task.item) -> Fc.gt it.weight capacity) items
   in
-  let forced_penalty = Taskset.total_penalty_items forced in
-  let arr =
-    Array.of_list (List.sort Task.compare_item_weight_desc placeable)
-  in
-  let n = Array.length arr in
-  let loads = Array.make m 0. in
-  let buckets = Array.make m [] in
-  let rejected = ref [] in
+  {
+    m;
+    capacity;
+    bucket_cost;
+    arr = Array.of_list (List.sort Task.compare_item_weight_desc placeable);
+    forced;
+    forced_penalty = Taskset.total_penalty_items forced;
+  }
+
+let root e =
+  {
+    next = 0;
+    used = 0;
+    loads = Array.make e.m 0.;
+    buckets = Array.make e.m [];
+    rejected = [];
+    penalty = 0.;
+  }
+
+let expand e st =
+  if st.next >= Array.length e.arr then [ st ]
+  else begin
+    let it = e.arr.(st.next) in
+    let children = ref [] in
+    for j = min (e.m - 1) st.used downto 0 do
+      if Fc.leq (st.loads.(j) +. it.weight) e.capacity then begin
+        let loads = Array.copy st.loads in
+        let buckets = Array.copy st.buckets in
+        loads.(j) <- loads.(j) +. it.weight;
+        buckets.(j) <- it :: buckets.(j);
+        children :=
+          {
+            next = st.next + 1;
+            used = max st.used (j + 1);
+            loads;
+            buckets;
+            rejected = st.rejected;
+            penalty = st.penalty;
+          }
+          :: !children
+      end
+    done;
+    !children
+    @ [
+        {
+          st with
+          next = st.next + 1;
+          loads = Array.copy st.loads;
+          buckets = Array.copy st.buckets;
+          rejected = it :: st.rejected;
+          penalty = st.penalty +. it.item_penalty;
+        };
+      ]
+  end
+
+(* Depth-first exploration from [st]. The domain running this owns the
+   private [loads]/[buckets] copies; the only cross-domain traffic is the
+   optional [shared] incumbent. Backtracking restores each load to the
+   exact float it held before the move (rather than subtracting the
+   weight back out), so the cost of a leaf is a pure function of its
+   assignment — identical whether reached sequentially or from a split
+   subtree. *)
+let run_from ?shared ~prune ~stop e st =
+  let m = e.m in
+  let n = Array.length e.arr in
+  let loads = Array.copy st.loads in
+  let buckets = Array.copy st.buckets in
+  let rejected = ref st.rejected in
   let nodes = ref 0 in
   let buckets_cost () =
     let acc = ref 0. in
     for j = 0 to m - 1 do
-      acc := !acc +. bucket_cost loads.(j)
+      acc := !acc +. e.bucket_cost loads.(j)
     done;
     !acc
   in
-  (* seed: reject everything (always feasible) *)
+  (* seed: reject every remaining item (always feasible) *)
+  let remaining = Array.sub e.arr st.next (n - st.next) in
   let best_cost =
-    ref (buckets_cost () +. Taskset.total_penalty_items placeable
-        +. forced_penalty)
+    ref
+      (buckets_cost ()
+      +. st.penalty
+      +. Array.fold_left
+           (fun acc (it : Task.item) -> acc +. it.item_penalty)
+           0. remaining
+      +. e.forced_penalty)
   in
-  let best = ref (Array.make m [], placeable) in
+  let best =
+    ref
+      ( Array.map List.rev buckets,
+        List.rev_append (List.rev (Array.to_list remaining)) !rejected )
+  in
+  let foreign_cut =
+    match shared with
+    | None -> fun _ -> false
+    | Some cell -> fun bound -> Fc.exact_gt bound (Atomic.get cell)
+  in
+  let publish_best =
+    match shared with None -> fun _ -> () | Some cell -> publish cell
+  in
+  publish_best !best_cost;
   let rec go i used penalty_so_far =
     incr nodes;
     if stop !nodes then raise Budget_exhausted;
     if i = n then begin
-      let cost = buckets_cost () +. penalty_so_far +. forced_penalty in
+      let cost = buckets_cost () +. penalty_so_far +. e.forced_penalty in
       if Fc.exact_lt cost !best_cost then begin
         best_cost := cost;
-        best :=
-          (Array.map (fun b -> b) (Array.copy buckets) |> Array.map List.rev,
-           !rejected)
+        best := (Array.map List.rev buckets, !rejected);
+        publish_best cost
       end
     end
     else begin
-      let bound = buckets_cost () +. penalty_so_far +. forced_penalty in
-      if (not prune) || Fc.exact_lt bound !best_cost then begin
-        let it = arr.(i) in
+      let bound = buckets_cost () +. penalty_so_far +. e.forced_penalty in
+      if
+        (not prune)
+        || (Fc.exact_lt bound !best_cost && not (foreign_cut bound))
+      then begin
+        let it = e.arr.(i) in
         let try_bucket j =
-          if Rt_prelude.Float_cmp.leq (loads.(j) +. it.weight) capacity then begin
-            loads.(j) <- loads.(j) +. it.weight;
+          let before = loads.(j) in
+          if Fc.leq (before +. it.weight) e.capacity then begin
+            loads.(j) <- before +. it.weight;
             buckets.(j) <- it :: buckets.(j);
             go (i + 1) (max used (j + 1)) penalty_so_far;
             buckets.(j) <- List.tl buckets.(j);
-            loads.(j) <- loads.(j) -. it.weight
+            loads.(j) <- before
           end
         in
         for j = 0 to min (m - 1) used do
@@ -88,16 +209,76 @@ let search_core ~prune ~stop ~m ~capacity ~bucket_cost items =
     end
   in
   let exhausted =
-    match go 0 0 0. with () -> false | exception Budget_exhausted -> true
+    match go st.next st.used st.penalty with
+    | () -> false
+    | exception Budget_exhausted -> true
   in
   let bs, rej = !best in
   ( {
       partition = Rt_partition.Partition.of_buckets bs;
-      rejected = rej @ forced;
+      rejected = rej @ e.forced;
       cost = !best_cost;
     },
     !nodes,
     exhausted )
+
+let search_core ?shared ~prune ~stop ~m ~capacity ~bucket_cost items =
+  let e = prepare ~m ~capacity ~bucket_cost items in
+  run_from ?shared ~prune ~stop e (root e)
+
+(* ---------------------------------------------------------------- *)
+(* Root splitting for the domain-parallel search (Rt_parallel.Par_search).
+   The frontier is grown breadth-first, level by level, preserving DFS
+   order, until it holds at least [width] nodes or every node is a
+   complete assignment. *)
+
+type subtree = { engine : engine; state : state; index : int }
+
+let split ~m ~capacity ~bucket_cost ~width items =
+  check_args ~m ~capacity;
+  if width < 1 then invalid_arg "Search.split: width < 1";
+  let e = prepare ~m ~capacity ~bucket_cost items in
+  let expandable level =
+    List.exists (fun st -> st.next < Array.length e.arr) level
+  in
+  let rec grow level =
+    if List.length level >= width || not (expandable level) then level
+    else grow (List.concat_map (expand e) level)
+  in
+  List.mapi
+    (fun index state -> { engine = e; state; index })
+    (grow [ root e ])
+
+let subtree_index t = t.index
+
+let make_stop ?node_budget ?deadline () =
+  let node_stop =
+    match node_budget with
+    | Some b -> fun nodes -> nodes > b
+    | None -> fun _ -> false
+  in
+  let time_stop =
+    match deadline with
+    | None -> fun _ -> false
+    (* the clock is only consulted every 1024 nodes: a clock read per
+       node would dominate the search itself *)
+    | Some d ->
+        fun nodes -> nodes land 1023 = 0 && Fc.exact_gt (Clock.now ()) d
+  in
+  fun nodes -> node_stop nodes || time_stop nodes
+
+let deadline_of_budget b =
+  if Fc.exact_le b 0. || not (Float.is_finite b) then neg_infinity
+  else Clock.now () +. b
+
+let run_subtree ?shared ?node_budget ?deadline ~prune t =
+  let stop = make_stop ?node_budget ?deadline () in
+  let best, nodes, exhausted =
+    run_from ?shared ~prune ~stop t.engine t.state
+  in
+  { best; nodes; exhausted }
+
+(* ---------------------------------------------------------------- *)
 
 let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
   check_args ~m ~capacity;
@@ -111,33 +292,15 @@ let search ~prune ~node_limit ~m ~capacity ~bucket_cost items =
     failwith "Search: node limit exceeded"
   else sol
 
-let budgeted ~prune ?node_budget ?time_budget ~m ~capacity ~bucket_cost items =
+let budgeted ?shared ~prune ?node_budget ?time_budget ~m ~capacity
+    ~bucket_cost items =
   if m < 1 then Error "Search: m < 1"
   else if Fc.exact_le capacity 0. then Error "Search: capacity <= 0"
   else begin
-    let deadline =
-      match time_budget with
-      | None -> None
-      | Some b ->
-          if Fc.exact_le b 0. || not (Float.is_finite b) then Some neg_infinity
-          else
-            (* sanctioned budget plumbing: the wall clock bounds the search,
-               it never feeds a result *)
-            Some ((Sys.time () [@rt.lint.ignore "wallclock"]) +. b)
-    in
-    let stop nodes =
-      (match node_budget with Some b -> nodes > b | None -> false)
-      ||
-      match deadline with
-      | None -> false
-      (* the clock is only consulted every 1024 nodes: Sys.time per node
-         would dominate the search itself *)
-      | Some d ->
-          nodes land 1023 = 0
-          && Fc.exact_gt (Sys.time () [@rt.lint.ignore "wallclock"]) d
-    in
+    let deadline = Option.map deadline_of_budget time_budget in
+    let stop = make_stop ?node_budget ?deadline () in
     let best, nodes, exhausted =
-      search_core ~prune ~stop ~m ~capacity ~bucket_cost items
+      search_core ?shared ~prune ~stop ~m ~capacity ~bucket_cost items
     in
     Ok { best; nodes; exhausted }
   end
@@ -156,7 +319,7 @@ let branch_and_bound ?(node_limit = 50_000_000) ~m ~capacity ~bucket_cost items
     =
   search ~prune:true ~node_limit ~m ~capacity ~bucket_cost items
 
-let branch_and_bound_budgeted ?node_budget ?time_budget ~m ~capacity
+let branch_and_bound_budgeted ?shared ?node_budget ?time_budget ~m ~capacity
     ~bucket_cost items =
-  budgeted ~prune:true ?node_budget ?time_budget ~m ~capacity ~bucket_cost
-    items
+  budgeted ?shared ~prune:true ?node_budget ?time_budget ~m ~capacity
+    ~bucket_cost items

@@ -15,7 +15,9 @@
 
     Complexity is exponential — these are the ground-truth oracles for the
     small instances of experiment E1 and for the property tests, not
-    production algorithms. *)
+    production algorithms. The {!shared} incumbent and the {!split} /
+    {!run_subtree} pair are the hooks {!Rt_parallel} races and distributes
+    these searches with; sequential callers can ignore them. *)
 
 type solution = {
   partition : Rt_partition.Partition.t;
@@ -31,8 +33,67 @@ type anytime = {
           solution is then the incumbent, not a proven optimum *)
 }
 (** Result of a budgeted (anytime) search. The incumbent is seeded with
-    the all-reject solution before exploration starts, so [best] is a
-    feasible solution even on a zero budget. *)
+    the all-reject solution, so [best] is a feasible solution even on a
+    zero budget. *)
+
+(** {2 Shared incumbent}
+
+    A cross-domain upper bound on the optimal cost. Any solver or
+    heuristic may {!publish} the cost of a solution it actually holds;
+    the branch-and-bound prune test reads the cell and additionally cuts
+    subtrees whose lower bound is {e strictly worse} than the published
+    value. Strictness is what keeps parallel runs deterministic: a search
+    still visits every node that could tie its own best, so the solution
+    it returns never depends on when a sibling's publication arrived —
+    only how fast it got there does (see docs/PARALLEL.md). *)
+
+type shared
+
+val shared : unit -> shared
+(** A fresh cell holding [infinity]. *)
+
+val shared_best : shared -> float
+(** Current published bound ([infinity] if none yet). *)
+
+val publish : shared -> float -> unit
+(** Lower the cell to [cost] if it improves it (lock-free CAS loop).
+    Publish only costs of feasible solutions the caller holds. *)
+
+(** {2 Root splitting}
+
+    [split] enumerates a frontier of independent subtrees of the search
+    in depth-first order — all leaves of subtree [i] precede those of
+    subtree [i+1] — grown breadth-first until it holds at least [width]
+    nodes (or the instance is exhausted). Each subtree carries private
+    load/bucket state, so separate domains can {!run_subtree} them
+    concurrently with no sharing beyond an optional {!shared} cell.
+    Combining results by (cost, then {!subtree_index}) yields the same
+    solution as the sequential search whenever every subtree completes,
+    at any [width]. *)
+
+type subtree
+
+val split :
+  m:int -> capacity:float -> bucket_cost:(float -> float) -> width:int ->
+  Rt_task.Task.item list -> subtree list
+(** @raise Invalid_argument if [m < 1], [capacity <= 0] or [width < 1]. *)
+
+val subtree_index : subtree -> int
+(** Position in depth-first order; the deterministic tie-break key. *)
+
+val run_subtree :
+  ?shared:shared -> ?node_budget:int -> ?deadline:float -> prune:bool ->
+  subtree -> anytime
+(** Explore one subtree to completion or until [node_budget] nodes (per
+    subtree) or the absolute monotonic [deadline] (a {!Rt_prelude.Clock}
+    instant, polled every 1024 nodes). The seed incumbent rejects every
+    item the subtree's prefix has not already placed. *)
+
+val deadline_of_budget : float -> float
+(** [Rt_prelude.Clock.now () +. budget]; a non-positive or non-finite
+    budget maps to an already-expired deadline. *)
+
+(** {2 Solvers} *)
 
 val exhaustive :
   m:int -> capacity:float -> bucket_cost:(float -> float) ->
@@ -45,10 +106,10 @@ val exhaustive_budgeted :
   bucket_cost:(float -> float) -> Rt_task.Task.item list ->
   (anytime, string) result
 (** Anytime full enumeration: explores until done or until [node_budget]
-    nodes have been visited or [time_budget] seconds of CPU time have
-    elapsed (the clock is polled every 1024 nodes, so the time budget is
-    approximate). No 16-item cap — the budget is the guard. Errors on
-    [m < 1] or [capacity <= 0]. *)
+    nodes have been visited or [time_budget] seconds of monotonic
+    wall-clock time have elapsed (the clock is polled every 1024 nodes,
+    so the time budget is approximate). No 16-item cap — the budget is
+    the guard. Errors on [m < 1] or [capacity <= 0]. *)
 
 val branch_and_bound :
   ?node_limit:int -> m:int -> capacity:float -> bucket_cost:(float -> float) ->
@@ -59,11 +120,15 @@ val branch_and_bound :
     @raise Failure if the node limit is hit. *)
 
 val branch_and_bound_budgeted :
-  ?node_budget:int -> ?time_budget:float -> m:int -> capacity:float ->
-  bucket_cost:(float -> float) -> Rt_task.Task.item list ->
+  ?shared:shared -> ?node_budget:int -> ?time_budget:float -> m:int ->
+  capacity:float -> bucket_cost:(float -> float) -> Rt_task.Task.item list ->
   (anytime, string) result
 (** Anytime branch-and-bound: like {!branch_and_bound}, but exhausting a
     budget is not a failure — the incumbent comes back with
-    [exhausted = true]. Use this when a bounded response time matters
-    more than proof of optimality (the fault-recovery paths do). Errors
-    on [m < 1] or [capacity <= 0]. *)
+    [exhausted = true]. [time_budget] is monotonic wall-clock seconds
+    ({!Rt_prelude.Clock}): a busy sibling domain no longer shrinks it the
+    way the former CPU-time measurement did. When [shared] is given, the
+    search prunes against the published bound and publishes its own
+    improvements. Use this when a bounded response time matters more
+    than proof of optimality (the fault-recovery paths do). Errors on
+    [m < 1] or [capacity <= 0]. *)

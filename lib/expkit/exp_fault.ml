@@ -70,24 +70,41 @@ let mean = function
   | [] -> Float.nan
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
-let sweep ?(seeds = 12) ?(fault_rates = default_fault_rates) () =
+let sweep ?pool ?(seeds = 12) ?(fault_rates = default_fault_rates) () =
   let seed_list = Runner.seeds ~base:1900 ~n:seeds in
-  List.concat_map
-    (fun rate ->
-      List.map
-        (fun pol ->
-          let evals =
-            List.filter_map (fun seed -> eval_one ~seed ~rate pol) seed_list
-          in
-          {
-            fault_rate = rate;
-            policy = Rt_fault.Degrade.policy_name pol;
-            cost_ratio = mean (List.map (fun (c, _, _) -> c) evals);
-            miss_pct = mean (List.map (fun (_, m, _) -> m) evals);
-            shed_pct = mean (List.map (fun (_, _, s) -> s) evals);
-          })
-        Rt_fault.Degrade.all_policies)
-    fault_rates
+  let cells =
+    List.concat_map
+      (fun rate ->
+        List.map (fun pol -> (rate, pol)) Rt_fault.Degrade.all_policies)
+      fault_rates
+  in
+  (* one parallel job per (rate × policy × seed) replication; the flat
+     result list is regrouped by cell in submission order, so the rows are
+     byte-identical to the sequential sweep at any domain count *)
+  let evals =
+    Rt_parallel.Pool.map ?pool
+      (fun (rate, pol, seed) -> eval_one ~seed ~rate pol)
+      (List.concat_map
+         (fun (rate, pol) ->
+           List.map (fun seed -> (rate, pol, seed)) seed_list)
+         cells)
+  in
+  let rec chunks k = function
+    | [] -> []
+    | l -> List.filteri (fun i _ -> i < k) l :: chunks k (List.filteri (fun i _ -> i >= k) l)
+  in
+  List.map2
+    (fun (rate, pol) cell_evals ->
+      let evals = List.filter_map Fun.id cell_evals in
+      {
+        fault_rate = rate;
+        policy = Rt_fault.Degrade.policy_name pol;
+        cost_ratio = mean (List.map (fun (c, _, _) -> c) evals);
+        miss_pct = mean (List.map (fun (_, m, _) -> m) evals);
+        shed_pct = mean (List.map (fun (_, _, s) -> s) evals);
+      })
+    cells
+    (chunks (List.length seed_list) evals)
 
 let e19_fault_sweep ?(seeds = 12) () =
   let rows = sweep ~seeds () in

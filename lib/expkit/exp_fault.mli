@@ -19,9 +19,17 @@ type row = {
 val default_fault_rates : float list
 (** [0.; 0.05; 0.15]. *)
 
-val sweep : ?seeds:int -> ?fault_rates:float list -> unit -> row list
+val sweep :
+  ?pool:Rt_parallel.Pool.t ->
+  ?seeds:int ->
+  ?fault_rates:float list ->
+  unit ->
+  row list
 (** Mean metrics per (fault rate × policy); the structured form the
-    fault benchmark serializes. *)
+    fault benchmark serializes. With [?pool] the (rate × policy × seed)
+    replications fan out over the pool; every replication is keyed by
+    its seed and rows are assembled in submission order, so the result
+    is byte-identical to the sequential sweep at any domain count. *)
 
 val e19_fault_sweep : ?seeds:int -> unit -> Rt_prelude.Tablefmt.t
 (** The registry table: one row per fault rate, cost and miss%% columns

@@ -1,12 +1,19 @@
 let seeds ~base ~n =
   List.map (fun i -> base + (7919 * i)) (Rt_prelude.Math_util.range 0 (n - 1))
 
-let replicate ~seeds ~f =
+let replicate_par ~pool ~seeds ~f =
   let values =
-    List.filter (fun v -> not (Float.is_nan v)) (List.map f seeds)
+    List.filter
+      (fun v -> not (Float.is_nan v))
+      (Rt_parallel.Pool.map ?pool f seeds)
   in
   if List.is_empty values then
     invalid_arg "Runner.replicate: every replication returned NaN";
   Rt_prelude.Stats.summarize values
+
+let replicate ~seeds ~f = replicate_par ~pool:None ~seeds ~f
+
+let mean_over_par ~pool ~seeds ~f =
+  (replicate_par ~pool ~seeds ~f).Rt_prelude.Stats.mean
 
 let mean_over ~seeds ~f = (replicate ~seeds ~f).Rt_prelude.Stats.mean

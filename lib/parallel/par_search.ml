@@ -1,0 +1,76 @@
+module Fc = Rt_prelude.Float_cmp
+module Search = Rt_exact.Search
+
+let default_split_factor = 4
+
+let combine results =
+  (* submission order = subtree DFS order, so keeping only strict
+     improvements makes the earliest subtree win ties — the same solution
+     the sequential depth-first search would have returned *)
+  List.fold_left
+    (fun acc (a : Search.anytime) ->
+      match acc with
+      | None -> Some a
+      | Some best ->
+          let better = Fc.exact_lt a.Search.best.cost best.Search.best.cost in
+          let merged = if better then a.Search.best else best.Search.best in
+          Some
+            {
+              Search.best = merged;
+              nodes = best.Search.nodes + a.Search.nodes;
+              exhausted = best.Search.exhausted || a.Search.exhausted;
+            })
+    None results
+
+let branch_and_bound_budgeted ?pool ?(split_factor = default_split_factor)
+    ?node_budget ?time_budget ~m ~capacity ~bucket_cost items =
+  if m < 1 then Error "Par_search: m < 1"
+  else if Fc.exact_le capacity 0. then Error "Par_search: capacity <= 0"
+  else begin
+    let domains = match pool with None -> 1 | Some p -> Pool.size p in
+    let width = max 1 (split_factor * domains) in
+    let subtrees = Search.split ~m ~capacity ~bucket_cost ~width items in
+    let shared = Search.shared () in
+    let deadline = Option.map Search.deadline_of_budget time_budget in
+    let results =
+      Pool.map ?pool
+        (Search.run_subtree ~shared ?node_budget ?deadline ~prune:true)
+        subtrees
+    in
+    match combine results with
+    | Some a -> Ok a
+    | None -> Error "Par_search: empty frontier"
+  end
+
+let solve ?pool ?split_factor ?node_budget ?time_budget (p : Rt_core.Problem.t)
+    =
+  match
+    branch_and_bound_budgeted ?pool ?split_factor ?node_budget ?time_budget
+      ~m:p.Rt_core.Problem.m
+      ~capacity:(Rt_core.Problem.capacity p)
+      ~bucket_cost:(Rt_core.Problem.bucket_energy p)
+      p.Rt_core.Problem.items
+  with
+  | Error _ as e -> e
+  | Ok (a : Search.anytime) -> (
+      let solution =
+        {
+          Rt_core.Solution.partition = a.Search.best.Search.partition;
+          rejected = a.Search.best.Search.rejected;
+        }
+      in
+      match Rt_core.Solution.cost p solution with
+      | Error msg -> Error ("Par_search: invalid best-so-far solution: " ^ msg)
+      | Ok c ->
+          if
+            not
+              (Fc.approx_eq ~eps:1e-6 c.Rt_core.Solution.total
+                 a.Search.best.Search.cost)
+          then Error "Par_search: search cost disagrees with Solution.cost"
+          else
+            Ok
+              {
+                Rt_core.Exact.solution;
+                nodes = a.Search.nodes;
+                exhausted = a.Search.exhausted;
+              })

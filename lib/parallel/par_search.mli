@@ -1,0 +1,45 @@
+(** Root-split domain-parallel branch-and-bound.
+
+    The sequential {!Rt_exact.Search} explores one depth-first tree; here
+    the first levels of that tree are {!Rt_exact.Search.split} into a
+    frontier of independent subtrees — each a (bucket/reject) prefix with
+    its own private loads/buckets state — distributed across a
+    {!Pool}. The domains cooperate through one atomic shared incumbent:
+    any improvement found in one subtree immediately tightens the prune
+    bound of every other, so the parallel search visits {e fewer} nodes
+    than the sum of isolated subtree searches.
+
+    Determinism: results are combined by (cost, then subtree DFS index),
+    and the shared bound only prunes {e strictly} worse subtrees, so a
+    run that completes returns the same solution as the sequential
+    {!Rt_exact.Search.branch_and_bound} — at any pool size and any split
+    factor. Node counts (and with them, wall time) are the only
+    scheduling-dependent outputs. Budget-exhausted runs keep validity
+    (every subtree is seeded with its reject-the-rest incumbent) but not
+    this reproducibility guarantee; see docs/PARALLEL.md. *)
+
+val default_split_factor : int
+(** 4 — the frontier targets four subtrees per domain, enough slack for
+    the work-stealing-free FIFO to balance uneven subtree sizes. *)
+
+val branch_and_bound_budgeted :
+  ?pool:Pool.t -> ?split_factor:int -> ?node_budget:int ->
+  ?time_budget:float -> m:int -> capacity:float ->
+  bucket_cost:(float -> float) -> Rt_task.Task.item list ->
+  (Rt_exact.Search.anytime, string) result
+(** Raw-level parallel anytime search; mirrors
+    {!Rt_exact.Search.branch_and_bound_budgeted}. [node_budget] bounds
+    each {e subtree} (the frontier width times it bounds the whole run);
+    [time_budget] is one monotonic wall-clock deadline shared by all
+    subtrees. Without [pool] the subtrees run sequentially on the
+    calling domain — same answer, no spawns. [nodes] sums all subtrees.
+    Errors on [m < 1] or [capacity <= 0]. *)
+
+val solve :
+  ?pool:Pool.t -> ?split_factor:int -> ?node_budget:int ->
+  ?time_budget:float -> Rt_core.Problem.t ->
+  (Rt_core.Exact.budgeted, string) result
+(** Problem-level wrapper mirroring
+    {!Rt_core.Exact.branch_and_bound_budgeted}, with the same
+    cross-check: the search's internal cost must agree with
+    {!Rt_core.Solution.cost} on the returned solution. *)

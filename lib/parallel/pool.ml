@@ -1,0 +1,123 @@
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  (* mutable so [create] can hand the workers the very record they are
+     part of — a [{t with workers}] copy would leave them polling a
+     [stopping] field that [shutdown] never sets *)
+  mutable workers : unit Domain.t list;
+}
+
+(* Jobs are pre-wrapped by [run_list] to never raise, so a worker's loop
+   body is exception-free by construction; a worker exits only when the
+   pool is stopping and the queue has drained. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.has_work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    job ();
+    worker_loop t
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.domains
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+type 'a slot = Empty | Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run_list t thunks =
+  let n = List.length thunks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n Empty in
+    let pending = ref n in
+    let finished = Mutex.create () in
+    let all_done = Condition.create () in
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run_list: pool is shut down"
+    end;
+    List.iteri
+      (fun i thunk ->
+        Queue.add
+          (fun () ->
+            let outcome =
+              match thunk () with
+              | v -> Value v
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock finished;
+            results.(i) <- outcome;
+            decr pending;
+            if !pending = 0 then Condition.signal all_done;
+            Mutex.unlock finished)
+          t.queue)
+      thunks;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    Mutex.lock finished;
+    while !pending > 0 do
+      Condition.wait all_done finished
+    done;
+    Mutex.unlock finished;
+    (* every job has completed; surface the lowest-index failure (a
+       deterministic choice however the domains interleaved), else the
+       values in submission order *)
+    Array.iter
+      (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | _ -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Value v -> v
+           | Empty | Raised _ ->
+               (* lint: allow-no-raise "unreachable: pending reached 0" *)
+               assert false)
+         results)
+  end
+
+let map ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some t -> run_list t (List.map (fun x () -> f x) xs)
+
+let default_domains () =
+  match Sys.getenv_opt "RT_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> 1)
+  | None -> 1

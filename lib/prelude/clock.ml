@@ -1,0 +1,5 @@
+external rt_clock_monotonic_ns : unit -> int64 = "rt_clock_monotonic_ns"
+
+let now_ns = rt_clock_monotonic_ns
+let now () = Int64.to_float (rt_clock_monotonic_ns ()) *. 1e-9
+let elapsed ~since = now () -. since

@@ -1,0 +1,37 @@
+(** Monotonic wall-clock readings for budgets and benchmarks.
+
+    Every time budget in the repository ([Search.*_budgeted] deadlines,
+    the fuzzer's [time_budget], the parallel benches) is specified in
+    {e wall-clock} seconds: "stop after two seconds" means two seconds of
+    the user's time, whatever the machine is doing meanwhile. Neither
+    stdlib clock delivers that:
+
+    - [Sys.time] is {e process CPU time}, summed over every domain — with
+      [k] busy domains it advances up to [k]× faster than the wall, so a
+      budget measured with it silently shrinks as soon as a sibling
+      domain spins (the bug this module fixes);
+    - [Unix.gettimeofday] is wall time but not monotonic — an NTP step
+      mid-run can expire a budget instantly or extend it forever.
+
+    [now] reads the operating system's [CLOCK_MONOTONIC] through a local
+    C primitive: strictly non-decreasing, unaffected by clock
+    adjustments, and shared by all domains. The epoch is arbitrary —
+    only differences between two readings are meaningful.
+
+    Reading any clock inside [lib/] is flagged by rt-lint's [wallclock]
+    determinism rule; this module is the sanctioned sink for those reads
+    (the C primitive is invisible to the linter by construction, and
+    deliberately so — budget plumbing bounds {e how long} a computation
+    runs, it must never feed a {e simulated} quantity). *)
+
+val now : unit -> float [@rt.dim "seconds"]
+(** Seconds on the monotonic clock, from an arbitrary epoch. Use
+    differences only. *)
+
+val elapsed : since:float -> float [@rt.dim "seconds"]
+(** [elapsed ~since] is [now () -. since] — non-negative whenever [since]
+    came from [now]. *)
+
+val now_ns : unit -> int64
+(** The raw monotonic reading in nanoseconds, for callers that cannot
+    afford float rounding (benchmark deltas). *)

@@ -1,0 +1,19 @@
+/* Monotonic clock primitive for Rt_prelude.Clock.
+ *
+ * CLOCK_MONOTONIC: unaffected by NTP steps and immune to the CPU-time
+ * inflation that made Sys.time-based budgets expire early under sibling
+ * domains (Sys.time sums processor time across every domain of the
+ * process, so k busy domains advance it ~k x faster than the wall).
+ */
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value rt_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * INT64_C(1000000000)
+                         + (int64_t)ts.tv_nsec);
+}

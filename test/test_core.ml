@@ -220,6 +220,31 @@ let prop_local_search_never_hurts =
           <= (cost_exn p s).Solution.total +. 1e-9)
         Greedy.named)
 
+(* Regression for the gain tolerance: it used to be frozen from the
+   maximum *initial* load, so a start with empty processors (all-reject)
+   got a noise-level eps; once accept moves grew the buckets to capacity
+   scale, float-noise "gains" above that stale eps could keep the loop
+   churning to the move budget. The tolerance is now derived from the
+   energy at full capacity, an upper bound valid however far the loads
+   grow — so the loop must both converge and never worsen the cost. *)
+let prop_local_search_converges_as_loads_grow =
+  qtest ~count:60 "local search converges when loads grow from empty"
+    QCheck2.Gen.(pair (int_range 1 10_000) (float_range 0.5 2.0))
+    (fun (seed, load) ->
+      let p = random_instance ~seed ~n:12 ~m:3 ~load () in
+      let s0 =
+        {
+          Solution.partition = Rt_partition.Partition.empty ~m:3;
+          rejected = p.Problem.items;
+        }
+      in
+      match Local_search.improve_budgeted p s0 with
+      | Error e -> Alcotest.failf "improve: %s" e
+      | Ok b ->
+          (not b.Local_search.exhausted)
+          && (cost_exn p b.Local_search.solution).Solution.total
+             <= (cost_exn p s0).Solution.total +. 1e-9)
+
 let test_local_search_budgeted () =
   let p = random_instance ~seed:42 ~n:12 ~m:3 ~load:1.8 () in
   let s = Greedy.ltf_reject p in
@@ -425,6 +450,7 @@ let () =
           Alcotest.test_case "density trims" `Quick test_density_trims;
           prop_all_algorithms_valid;
           prop_local_search_never_hurts;
+          prop_local_search_converges_as_loads_grow;
           Alcotest.test_case "budgeted local search" `Quick
             test_local_search_budgeted;
           prop_heuristics_above_optimal;

@@ -1,0 +1,321 @@
+(* Tests for rt_parallel: the domain pool, the determinism contracts of
+   the portfolio / root-split search / parallel sweeps, and the
+   wall-clock (not CPU-time) budget semantics. *)
+
+module Fc = Rt_prelude.Float_cmp
+module Pool = Rt_parallel.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_int_list = Alcotest.(check (list int))
+
+let proc =
+  Rt_power.Processor.xscale
+    ~dormancy:(Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+
+let instance ~seed ~n ~m ~load =
+  Rt_expkit.Instances.frame_instance ~proc ~seed ~n ~m ~load ()
+
+(* canonical rendering of a solution: rejected ids + per-bucket accepted
+   ids — two runs agree iff these (and the cost) agree *)
+let fingerprint (s : Rt_core.Solution.t) =
+  let m = Rt_partition.Partition.m s.partition in
+  List.concat
+    (List.init m (fun j ->
+         List.map
+           (fun (it : Rt_task.Task.item) -> (j, it.Rt_task.Task.item_id))
+           (Rt_partition.Partition.bucket s.partition j)))
+  @ List.map (fun id -> (-1, id)) (Rt_core.Solution.rejected_ids s)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_single_domain () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      let xs = List.init 10 Fun.id in
+      check_int_list "submission order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map ~pool (fun x -> x * x) xs));
+  (* no pool: plain List.map *)
+  check_int_list "no pool" [ 2; 4; 6 ] (Pool.map (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_pool_many_tasks () =
+  (* far more tasks than domains; results must still come back in
+     submission order *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 200 Fun.id in
+      check_int_list "200 tasks over 4 domains"
+        (List.map (fun x -> (x * 7) mod 31) xs)
+        (Pool.map ~pool (fun x -> (x * 7) mod 31) xs))
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      (* two jobs raise; the lowest-index exception must surface, after
+         every job ran *)
+      let ran = Array.make 8 false in
+      (match
+         Pool.run_list pool
+           (List.init 8 (fun i () ->
+                ran.(i) <- true;
+                if i = 3 then failwith "boom3";
+                if i = 6 then failwith "boom6";
+                i))
+       with
+      | _ -> Alcotest.fail "expected the job exception to propagate"
+      | exception Failure msg -> check_string "lowest index wins" "boom3" msg);
+      check_bool "every job still ran" true (Array.for_all Fun.id ran);
+      (* the pool survives a failing batch *)
+      check_int_list "pool usable after failure" [ 1; 2; 3 ]
+        (Pool.map ~pool Fun.id [ 1; 2; 3 ]))
+
+let test_pool_lifecycle () =
+  (match Pool.create ~domains:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domains=0 must be refused");
+  (* shutdown joins cleanly (regression: the workers used to watch a
+     stale copy of the pool record and never saw [stopping]) and is
+     idempotent; a shut-down pool refuses work *)
+  let pool = Pool.create ~domains:2 in
+  check_int "size" 2 (Pool.size pool);
+  check_int_list "runs" [ 0; 1; 4; 9 ]
+    (Pool.map ~pool (fun x -> x * x) [ 0; 1; 2; 3 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (match Pool.run_list pool [ (fun () -> 1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "run_list after shutdown must be refused");
+  (* with_pool shuts down even when the body raises *)
+  match Pool.with_pool ~domains:2 (fun _ -> failwith "body") with
+  | exception Failure msg -> check_string "body exception" "body" msg
+  | _ -> Alcotest.fail "expected the body exception"
+
+(* ------------------------------------------------------------------ *)
+(* Clock / wall-clock budgets *)
+
+let test_clock_monotone () =
+  let t0 = Rt_prelude.Clock.now () in
+  let n0 = Rt_prelude.Clock.now_ns () in
+  let acc = ref 0. in
+  for i = 1 to 100_000 do
+    acc := !acc +. sqrt (float_of_int i)
+  done;
+  ignore !acc;
+  check_bool "ns monotone" true (Int64.compare (Rt_prelude.Clock.now_ns ()) n0 >= 0);
+  check_bool "elapsed non-negative" true
+    (Fc.exact_ge (Rt_prelude.Clock.elapsed ~since:t0) 0.)
+
+(* THE budget regression this PR fixes: [time_budget] used to be measured
+   with [Sys.time], which is process CPU time summed over every domain —
+   a busy sibling domain made the budget expire at roughly half the
+   wall-clock time it promised. With the monotonic clock, a budgeted
+   search next to a spinning sibling still gets (at least) its full
+   wall-clock budget. *)
+let test_budget_is_wall_clock_under_busy_sibling () =
+  let budget = 0.3 in
+  (* hard enough that the budget, not completion, ends the search *)
+  let p = instance ~seed:21 ~n:18 ~m:4 ~load:1.5 in
+  let stop = Atomic.make false in
+  let sibling =
+    Domain.spawn (fun () ->
+        let x = ref 0.0 in
+        while not (Atomic.get stop) do
+          x := sqrt (!x +. 2.)
+        done;
+        !x)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join sibling))
+    (fun () ->
+      let t0 = Rt_prelude.Clock.now () in
+      match Rt_core.Exact.branch_and_bound_budgeted ~time_budget:budget p with
+      | Error e -> Alcotest.failf "budgeted: %s" e
+      | Ok b ->
+          let wall = Rt_prelude.Clock.elapsed ~since:t0 in
+          check_bool "budget ran out" true b.Rt_core.Exact.exhausted;
+          (* CPU-time accounting with one spinning sibling would cut this
+             to ~budget/2 of wall time; leave slack for polling jitter *)
+          check_bool
+            (Printf.sprintf "got the full wall-clock budget (%.3fs >= %.3fs)"
+               wall (0.9 *. budget))
+            true
+            (Fc.exact_ge wall (0.9 *. budget)))
+
+let test_expired_budget_returns_seed () =
+  let p = instance ~seed:5 ~n:10 ~m:3 ~load:1.5 in
+  match Rt_core.Exact.branch_and_bound_budgeted ~time_budget:0. p with
+  | Error e -> Alcotest.failf "budgeted: %s" e
+  | Ok b ->
+      check_bool "exhausted" true b.Rt_core.Exact.exhausted;
+      (* the seed incumbent rejects everything: still a valid solution *)
+      check_bool "seed validates" true
+        (Result.is_ok (Rt_core.Solution.validate p b.Rt_core.Exact.solution))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot immunity (regression for the dead double-copy at the
+   incumbent snapshot): the solution a budgeted search returns was
+   snapshotted mid-flight, while the search went on mutating its live
+   bucket arrays — a completed budgeted run must therefore agree exactly
+   with the independent from-scratch optimum, for every seed. *)
+
+let test_incumbent_snapshot_immune () =
+  List.iter
+    (fun seed ->
+      let p = instance ~seed ~n:10 ~m:3 ~load:1.6 in
+      let reference = Rt_core.Exact.branch_and_bound p in
+      match Rt_core.Exact.branch_and_bound_budgeted p with
+      | Error e -> Alcotest.failf "budgeted: %s" e
+      | Ok b ->
+          check_bool "completed" false b.Rt_core.Exact.exhausted;
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "seed %d matches branch_and_bound" seed)
+            (fingerprint reference)
+            (fingerprint b.Rt_core.Exact.solution))
+    (List.init 10 (fun i -> 100 + i))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel == sequential, byte for byte *)
+
+let seeds20 = List.init 20 (fun i -> 1 + (13 * i))
+
+let test_portfolio_deterministic () =
+  let outcomes domains =
+    let run pool =
+      List.map
+        (fun seed ->
+          let p = instance ~seed ~n:10 ~m:3 ~load:1.5 in
+          match Rt_parallel.Portfolio.run ?pool p with
+          | Error e -> Alcotest.failf "portfolio: %s" e
+          | Ok o ->
+              ( o.Rt_parallel.Portfolio.winner,
+                o.Rt_parallel.Portfolio.cost,
+                fingerprint o.Rt_parallel.Portfolio.solution ))
+        seeds20
+    in
+    if domains = 0 then run None
+    else Pool.with_pool ~domains (fun pool -> run (Some pool))
+  in
+  let reference = outcomes 0 in
+  List.iter
+    (fun domains ->
+      List.iter2
+        (fun (w, c, f) (w', c', f') ->
+          check_string "winner" w w';
+          check_bool "cost bit-identical" true (Fc.exact_eq c c');
+          Alcotest.(check (list (pair int int))) "solution" f f')
+        reference (outcomes domains))
+    [ 1; 2; 4 ]
+
+let test_par_search_matches_sequential () =
+  List.iter
+    (fun seed ->
+      let p = instance ~seed ~n:10 ~m:3 ~load:1.6 in
+      let reference = Rt_core.Exact.branch_and_bound p in
+      List.iter
+        (fun (domains, split_factor) ->
+          let solve pool =
+            match Rt_parallel.Par_search.solve ?pool ~split_factor p with
+            | Error e -> Alcotest.failf "par solve: %s" e
+            | Ok b ->
+                check_bool "completed" false b.Rt_core.Exact.exhausted;
+                Alcotest.(check (list (pair int int)))
+                  (Printf.sprintf "seed %d domains %d split %d" seed domains
+                     split_factor)
+                  (fingerprint reference)
+                  (fingerprint b.Rt_core.Exact.solution)
+          in
+          if domains = 0 then solve None
+          else Pool.with_pool ~domains (fun pool -> solve (Some pool)))
+        [ (0, 4); (1, 1); (2, 4); (4, 7) ])
+    (List.init 8 (fun i -> 30 + (11 * i)))
+
+let test_runner_replicate_par_identical () =
+  let seeds = Rt_expkit.Runner.seeds ~base:7 ~n:24 in
+  let f seed = Float.of_int seed *. 1.25 in
+  let reference = Rt_expkit.Runner.replicate ~seeds ~f in
+  Pool.with_pool ~domains:3 (fun pool ->
+      let par = Rt_expkit.Runner.replicate_par ~pool:(Some pool) ~seeds ~f in
+      check_int "n" reference.Rt_prelude.Stats.n par.Rt_prelude.Stats.n;
+      List.iter
+        (fun (name, a, b) ->
+          check_bool name true (Fc.exact_eq a b))
+        [
+          ("mean", reference.Rt_prelude.Stats.mean, par.Rt_prelude.Stats.mean);
+          ( "stddev",
+            reference.Rt_prelude.Stats.stddev,
+            par.Rt_prelude.Stats.stddev );
+          ("median", reference.Rt_prelude.Stats.median, par.Rt_prelude.Stats.median);
+        ])
+
+let test_fault_sweep_parallel_identical () =
+  let reference = Rt_expkit.Exp_fault.sweep ~seeds:3 () in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par = Rt_expkit.Exp_fault.sweep ~pool ~seeds:3 () in
+      check_int "rows" (List.length reference) (List.length par);
+      List.iter2
+        (fun (a : Rt_expkit.Exp_fault.row) (b : Rt_expkit.Exp_fault.row) ->
+          check_string "policy" a.policy b.policy;
+          List.iter
+            (fun (name, x, y) -> check_bool name true (Fc.exact_eq x y))
+            [
+              ("fault_rate", a.fault_rate, b.fault_rate);
+              ("cost_ratio", a.cost_ratio, b.cost_ratio);
+              ("miss_pct", a.miss_pct, b.miss_pct);
+              ("shed_pct", a.shed_pct, b.shed_pct);
+            ])
+        reference par)
+
+let test_fuzz_parallel_identical () =
+  let config = { Rt_check.Fuzz.default_config with Rt_check.Fuzz.count = 6 } in
+  let reference = Rt_check.Fuzz.run ~config () in
+  Pool.with_pool ~domains:3 (fun pool ->
+      let par = Rt_check.Fuzz.run ~pool ~config () in
+      (* the rendered report covers every counter and every failure's
+         minimized instance — byte equality here is the contract *)
+      check_string "report byte-identical"
+        (Rt_check.Fuzz.summary reference)
+        (Rt_check.Fuzz.summary par);
+      check_int "instances" reference.Rt_check.Fuzz.instances
+        par.Rt_check.Fuzz.instances)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "rt_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "single domain" `Quick test_pool_single_domain;
+          Alcotest.test_case "tasks >> domains" `Quick test_pool_many_tasks;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotone" `Quick test_clock_monotone;
+          Alcotest.test_case "wall-clock budget under busy sibling" `Slow
+            test_budget_is_wall_clock_under_busy_sibling;
+          Alcotest.test_case "expired budget returns seed" `Quick
+            test_expired_budget_returns_seed;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "incumbent snapshot immune" `Quick
+            test_incumbent_snapshot_immune;
+          Alcotest.test_case "root split matches sequential" `Slow
+            test_par_search_matches_sequential;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "portfolio, 20 seeds x pool sizes" `Slow
+            test_portfolio_deterministic;
+          Alcotest.test_case "runner replicate" `Quick
+            test_runner_replicate_par_identical;
+          Alcotest.test_case "fault sweep" `Slow
+            test_fault_sweep_parallel_identical;
+          Alcotest.test_case "fuzz report" `Slow test_fuzz_parallel_identical;
+        ] );
+    ]

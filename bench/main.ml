@@ -361,6 +361,25 @@ let run_races () =
         root_split_race ~pool ~reps ~seed:11 ~n:14 ~m:4 ~load:1.5;
       ])
 
+(* Lint runtime over the concurrency-critical roots: the analysis is
+   part of the CI gate, so its wall time is a perf axis the trajectory
+   should track — a rule whose cost explodes would slow every push.
+   Measured from the repo root (where dune exec runs) so the .cmt files
+   under _build/default are found; skipped gracefully elsewhere. *)
+let lint_timing () =
+  let roots = [ "lib/parallel"; "lib/check" ] in
+  if List.for_all Sys.file_exists roots then
+    let wall, findings =
+      time_wall ~reps:3 (fun () -> Rt_lint_core.Lint_core.lint_paths roots)
+    in
+    Some (String.concat "+" roots, wall, List.length findings)
+  else None
+
+let json_of_lint (roots, wall, n) =
+  Printf.sprintf
+    "  {\"kind\": \"lint\", \"name\": %S, \"wall_s\": %.6f, \"findings\": %d}"
+    roots wall n
+
 let json_of_kernel (name, ns) =
   Printf.sprintf "  {\"kind\": \"kernel\", \"name\": %S, \"ns_per_run\": %s}"
     name
@@ -374,16 +393,19 @@ let json_of_race r =
     r.race_name r.race_domains r.seq_wall r.seq_cost r.seq_nodes r.par_wall
     r.par_cost r.par_nodes r.speedup
 
-let write_json ~kernels ~races =
+let write_json ~kernels ~races ~lint =
+  let lints = Option.to_list lint in
   let oc = open_out out_file in
   output_string oc "[\n";
   output_string oc
     (String.concat ",\n"
-       (List.map json_of_kernel kernels @ List.map json_of_race races));
+       (List.map json_of_kernel kernels
+       @ List.map json_of_race races
+       @ List.map json_of_lint lints));
   output_string oc "\n]\n";
   close_out oc;
-  Printf.printf "\nwrote %s (%d kernel timings, %d races)\n" out_file
-    (List.length kernels) (List.length races)
+  Printf.printf "\nwrote %s (%d kernel timings, %d races, %d lint timings)\n"
+    out_file (List.length kernels) (List.length races) (List.length lints)
 
 let () =
   print_tables ();
@@ -403,5 +425,11 @@ let () =
            Printf.sprintf "BETTER (%.4f vs %.4f)" r.par_cost r.seq_cost
          else Printf.sprintf "worse (%.4f vs %.4f)" r.par_cost r.seq_cost))
     races;
-  write_json ~kernels ~races;
+  let lint = lint_timing () in
+  (match lint with
+  | Some (roots, wall, n) ->
+      Printf.printf "\n== lint runtime ==\n  %-32s %8.2f ms   %d findings\n"
+        roots (1e3 *. wall) n
+  | None -> print_endline "\n== lint runtime == (skipped: not at repo root)");
+  write_json ~kernels ~races ~lint;
   print_endline "\nbench: done"

@@ -388,16 +388,15 @@ let qos proc_name penalty_name seed n m load steps curve =
           Ok ())
 
 (* Resolve a worker-domain count: --jobs beats RT_JOBS beats 1. A count
-   of 1 means "no pool" — run on the calling domain without spawning. *)
+   of 1 means "no pool" — run on the calling domain without spawning.
+   Validation lives in Pool.resolve_jobs so both --jobs 0 and a
+   malformed RT_JOBS (e.g. RT_JOBS=abc) fail with one clear message
+   instead of a parse backtrace. *)
 let with_jobs jobs f =
-  let domains =
-    match jobs with
-    | Some j -> j
-    | None -> Rt_parallel.Pool.default_domains ()
-  in
-  if domains < 1 then Error (`Msg "--jobs must be at least 1")
-  else if domains = 1 then f None
-  else Rt_parallel.Pool.with_pool ~domains (fun pool -> f (Some pool))
+  match Rt_parallel.Pool.resolve_jobs ?jobs () with
+  | Error msg -> Error (`Msg msg)
+  | Ok 1 -> f None
+  | Ok domains -> Rt_parallel.Pool.with_pool ~domains (fun pool -> f (Some pool))
 
 let portfolio proc_name penalty_name seed n m load node_budget time_budget
     jobs =
@@ -510,7 +509,11 @@ let lint paths rules format require_cmts =
               findings
       in
       print_string (Rt_lint_core.Report.render format findings);
-      match List.length findings with
+      (* note-level findings are informational; only errors and
+         warnings fail the command *)
+      match
+        List.length (List.filter Rt_lint_core.Finding.gates findings)
+      with
       | 0 -> Ok ()
       | n -> Error (`Msg (Printf.sprintf "%d lint issue(s) found" n)))
 
@@ -644,16 +647,18 @@ let faults_cmd =
         (const faults $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
        $ load_arg $ fault_rate_arg))
 
+(* RT_JOBS is read by Pool.resolve_jobs, not by cmdliner's ~env: the
+   pool validates it and reports a malformed value ("RT_JOBS: job count
+   must be ...") instead of a generic option-parse failure. *)
 let jobs_arg =
   Arg.(
     value
     & opt (some int) None
     & info [ "jobs"; "j" ] ~docv:"N"
-        ~env:(Cmd.Env.info "RT_JOBS")
         ~doc:
-          "Worker domains for parallel solving (default: \\$(env), else \
-           1). Results are byte-identical at any value; only wall time \
-           changes.")
+          "Worker domains for parallel solving (default: the RT_JOBS \
+           environment variable, else 1). Results are byte-identical at \
+           any value; only wall time changes.")
 
 let node_budget_arg =
   Arg.(

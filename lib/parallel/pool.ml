@@ -2,29 +2,36 @@ type t = {
   domains : int;
   mutex : Mutex.t;
   has_work : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable stopping : bool;
+  queue : (unit -> unit) Queue.t; [@rt.guarded_by "mutex"]
+  mutable stopping : bool; [@rt.guarded_by "mutex"]
   (* mutable so [create] can hand the workers the very record they are
      part of — a [{t with workers}] copy would leave them polling a
      [stopping] field that [shutdown] never sets *)
   mutable workers : unit Domain.t list;
+      [@rt.domain_safe
+        "written once by create before run_list can publish work; only \
+         the owning domain reads it (shutdown)"]
 }
 
 (* Jobs are pre-wrapped by [run_list] to never raise, so a worker's loop
    body is exception-free by construction; a worker exits only when the
-   pool is stopping and the queue has drained. *)
+   pool is stopping and the queue has drained.  Every critical section
+   in this file goes through [Mutex.protect] all the same: the lint's
+   lock-discipline rules cannot prove a bare section exception-free
+   across refactors, and protect makes that invariant structural. *)
 let rec worker_loop t =
-  Mutex.lock t.mutex;
-  while Queue.is_empty t.queue && not t.stopping do
-    Condition.wait t.has_work t.mutex
-  done;
-  if Queue.is_empty t.queue then Mutex.unlock t.mutex
-  else begin
-    let job = Queue.pop t.queue in
-    Mutex.unlock t.mutex;
-    job ();
-    worker_loop t
-  end
+  let job =
+    Mutex.protect t.mutex (fun () ->
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.has_work t.mutex
+        done;
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+  in
+  match job with
+  | None -> ()
+  | Some job ->
+      job ();
+      worker_loop t
 
 let create ~domains =
   if domains < 1 then invalid_arg "Pool.create: domains < 1";
@@ -45,10 +52,9 @@ let create ~domains =
 let size t = t.domains
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  t.stopping <- true;
-  Condition.broadcast t.has_work;
-  Mutex.unlock t.mutex;
+  Mutex.protect t.mutex (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.has_work);
   List.iter Domain.join t.workers
 
 let with_pool ~domains f =
@@ -61,41 +67,40 @@ let run_list t thunks =
   let n = List.length thunks in
   if n = 0 then []
   else begin
-    let results = Array.make n Empty in
-    let pending = ref n in
+    let results = Array.make n Empty [@rt.guarded_by "finished"] in
+    let pending = ref n [@rt.guarded_by "finished"] in
     let finished = Mutex.create () in
     let all_done = Condition.create () in
-    Mutex.lock t.mutex;
-    if t.stopping then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Pool.run_list: pool is shut down"
-    end;
-    List.iteri
-      (fun i thunk ->
-        Queue.add
-          (fun () ->
-            let outcome =
-              match thunk () with
-              | v -> Value v
-              | exception e -> Raised (e, Printexc.get_raw_backtrace ())
-            in
-            Mutex.lock finished;
-            results.(i) <- outcome;
-            decr pending;
-            if !pending = 0 then Condition.signal all_done;
-            Mutex.unlock finished)
-          t.queue)
-      thunks;
-    Condition.broadcast t.has_work;
-    Mutex.unlock t.mutex;
-    Mutex.lock finished;
-    while !pending > 0 do
-      Condition.wait all_done finished
-    done;
-    Mutex.unlock finished;
-    (* every job has completed; surface the lowest-index failure (a
-       deterministic choice however the domains interleaved), else the
-       values in submission order *)
+    Mutex.protect t.mutex (fun () ->
+        if t.stopping then invalid_arg "Pool.run_list: pool is shut down";
+        List.iteri
+          (fun i thunk ->
+            Queue.add
+              ((fun () ->
+                 let outcome =
+                   match thunk () with
+                   | v -> Value v
+                   | exception e ->
+                       Raised (e, Printexc.get_raw_backtrace ())
+                 in
+                 Mutex.protect finished (fun () ->
+                     results.(i) <- outcome;
+                     decr pending;
+                     if !pending = 0 then Condition.signal all_done))
+              [@rt.cross_domain])
+              t.queue)
+          thunks;
+        Condition.broadcast t.has_work);
+    Mutex.protect finished (fun () ->
+        while !pending > 0 do
+          Condition.wait all_done finished
+        done);
+    (* every job has completed and the workers are done with [results]
+       (reading it outside the lock is safe after the join above, and
+       must stay outside [Mutex.protect], whose [raise] would replace
+       the re-raised job backtrace); surface the lowest-index failure —
+       a deterministic choice however the domains interleaved — else
+       the values in submission order *)
     Array.iter
       (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | _ -> ())
       results;
@@ -114,10 +119,24 @@ let map ?pool f xs =
   | None -> List.map f xs
   | Some t -> run_list t (List.map (fun x () -> f x) xs)
 
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some j when j >= 1 -> Ok j
+  | Some j -> Error (Printf.sprintf "job count must be at least 1 (got %d)" j)
+  | None -> Error (Printf.sprintf "job count must be an integer (got %S)" s)
+
+let resolve_jobs ?jobs () =
+  match jobs with
+  | Some j when j >= 1 -> Ok j
+  | Some j ->
+      Error (Printf.sprintf "--jobs must be at least 1 (got %d)" j)
+  | None -> (
+      match Sys.getenv_opt "RT_JOBS" with
+      | None -> Ok 1
+      | Some s -> (
+          match parse_jobs s with
+          | Ok j -> Ok j
+          | Error msg -> Error ("RT_JOBS: " ^ msg)))
+
 let default_domains () =
-  match Sys.getenv_opt "RT_JOBS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some j when j >= 1 -> j
-      | Some _ | None -> 1)
-  | None -> 1
+  match resolve_jobs () with Ok j -> j | Error _ -> 1

@@ -56,8 +56,21 @@ val shutdown : t -> unit
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] even on exceptions. *)
 
+val parse_jobs : string -> (int, string) result
+(** Parse a job count (the [RT_JOBS]/[--jobs] grammar): a positive
+    integer, surrounding whitespace ignored. The error is a full,
+    human-readable sentence — callers prepend only the setting's name. *)
+
+val resolve_jobs : ?jobs:int -> unit -> (int, string) result
+(** The effective worker-domain count: an explicit [jobs] (rejected
+    with a clear message when [< 1]) beats the [RT_JOBS] environment
+    variable (rejected with a clear message when set but malformed)
+    beats the default of 1. Parallelism in this repo is opt-in: the
+    default never changes results (determinism aside, a 1-domain pool
+    avoids oversubscribing CI containers). *)
+
 val default_domains : unit -> int
-(** The [RT_JOBS] environment variable if it parses as a positive
-    integer, else 1. Parallelism in this repo is opt-in: the default
-    never changes results (determinism aside, a 1-domain pool avoids
-    oversubscribing CI containers). *)
+(** [resolve_jobs ()] with errors mapped to the sequential default of 1
+    — for contexts (benches, ad-hoc tools) where a malformed [RT_JOBS]
+    should degrade rather than abort. Command-line entry points should
+    use {!resolve_jobs} and surface the error instead. *)

@@ -1,0 +1,6 @@
+let guarded_by = "rt.guarded_by"
+let domain_safe = "rt.domain_safe"
+let cross_domain = "rt.cross_domain"
+let dim = "rt.dim"
+
+let all = [ guarded_by; domain_safe; cross_domain; dim ]

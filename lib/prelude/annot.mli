@@ -1,0 +1,45 @@
+(** The attribute vocabulary rt-lint understands.
+
+    These are ordinary OCaml attributes in the [rt.] namespace — the
+    compiler ignores them, [tool/lint] reads them out of typedtrees.
+    This module is the single registry of their names, so library code,
+    the lint, and the docs cannot drift apart on spelling; the grammar
+    of each payload is specified here and in docs/CONCURRENCY_LINT.md
+    (concurrency annotations) and docs/LINT.md ([rt.dim]).
+
+    Placement cheat-sheet (where the typedtree keeps each one):
+
+    - on a record field: [mutable hits : int; [@rt.guarded_by "lock"]]
+    - on a let binding:  [let pending = ref n [@rt.guarded_by "finished"]]
+    - on a closure:      [Queue.add ((fun () -> ...) [@rt.cross_domain]) q] *)
+
+val guarded_by : string
+(** ["rt.guarded_by"] — payload: a string literal naming the mutex
+    (by its last path component, e.g. ["mutex"] for [t.mutex]) that
+    must be held around every read and write of the annotated mutable
+    value. The lint's domain-unsafe rule accepts a guarded value as
+    shared state; its conc-annotation rule rejects any other payload
+    shape. *)
+
+val domain_safe : string
+(** ["rt.domain_safe"] — payload: a string literal justifying why the
+    value is safe to touch from multiple domains without a lock (e.g.
+    written once before publication, or single-writer with benign
+    races). An audited escape hatch: the lint trusts it and moves on,
+    so the justification text is load-bearing for reviewers. *)
+
+val cross_domain : string
+(** ["rt.cross_domain"] — payload: none. Marks a closure that will run
+    on another domain even though the lint cannot see the spawn site
+    (e.g. a thunk pushed into a work queue). The closure is exempt from
+    the lexical pass and analysed with the crossing rules instead. *)
+
+val dim : string
+(** ["rt.dim"] — payload: a string literal naming a physical dimension
+    (["time"], ["energy"], ["speed"], ...). Read by the units-of-measure
+    rule (docs/LINT.md), not by the concurrency rules; listed here so
+    the registry is complete. *)
+
+val all : string list
+(** Every attribute name above — what the lint treats as reserved in
+    the [rt.] namespace. *)

@@ -1,0 +1,6 @@
+(* Blocking while holding a lock: joining a domain inside a critical
+   section stalls every other thread contending for the mutex.  Expect a
+   [lock-blocking] finding. *)
+
+let m = Mutex.create ()
+let bad_join d = Mutex.protect m (fun () -> Domain.join d)

@@ -1,0 +1,10 @@
+(* A closure stored into a queue for another domain to execute: the
+   spawn site is invisible (plain Queue.add), so the closure carries
+   [@rt.cross_domain] and the analysis treats it as a crossing entry
+   point.  Expect a [domain-unsafe] finding on the Hashtbl access. *)
+
+let shared = Hashtbl.create 16
+let jobs : (unit -> unit) Queue.t = Queue.create ()
+
+let submit () =
+  Queue.add ((fun () -> Hashtbl.replace shared 1 2) [@rt.cross_domain]) jobs

@@ -1,0 +1,13 @@
+(* A correctly guarded cross-domain counter: every access to the
+   mutable field happens inside the critical section of the mutex named
+   by its [@rt.guarded_by] annotation.  Must produce no findings. *)
+
+type t = { lock : Mutex.t; mutable hits : int [@rt.guarded_by "lock"] }
+
+let make () = { lock = Mutex.create (); hits = 0 }
+
+let spawn_incr t =
+  Domain.spawn (fun () ->
+      Mutex.protect t.lock (fun () -> t.hits <- t.hits + 1))
+
+let read t = Mutex.protect t.lock (fun () -> t.hits)

@@ -1,0 +1,8 @@
+(* Two mutexes acquired in opposite nesting orders in the same unit: a
+   lock-ordering deadlock waiting for contention.  Expect [lock-order]
+   findings at both inner acquisitions. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+let ab f = Mutex.protect a (fun () -> Mutex.protect b f)
+let ba f = Mutex.protect b (fun () -> Mutex.protect a f)

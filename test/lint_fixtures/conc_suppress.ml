@@ -1,0 +1,10 @@
+(* The same race as conc_unguarded_ref, but acknowledged with a
+   suppression pragma: the findings on the line below it must be
+   filtered out.  Must produce no findings. *)
+
+let total = ref 0
+
+let spawn_add () =
+  Domain.spawn (fun () ->
+      (* lint: allow-domain-unsafe "single writer; torn reads acceptable in this demo" *)
+      total := !total + 1)

@@ -1,0 +1,13 @@
+(* Lock-discipline violations: a bare critical section that can raise
+   before its unlock, and a lock never released at all.  Expect two
+   [lock-unbalanced] findings, one at each Mutex.lock. *)
+
+let m = Mutex.create ()
+let work () = failwith "boom"
+
+let bad () =
+  Mutex.lock m;
+  work ();
+  Mutex.unlock m
+
+let leak () = Mutex.lock m

@@ -1,0 +1,8 @@
+(* A module-level ref mutated from a spawned domain with no Atomic, no
+   [@rt.guarded_by] and no [@rt.domain_safe]: the canonical data race
+   OCaml 5 will not reject.  Expect [domain-unsafe] findings on both the
+   write and the read. *)
+
+let total = ref 0
+
+let spawn_add () = Domain.spawn (fun () -> total := !total + 1)

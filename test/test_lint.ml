@@ -169,6 +169,64 @@ let test_dim_fields () =
     "mixed-dimension field addition rejected" [ 5 ]
     (locations "dim-mismatch" "dim_rec.ml")
 
+(* ------------------------------------------------------------------ *)
+(* concurrency: domain-safety and lock discipline *)
+
+let test_conc_guarded_good () = clean "conc_guarded_good.ml" ()
+
+let test_conc_unguarded_ref () =
+  (* both the write and the read of the captured ref, at the spawn
+     closure's line *)
+  Alcotest.(check (list int))
+    "unguarded cross-domain ref flagged" [ 8; 8 ]
+    (locations "domain-unsafe" "conc_unguarded_ref.ml")
+
+let test_conc_unbalanced () =
+  (* one finding at each bad Mutex.lock: the raise-path section and the
+     never-released lock *)
+  Alcotest.(check (list int))
+    "unbalanced critical sections flagged" [ 9; 13 ]
+    (locations "lock-unbalanced" "conc_unbalanced_lock.ml")
+
+let test_conc_lock_order () =
+  Alcotest.(check (list int))
+    "opposite nesting orders flagged at both inner locks" [ 7; 8 ]
+    (locations "lock-order" "conc_lock_order.ml")
+
+let test_conc_blocking () =
+  Alcotest.(check (list int))
+    "Domain.join under a lock flagged" [ 6 ]
+    (locations "lock-blocking" "conc_blocking.ml")
+
+let test_conc_cross_domain () =
+  (* no visible spawn site: the [@rt.cross_domain] annotation makes the
+     queued closure a crossing entry point *)
+  Alcotest.(check (list int))
+    "annotated queued closure analysed" [ 10 ]
+    (locations "domain-unsafe" "conc_cross_domain.ml")
+
+let test_conc_suppress () = clean "conc_suppress.ml" ()
+
+let test_conc_severity () =
+  let sev rule path =
+    match
+      findings_of path
+      |> List.filter (fun (f : Lint_core.finding) -> f.Lint_core.rule = rule)
+    with
+    | f :: _ -> f.Lint_core.severity
+    | [] -> Alcotest.fail ("no " ^ rule ^ " finding in " ^ path)
+  in
+  check_bool "domain-unsafe is an error" true
+    (sev "domain-unsafe" "conc_unguarded_ref.ml" = Finding.Error);
+  check_bool "lock-unbalanced is a warning" true
+    (sev "lock-unbalanced" "conc_unbalanced_lock.ml" = Finding.Warning);
+  check_bool "errors and warnings gate" true
+    (List.for_all Finding.gates (findings_of "conc_unbalanced_lock.ml"));
+  check_bool "notes do not gate" false
+    (Finding.gates
+       (Finding.of_location ~severity:Finding.Note ~file:"x" ~rule:"r"
+          ~msg:"m" Location.none))
+
 let () =
   Alcotest.run "rt_lint"
     [
@@ -242,5 +300,24 @@ let () =
           Alcotest.test_case "products/quotients combine" `Quick
             test_dim_combination;
           Alcotest.test_case "record fields carry dims" `Quick test_dim_fields;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "guarded module clean" `Quick
+            test_conc_guarded_good;
+          Alcotest.test_case "unguarded cross-domain ref" `Quick
+            test_conc_unguarded_ref;
+          Alcotest.test_case "unbalanced lock on raise path" `Quick
+            test_conc_unbalanced;
+          Alcotest.test_case "inconsistent lock order" `Quick
+            test_conc_lock_order;
+          Alcotest.test_case "blocking call under lock" `Quick
+            test_conc_blocking;
+          Alcotest.test_case "[@rt.cross_domain] entry point" `Quick
+            test_conc_cross_domain;
+          Alcotest.test_case "pragma suppresses the race" `Quick
+            test_conc_suppress;
+          Alcotest.test_case "severities and gating" `Quick
+            test_conc_severity;
         ] );
     ]

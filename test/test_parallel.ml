@@ -69,6 +69,51 @@ let test_pool_exception_propagates () =
       check_int_list "pool usable after failure" [ 1; 2; 3 ]
         (Pool.map ~pool Fun.id [ 1; 2; 3 ]))
 
+(* A raising task must not leave the pool's mutex (or the batch's
+   completion mutex) held: after a failing run, further batches AND a
+   clean shutdown must both go through.  This is the regression test
+   for the Mutex.protect refactor — with a leaked lock, the shutdown
+   below deadlocks instead of returning. *)
+let test_pool_raising_task_leaves_pool_usable () =
+  let pool = Pool.create ~domains:2 in
+  (match Pool.run_list pool [ (fun () -> failwith "kaboom") ] with
+  | _ -> Alcotest.fail "expected the job exception to propagate"
+  | exception Failure msg -> check_string "job exception surfaced" "kaboom" msg);
+  check_int_list "next batch still runs" [ 10; 20 ]
+    (Pool.map ~pool (fun x -> x * 10) [ 1; 2 ]);
+  Pool.shutdown pool;
+  check_bool "shutdown returned (no leaked lock)" true true
+
+let test_jobs_validation () =
+  let check_err name r =
+    match r with
+    | Error msg ->
+        check_bool (name ^ " has a message") true (String.length msg > 0)
+    | Ok j -> Alcotest.fail (Printf.sprintf "%s: expected Error, got Ok %d" name j)
+  in
+  (match Pool.parse_jobs "4" with
+  | Ok j -> check_int "parse 4" 4 j
+  | Error e -> Alcotest.fail e);
+  (match Pool.parse_jobs " 2 " with
+  | Ok j -> check_int "whitespace tolerated" 2 j
+  | Error e -> Alcotest.fail e);
+  check_err "parse 0" (Pool.parse_jobs "0");
+  check_err "parse -3" (Pool.parse_jobs "-3");
+  check_err "parse abc" (Pool.parse_jobs "abc");
+  check_err "parse empty" (Pool.parse_jobs "");
+  (* the rt_sched path: --jobs 0 must be a clear error, --jobs n wins
+     over the environment, and the message names the offending value *)
+  check_err "--jobs 0 rejected" (Pool.resolve_jobs ~jobs:0 ());
+  (match Pool.resolve_jobs ~jobs:0 () with
+  | Error msg ->
+      check_bool "message names the bad count" true
+        (String.length msg > 0
+        && String.index_opt msg '0' <> None)
+  | Ok _ -> Alcotest.fail "--jobs 0 accepted");
+  match Pool.resolve_jobs ~jobs:3 () with
+  | Ok j -> check_int "--jobs 3 accepted" 3 j
+  | Error e -> Alcotest.fail e
+
 let test_pool_lifecycle () =
   (match Pool.create ~domains:0 with
   | exception Invalid_argument _ -> ()
@@ -291,7 +336,10 @@ let () =
           Alcotest.test_case "tasks >> domains" `Quick test_pool_many_tasks;
           Alcotest.test_case "exception propagates" `Quick
             test_pool_exception_propagates;
+          Alcotest.test_case "raising task leaves pool usable" `Quick
+            test_pool_raising_task_leaves_pool_usable;
           Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+          Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
         ] );
       ( "clock",
         [

@@ -1,0 +1,23 @@
+(** Domain-safety and lock-discipline analysis (the concurrency rule
+    family).
+
+    Rules: [domain-unsafe] (error) — unsynchronized mutable state
+    reachable from domain-crossing code, or an access to a
+    [[@rt.guarded_by]] value outside its critical section;
+    [lock-unbalanced], [lock-order], [lock-blocking] (warnings) — bare
+    critical sections that can leak their mutex, inconsistent nesting
+    orders, and blocking calls under a lock; [conc-annotation] (error)
+    — malformed annotation payloads.
+
+    Annotations recognised (declared in {!Rt_prelude.Annot}):
+    [[@rt.guarded_by "<mutex>"]] on record fields and let bindings,
+    [[@rt.domain_safe "reason"]] on the same, and [[@rt.cross_domain]]
+    on a closure that will execute on another domain.  See
+    docs/CONCURRENCY_LINT.md. *)
+
+val check :
+  file:string -> modname:string -> Typedtree.structure -> Finding.t list
+(** Run the concurrency rules over one compilation unit.  [file] labels
+    the findings; [modname] is the unit name (used to recognise the
+    pool's own entry points).  Suppression filtering happens in
+    {!Lint_core}, not here. *)

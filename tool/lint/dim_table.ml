@@ -45,7 +45,7 @@ let string_payload = function
   | _ -> None
 
 let rt_dim_attr attrs =
-  List.find_opt (fun a -> a.attr_name.txt = "rt.dim") attrs
+  List.find_opt (fun a -> a.attr_name.txt = Rt_prelude.Annot.dim) attrs
 
 (* ------------------------------------------------------------------ *)
 (* Float-valued declarations in a parsetree signature                   *)

@@ -1,15 +1,25 @@
 (* The diagnostic record every rt-lint pass produces. *)
 
+type severity = Error | Warning | Note
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
 type t = {
   file : string;
   line : int;
   col : int;
   rule : string;
+  severity : severity;
   msg : string;
 }
 
 let to_string f =
   Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+let gates f = match f.severity with Error | Warning -> true | Note -> false
 
 let compare a b =
   match Stdlib.compare a.file b.file with
@@ -22,12 +32,13 @@ let compare a b =
       | c -> c)
   | c -> c
 
-let of_location ~file ~rule ~msg (loc : Location.t) =
+let of_location ?(severity = Error) ~file ~rule ~msg (loc : Location.t) =
   let p = loc.loc_start in
   {
     file;
     line = p.Lexing.pos_lnum;
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     rule;
+    severity;
     msg;
   }

@@ -1,18 +1,39 @@
 (** The diagnostic record every rt-lint pass produces. *)
 
+type severity =
+  | Error  (** definite rule violation; always fails the gate *)
+  | Warning  (** likely problem (the lock-discipline family); fails the gate *)
+  | Note  (** informational; rendered but never fails the gate *)
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"] or ["note"] (the SARIF level vocabulary). *)
+
 type t = {
   file : string;
   line : int;
   col : int;
   rule : string;  (** rule id, e.g. ["float-cmp"] *)
+  severity : severity;
   msg : string;
 }
 
 val to_string : t -> string
 (** Render as [file:line:col: [rule-id] message]. *)
 
+val gates : t -> bool
+(** [true] when the finding's severity is [Error] or [Warning], i.e. it
+    should make the lint gate fail.  [Note]-level findings are rendered
+    but never fail a build. *)
+
 val compare : t -> t -> int
 (** Order by file, then line, column and rule id. *)
 
-val of_location : file:string -> rule:string -> msg:string -> Location.t -> t
-(** Build a finding at the start of a compiler-libs location. *)
+val of_location :
+  ?severity:severity ->
+  file:string ->
+  rule:string ->
+  msg:string ->
+  Location.t ->
+  t
+(** Build a finding at the start of a compiler-libs location.
+    [severity] defaults to [Error]. *)

@@ -10,6 +10,7 @@ type finding = Finding.t = {
   line : int;
   col : int;
   rule : string;
+  severity : Finding.severity;
   msg : string;
 }
 
@@ -299,13 +300,14 @@ let typed_findings ~dims ~source ~in_lib ~check_floats path parsetree =
   let modname = Dim_table.modname_of_path path in
   let run str =
     Typed_lint.check ~dims ~file:path ~modname ~in_lib ~check_floats str
+    @ Conc_lint.check ~file:path ~modname str
   in
   match source with
   | Untyped -> []
   | From_cmt cmt -> (
       match Typed_lint.read_cmt cmt with
       | Ok str -> run str
-      | Error msg -> [ { file = path; line = 1; col = 0; rule = "no-cmt"; msg } ])
+      | Error msg -> [ { file = path; line = 1; col = 0; rule = "no-cmt"; severity = Finding.Error; msg } ])
   | Standalone | Best_effort -> (
       match parsetree with
       | None -> []
@@ -314,7 +316,7 @@ let typed_findings ~dims ~source ~in_lib ~check_floats path parsetree =
           | Ok str -> run str
           | Error msg ->
               if source = Standalone then
-                [ { file = path; line = 1; col = 0; rule = "typecheck"; msg } ]
+                [ { file = path; line = 1; col = 0; rule = "typecheck"; severity = Finding.Error; msg } ]
               else []))
 
 let lint_file_with ~dims ~source ?as_lib path =
@@ -339,7 +341,7 @@ let lint_file_with ~dims ~source ?as_lib path =
        | exn -> Printexc.to_string exn
      in
      ctx.found <-
-       { file = path; line = 1; col = 0; rule = "parse"; msg } :: ctx.found);
+       { file = path; line = 1; col = 0; rule = "parse"; severity = Finding.Error; msg } :: ctx.found);
   let typed =
     if has_suffix path ".mli" then []
     else
@@ -363,6 +365,7 @@ let lint_file_with ~dims ~source ?as_lib path =
             line;
             col;
             rule = "suppression";
+            severity = Finding.Error;
             msg =
               "malformed lint pragma: expected (* lint: allow-<rule> \
                \"reason\" *) with a non-empty reason";
@@ -401,6 +404,7 @@ let missing_mli path =
         line = 1;
         col = 0;
         rule = "missing-mli";
+        severity = Finding.Error;
         msg = "every module under lib/ must ship an interface (.mli)";
       }
   else None

@@ -13,6 +13,7 @@ type finding = Finding.t = {
   line : int;
   col : int;
   rule : string;  (** rule id, e.g. ["float-cmp"] *)
+  severity : Finding.severity;
   msg : string;
 }
 

@@ -81,6 +81,7 @@ let json_of_finding (f : Finding.t) =
       ("line", Int f.line);
       ("col", Int f.col);
       ("rule", Str f.rule);
+      ("severity", Str (Finding.severity_to_string f.severity));
       ("message", Str f.msg);
     ]
 
@@ -97,7 +98,7 @@ let sarif_result (f : Finding.t) =
   Obj
     [
       ("ruleId", Str f.rule);
-      ("level", Str "error");
+      ("level", Str (Finding.severity_to_string f.severity));
       ("message", Obj [ ("text", Str f.msg) ]);
       ( "locations",
         List

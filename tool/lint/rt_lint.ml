@@ -161,7 +161,9 @@ let () =
           true
         end
   in
-  match List.length findings with
+  (* Note-level findings are rendered but never fail the gate; errors
+     and warnings do. *)
+  match List.length (List.filter Finding.gates findings) with
   | 0 when not coverage_failed -> ()
   | 0 -> exit 1
   | n ->

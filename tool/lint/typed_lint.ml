@@ -322,7 +322,7 @@ let unify_report ctx loc what a b =
 
 let rt_dim_of_attrs ctx attrs =
   match
-    List.find_opt (fun a -> a.Parsetree.attr_name.txt = "rt.dim") attrs
+    List.find_opt (fun a -> a.Parsetree.attr_name.txt = Rt_prelude.Annot.dim) attrs
   with
   | None -> None
   | Some a -> (

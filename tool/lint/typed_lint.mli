@@ -7,6 +7,11 @@
     repo walk), or the compiler's own type inference run on a standalone
     parsetree (self-contained fixtures). *)
 
+val path_parts : Path.t -> string list
+(** Decompose a typedtree path into its source-level components, undoing
+    dune's module wrapping ([Rt_prelude__Rng.float] becomes
+    [["Rt_prelude"; "Rng"; "float"]]).  Shared with {!Conc_lint}. *)
+
 val read_cmt : string -> (Typedtree.structure, string) result
 (** Load the typedtree of an implementation [.cmt]. *)
 

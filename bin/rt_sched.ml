@@ -226,7 +226,7 @@ let online seed n load policy_name =
           ~mean_cycles ~slack_lo:1.2 ~slack_hi:4. ~penalty_factor:1.3
       in
       match Rt_online.Admission.simulate ~proc ~policy jobs with
-      | Error e -> Error (`Msg e)
+      | Error e -> Error (`Msg (Rt_online.Admission.error_to_string e))
       | Ok o ->
           Printf.printf
             "online: %d jobs at offered load %.2f, policy %s (seed %d)\n" n
@@ -243,6 +243,168 @@ let online seed n load policy_name =
             (o.Rt_online.Admission.total
             /. Float.max 1e-9 (Rt_online.Admission.lower_bound ~proc jobs));
           Ok ())
+
+(* Resolve a worker-domain count: --jobs beats RT_JOBS beats 1. A count
+   of 1 means "no pool" — run on the calling domain without spawning.
+   Validation lives in Pool.resolve_jobs so both --jobs 0 and a
+   malformed RT_JOBS (e.g. RT_JOBS=abc) fail with one clear message
+   instead of a parse backtrace. *)
+let with_jobs jobs f =
+  match Rt_parallel.Pool.resolve_jobs ?jobs () with
+  | Error msg -> Error (`Msg msg)
+  | Ok 1 -> f None
+  | Ok domains -> Rt_parallel.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
+let parse_policy policy_name =
+  match policy_name with
+  | "admit-all" -> Ok Rt_online.Admission.Admit_all
+  | "profitable" -> Ok Rt_online.Admission.Profitable
+  | other -> (
+      match float_of_string_opt other with
+      | Some theta -> Ok (Rt_online.Admission.Density_threshold theta)
+      | None ->
+          Error
+            (`Msg
+              "policy must be admit-all, profitable, or a numeric threshold"))
+
+(* --fault grammar: derate:FACTOR@TIME, crash:PROC@TIME,
+   overrun:JOB:FACTOR@TIME — TIME is the stream time the fault strikes
+   the running service. *)
+let parse_timed_fault s =
+  let fail () =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "fault %S: expected derate:FACTOR@T, crash:PROC@T, or \
+            overrun:JOB:FACTOR@T"
+           s))
+  in
+  match String.index_opt s '@' with
+  | None -> fail ()
+  | Some i -> (
+      let body = String.sub s 0 i in
+      let at_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match float_of_string_opt at_s with
+      | None -> fail ()
+      | Some at -> (
+          match String.split_on_char ':' body with
+          | [ "derate"; f ] -> (
+              match float_of_string_opt f with
+              | Some factor ->
+                  Ok
+                    {
+                      Rt_fault.Fault.at;
+                      fault = Rt_fault.Fault.Speed_derate { factor };
+                    }
+              | None -> fail ())
+          | [ "crash"; p ] -> (
+              match int_of_string_opt p with
+              | Some proc ->
+                  Ok
+                    {
+                      Rt_fault.Fault.at;
+                      fault = Rt_fault.Fault.Proc_crash { proc; at };
+                    }
+              | None -> fail ())
+          | [ "overrun"; id; f ] -> (
+              match (int_of_string_opt id, float_of_string_opt f) with
+              | Some task_id, Some factor ->
+                  Ok
+                    {
+                      Rt_fault.Fault.at;
+                      fault = Rt_fault.Fault.Wcec_overrun { task_id; factor };
+                    }
+              | _ -> fail ())
+          | _ -> fail ()))
+
+let serve seed n rate_load policy_name m shards queue_cap decision_rate
+    latency_budget theta window trace_file fault_specs yds jobs =
+  match parse_policy policy_name with
+  | Error e -> Error e
+  | Ok policy -> (
+      let faults =
+        List.fold_left
+          (fun acc s ->
+            match (acc, parse_timed_fault s) with
+            | (Error _ as e), _ -> e
+            | _, (Error _ as e) -> e
+            | Ok fs, Ok f -> Ok (f :: fs))
+          (Ok []) fault_specs
+      in
+      match faults with
+      | Error e -> Error e
+      | Ok faults -> (
+          let faults = List.rev faults in
+          let proc =
+            Rt_power.Processor.xscale
+              ~dormancy:
+                (Rt_power.Processor.Dormant_enable { t_sw = 0.; e_sw = 0. })
+          in
+          let config =
+            {
+              Rt_serve.Serve.policy;
+              m;
+              queue_capacity = queue_cap;
+              decision_rate;
+              watchdog =
+                Option.map
+                  (fun b ->
+                    { Rt_serve.Serve.latency_budget = b; recover_after = 32 })
+                  latency_budget;
+              degraded_theta = theta;
+              overload =
+                Option.map
+                  (fun w ->
+                    {
+                      Rt_serve.Serve.window = w;
+                      enter_above = 1.;
+                      exit_below = 0.75;
+                    })
+                  window;
+              faults;
+              yds_bound = yds;
+            }
+          in
+          let mean_cycles = 25. in
+          let source =
+            match trace_file with
+            | Some path -> Rt_serve.Source.of_trace_file path
+            | None ->
+                Ok
+                  (Rt_serve.Source.synthetic ~seed ~limit:n
+                     ~rate:(rate_load /. mean_cycles) ~s_max:1. ~mean_cycles
+                     ~slack_lo:1.2 ~slack_hi:4. ~penalty_factor:1.3 ())
+          in
+          match source with
+          | Error msg -> Error (`Msg msg)
+          | Ok source -> (
+              let show = function
+                | Error e ->
+                    Error (`Msg (Rt_online.Admission.error_to_string e))
+                | Ok r ->
+                    Printf.printf "serve: policy %s, m=%d, %d shard%s\n"
+                      policy_name m shards (if shards = 1 then "" else "s");
+                    Format.printf "%a@." Rt_serve.Serve.pp_report r;
+                    Ok ()
+              in
+              if shards <= 1 then
+                show (Rt_serve.Serve.run ~proc ~config source)
+              else begin
+                (* sharding needs the whole stream to route by id *)
+                let rec drain acc =
+                  match Rt_serve.Source.next source with
+                  | Error msg -> Error (`Msg msg)
+                  | Ok None -> Ok (List.rev acc)
+                  | Ok (Some j) -> drain (j :: acc)
+                in
+                match drain [] with
+                | Error e -> Error e
+                | Ok jobs_list ->
+                    with_jobs jobs (fun pool ->
+                        show
+                          (Rt_serve.Serve.run_sharded ?pool ~shards ~proc
+                             ~config jobs_list))
+              end)))
 
 let faults proc_name penalty_name seed n m load fault_rate =
   if Fc.exact_lt fault_rate 0. || Fc.exact_gt fault_rate 1. then
@@ -386,17 +548,6 @@ let qos proc_name penalty_name seed n m load steps curve =
                   base.Rt_core.Problem.items );
             ];
           Ok ())
-
-(* Resolve a worker-domain count: --jobs beats RT_JOBS beats 1. A count
-   of 1 means "no pool" — run on the calling domain without spawning.
-   Validation lives in Pool.resolve_jobs so both --jobs 0 and a
-   malformed RT_JOBS (e.g. RT_JOBS=abc) fail with one clear message
-   instead of a parse backtrace. *)
-let with_jobs jobs f =
-  match Rt_parallel.Pool.resolve_jobs ?jobs () with
-  | Error msg -> Error (`Msg msg)
-  | Ok 1 -> f None
-  | Ok domains -> Rt_parallel.Pool.with_pool ~domains (fun pool -> f (Some pool))
 
 let portfolio proc_name penalty_name seed n m load node_budget time_budget
     jobs =
@@ -647,6 +798,89 @@ let faults_cmd =
         (const faults $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
        $ load_arg $ fault_rate_arg))
 
+let serve_n_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "n" ] ~doc:"Jobs to draw from the synthetic stream.")
+
+let serve_m_arg =
+  Arg.(value & opt int 1 & info [ "m" ] ~doc:"Number of processors.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Service replicas; jobs are routed by id mod $(docv) and the \
+           reports merged. Byte-stable for any --jobs value.")
+
+let queue_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:
+          "Ingress queue capacity; overflow sheds the cheapest \
+           penalty-per-cycle undecided jobs (default: unbounded).")
+
+let decision_rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "decision-rate" ] ~docv:"R"
+        ~doc:
+          "Admission decisions per stream-time unit (default: \
+           instantaneous — the ingress queue never builds up).")
+
+let latency_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "latency-budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Watchdog: wall-clock budget per admission decision; blowing \
+           it degrades the admission tier (default: no watchdog).")
+
+let theta_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "theta" ]
+        ~doc:"Penalty-per-cycle threshold of the degraded tier.")
+
+let overload_window_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "overload-window" ] ~docv:"T"
+        ~doc:
+          "Sliding-window length for the offered-load estimator \
+           (default: no overload detection).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Serve this trace file (id arrival cycles deadline penalty per \
+           line) instead of the synthetic stream.")
+
+let fault_spec_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a fault into the running service (repeatable): \
+           derate:FACTOR@T, crash:PROC@T, or overrun:JOB:FACTOR@T.")
+
+let yds_arg =
+  Arg.(
+    value & flag
+    & info [ "yds" ]
+        ~doc:
+          "Also compute the YDS offline-optimal energy of the admitted \
+           set (single processor only; cubic in n — keep runs small).")
+
 (* RT_JOBS is read by Pool.resolve_jobs, not by cmdliner's ~env: the
    pool validates it and reports a malformed value ("RT_JOBS: job count
    must be ...") instead of a generic option-parse failure. *)
@@ -659,6 +893,19 @@ let jobs_arg =
           "Worker domains for parallel solving (default: the RT_JOBS \
            environment variable, else 1). Results are byte-identical at \
            any value; only wall time changes.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "stream jobs through the overload-resilient admission service \
+          (bounded ingress, watchdog tiers, live fault injection)")
+    Term.(
+      term_result
+        (const serve $ seed_arg $ serve_n_arg $ load_online_arg $ policy_arg
+       $ serve_m_arg $ shards_arg $ queue_cap_arg $ decision_rate_arg
+       $ latency_budget_arg $ theta_arg $ overload_window_arg $ trace_arg
+       $ fault_spec_arg $ yds_arg $ jobs_arg))
 
 let node_budget_arg =
   Arg.(
@@ -784,6 +1031,7 @@ let cmd =
       compare_cmd;
       periodic_cmd;
       online_cmd;
+      serve_cmd;
       qos_cmd;
       faults_cmd;
       portfolio_cmd;

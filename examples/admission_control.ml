@@ -39,7 +39,9 @@ let () =
   List.iter
     (fun (name, policy) ->
       match Admission.simulate ~proc ~policy jobs with
-      | Error e -> Printf.printf "%-14s failed: %s\n" name e
+      | Error e ->
+          Printf.printf "%-14s failed: %s\n" name
+            (Admission.error_to_string e)
       | Ok o ->
           Printf.printf "%-14s %9.1f %9.1f %9.1f %6.2fx %6d %7d\n" name
             o.Admission.energy o.Admission.penalty o.Admission.total
@@ -64,7 +66,8 @@ let () =
   List.iter
     (fun (name, policy) ->
       match Admission.simulate ~proc ~policy vignette with
-      | Error e -> Printf.printf "%s: %s\n" name e
+      | Error e ->
+          Printf.printf "%s: %s\n" name (Admission.error_to_string e)
       | Ok o ->
           Printf.printf "%-14s admitted %s, total cost %.1f\n" name
             (String.concat ","

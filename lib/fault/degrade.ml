@@ -279,3 +279,61 @@ let pp_report ppf r =
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
        Format.pp_print_int)
     r.shed r.extra_penalty r.energy_faulty r.energy_fault_free r.energy_delta
+
+(* ------------------------------------------------------------------ *)
+(* Online re-planning for the streaming service (lib/serve). *)
+
+module Fc = Rt_prelude.Float_cmp
+
+type residual_job = {
+  rj_id : int;
+  rj_remaining : float;
+  rj_deadline : float;
+  rj_penalty : float;
+}
+
+let online_eps = 1e-9
+
+(* the EDF density of the residual set from [now] — the same statistic
+   Rt_online.Admission prices feasibility with, restated over bare
+   (remaining, deadline) pairs so this module stays independent of the
+   job representation *)
+let online_density ~now jobs =
+  let sorted =
+    List.sort (fun a b -> Float.compare a.rj_deadline b.rj_deadline) jobs
+  in
+  let _, best =
+    List.fold_left
+      (fun (work, best) j ->
+        let work = work +. j.rj_remaining in
+        let slack = j.rj_deadline -. now in
+        if Fc.exact_le slack online_eps then (work, Float.infinity)
+        else (work, Float.max best (work /. slack)))
+      (0., 0.) sorted
+  in
+  best
+
+let shed_online ~now ~cap jobs =
+  (* cheapest rejection value per remaining cycle goes first — the online
+     restatement of Shed_density's penalty-per-weight order; ties break
+     on id so the shed set is deterministic *)
+  let drop_order =
+    List.sort
+      (fun a b ->
+        let c =
+          Float.compare
+            (a.rj_penalty /. a.rj_remaining)
+            (b.rj_penalty /. b.rj_remaining)
+        in
+        if c <> 0 then c else compare a.rj_id b.rj_id)
+      jobs
+  in
+  let rec go shed kept = function
+    | _ when Fc.leq (online_density ~now kept) cap -> List.rev shed
+    | [] -> List.rev shed (* kept is empty: density 0 fits any cap > 0 *)
+    | j :: rest ->
+        go (j.rj_id :: shed)
+          (List.filter (fun k -> k.rj_id <> j.rj_id) kept)
+          rest
+  in
+  go [] jobs drop_order

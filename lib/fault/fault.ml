@@ -120,6 +120,22 @@ let edf_injection sc ~(proc : Processor.t) ~proc_index =
     speed_cap = speed_cap sc proc;
   }
 
+type timed = { at : float; fault : t }
+
+let validate_timed ~m events =
+  List.fold_left
+    (fun acc e ->
+      Result.bind acc (fun () ->
+          if not (Float.is_finite e.at) || Fc.exact_lt e.at 0. then
+            Error
+              (Printf.sprintf
+                 "Fault: injection time %.6g must be finite and >= 0" e.at)
+          else validate ~m [ e.fault ]))
+    (Ok ()) events
+
+let by_time events =
+  List.stable_sort (fun a b -> Float.compare a.at b.at) events
+
 type rates = {
   overrun_prob : float;
   overrun_factor : float;
@@ -172,6 +188,9 @@ let pp_fault ppf = function
   | Proc_crash { proc; at } ->
       Format.fprintf ppf "crash(proc %d @@ %.3g)" proc at
   | Speed_derate { factor } -> Format.fprintf ppf "derate(x%.3g)" factor
+
+let pp_timed ppf e =
+  Format.fprintf ppf "%a @@ t=%.3g" pp_fault e.fault e.at
 
 let pp ppf sc =
   match sc with

@@ -74,6 +74,32 @@ val edf_injection :
 (** Project the scenario onto the single-processor EDF simulation of
     processor [proc_index]. *)
 
+(** {1 Timed injection (the streaming service)}
+
+    The batch simulators take a {!scenario} whole — every fault is known
+    before the replay starts. A {e running} service instead takes faults
+    as events: a {!timed} wrapper gives each fault the absolute stream
+    time at which it strikes, and [Rt_serve.Serve] applies it to the live
+    executor at that instant (then re-plans the committed work through
+    [Degrade.shed_online]). For {!Proc_crash} the wrapper's [at] is the
+    authoritative strike time; the fault's own [at] field is what the
+    batch simulators read and is ignored by the service. *)
+
+type timed = { at : float; fault : t }
+
+val validate_timed : m:int -> timed list -> (unit, string) result
+(** {!validate} on every wrapped fault, plus: strike times finite and
+    >= 0. *)
+
+val by_time : timed list -> timed list
+(** Ascending strike time, stable (simultaneous faults keep their given
+    order — they compose exactly as in a {!scenario}). *)
+
+val pp_timed : Format.formatter -> timed -> unit
+
+val pp_fault : Format.formatter -> t -> unit
+(** One fault, the element form of {!pp}. *)
+
 (** {1 Seeded generation} *)
 
 type rates = {

@@ -16,28 +16,52 @@ type outcome = {
   makespan : float;
 }
 
+type miss = {
+  job_id : int;
+  at : float;
+  deadline : float;
+  active_ids : int list;
+  density : float;
+  backlog : float;
+}
+
+type error = Deadline_miss of miss | Invalid of string
+
+let error_to_string = function
+  | Invalid msg -> msg
+  | Deadline_miss m ->
+      Printf.sprintf
+        "Admission: job %d missed its deadline %g at t=%g (density %g, \
+         backlog %g cycles across %d active job(s))"
+        m.job_id m.deadline m.at m.density m.backlog
+        (List.length m.active_ids)
+
+type decision = Admitted | Declined | Infeasible
+
 type active = { job : Job.t; mutable remaining : float }
 
 let eps = 1e-9
 
 (* the minimum constant speed meeting every pending commitment from [now]:
    max over deadlines of cumulative-work-due / time-to-deadline *)
-let density_speed actives ~now =
+let density_pairs ~now pairs =
   let sorted =
-    List.sort
-      (fun a b -> Float.compare a.job.Job.deadline b.job.Job.deadline)
-      actives
+    List.sort (fun (_, da) (_, db) -> Float.compare da db) pairs
   in
   let _, best =
     List.fold_left
-      (fun (work, best) a ->
-        let work = work +. a.remaining in
-        let slack = a.job.Job.deadline -. now in
+      (fun (work, best) (remaining, deadline) ->
+        let work = work +. remaining in
+        let slack = deadline -. now in
         if Fc.exact_le slack eps then (work, Float.infinity)
         else (work, Float.max best (work /. slack)))
       (0., 0.) sorted
   in
   best
+
+let density_speed actives ~now =
+  density_pairs ~now
+    (List.map (fun a -> (a.remaining, a.job.Job.deadline)) actives)
 
 let critical (proc : Processor.t) =
   match proc.dormancy with
@@ -49,11 +73,26 @@ let idle_power (proc : Processor.t) =
   | Processor.Dormant_enable _ -> 0.
   | Processor.Dormant_disable -> Processor.idle_power proc
 
+(* the structured state an incident log wants when an admitted job is
+   late: who was pending, how much work was left, and the density the
+   executor was trying to sustain (only evaluated on the error path) *)
+let miss_of actives ~now (ed : active) =
+  {
+    job_id = ed.job.Job.id;
+    at = now;
+    deadline = ed.job.Job.deadline;
+    active_ids =
+      List.sort compare (List.map (fun a -> a.job.Job.id) actives);
+    density = density_speed actives ~now;
+    backlog = List.fold_left (fun acc a -> acc +. a.remaining) 0. actives;
+  }
+
 (* run EDF from [now] to [until] (or to work exhaustion), returning the new
    time, accumulated energy, and the completion time of the last finished
-   job; fails if an admitted job misses its deadline *)
-let advance (proc : Processor.t) actives ~now ~until =
-  let s_max = Processor.s_max proc in
+   job; fails if an admitted job misses its deadline. [cap] is the
+   effective top speed — [s_max] on a healthy platform, lower under a
+   derating fault. *)
+let advance (proc : Processor.t) ~cap actives ~now ~until =
   let s_crit = critical proc in
   let energy = ref 0. in
   let last_completion = ref Float.neg_infinity in
@@ -70,12 +109,12 @@ let advance (proc : Processor.t) actives ~now ~until =
           now := until
       | jobs ->
           let speed =
-            Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:s_max
+            Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:cap
               (Float.max s_crit (density_speed jobs ~now:!now))
           in
           if Fc.exact_le speed 0. then begin
             (* zero density with work pending cannot happen (cycles > 0) *)
-            err := Some "Admission: zero speed with pending work"
+            err := Some (Invalid "Admission: zero speed with pending work")
           end
           else begin
             let ed =
@@ -103,10 +142,7 @@ let advance (proc : Processor.t) actives ~now ~until =
             if Fc.exact_le ed.remaining (eps *. Float.max 1. ed.job.Job.cycles)
             then begin
               if Fc.exact_gt !now (ed.job.Job.deadline +. 1e-6) then
-                err :=
-                  Some
-                    (Printf.sprintf "Admission: job %d missed its deadline"
-                       ed.job.Job.id)
+                err := Some (Deadline_miss (miss_of !actives ~now:!now ed))
               else begin
                 last_completion := Float.max !last_completion !now;
                 actives :=
@@ -122,143 +158,354 @@ let advance (proc : Processor.t) actives ~now ~until =
   | Some e -> Error e
   | None -> Ok (!now, !energy, !last_completion)
 
-let marginal_estimate (proc : Processor.t) actives ~now (j : Job.t) =
+let marginal_estimate (proc : Processor.t) ~cap actives ~now (j : Job.t) =
   let trial = { job = j; remaining = j.Job.cycles } :: actives in
   let s =
-    Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:(Processor.s_max proc)
+    Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:cap
       (Float.max (critical proc) (density_speed trial ~now))
   in
   if Fc.exact_le s 0. then Float.infinity
   else j.Job.cycles *. Power_model.power proc.model s /. s
 
-let simulate_mp ~(proc : Processor.t) ~m ~policy jobs =
-  if m < 1 then Error "Admission.simulate_mp: m < 1"
-  else if not (Processor.is_ideal proc) then
-    Error "Admission.simulate: ideal processors only"
-  else if
-    not (Rt_task.Task.distinct_ids (List.map (fun (j : Job.t) -> j.Job.id) jobs))
-  then Error "Admission.simulate: duplicate job ids"
-  else begin
-    let jobs = Job.by_arrival jobs in
-    let processors = Array.init m (fun _ -> ref []) in
-    let energy = ref 0. in
-    let penalty = ref 0. in
-    let admitted = ref [] in
-    let rejected = ref [] in
-    let forced = ref 0 in
-    let makespan = ref 0. in
-    let now = ref 0. in
-    let s_max = Processor.s_max proc in
-    (* advance every processor to [until]; they do not interact *)
-    let advance_all ~until =
+(* ------------------------------------------------------------------ *)
+(* The stepwise executor. [simulate_mp] below and the streaming service
+   (lib/serve) drive the same state through the same entry points, which
+   is what makes the no-fault serve path byte-identical to the batch
+   simulation: there is only one implementation of "advance the EDF
+   executors to t, then decide this arrival". *)
+
+module Exec = struct
+  type t = {
+    proc : Processor.t;
+    mutable cap : float;
+    processors : active list ref array;
+    alive : bool array;
+    seen : (int, unit) Hashtbl.t;
+    energy : float ref;
+    penalty : float ref;
+    admitted : int list ref;
+    rejected : int list ref;
+    forced : int ref;
+    makespan : float ref;
+    now : float ref;
+  }
+
+  let create ~proc ~m =
+    if m < 1 then Error (Invalid "Admission.simulate_mp: m < 1")
+    else if not (Processor.is_ideal proc) then
+      Error (Invalid "Admission.simulate: ideal processors only")
+    else
+      Ok
+        {
+          proc;
+          cap = Processor.s_max proc;
+          processors = Array.init m (fun _ -> ref []);
+          alive = Array.make m true;
+          seen = Hashtbl.create 97;
+          energy = ref 0.;
+          penalty = ref 0.;
+          admitted = ref [];
+          rejected = ref [];
+          forced = ref 0;
+          makespan = ref 0.;
+          now = ref 0.;
+        }
+
+  let now t = !(t.now)
+  let m t = Array.length t.processors
+  let speed_cap t = t.cap
+
+  let set_speed_cap t cap =
+    if Fc.exact_le cap 0. || not (Float.is_finite cap) then
+      Error (Invalid "Admission.Exec: speed cap must be finite and > 0")
+    else begin
+      t.cap <- cap;
+      Ok ()
+    end
+
+  let live t =
+    let acc = ref [] in
+    Array.iteri (fun i alive -> if alive then acc := i :: !acc) t.alive;
+    List.rev !acc
+
+  let active_count t =
+    Array.fold_left
+      (fun acc actives -> acc + List.length !actives)
+      0 t.processors
+
+  let backlog t =
+    Array.fold_left
+      (fun acc actives ->
+        List.fold_left (fun acc a -> acc +. a.remaining) acc !actives)
+      0. t.processors
+
+  (* advance every live processor to [until]; they do not interact.
+     Crashed processors execute nothing and burn nothing; whatever work
+     they still hold stays frozen until the caller re-plans it. *)
+  let advance_to t ~until =
+    if Fc.exact_lt until !(t.now) then
+      Error (Invalid "Admission.Exec: time went backwards")
+    else begin
+      let result = ref (Ok ()) in
+      Array.iteri
+        (fun i actives ->
+          match !result with
+          | Error _ -> ()
+          | Ok () ->
+              if t.alive.(i) then begin
+                match advance t.proc ~cap:t.cap actives ~now:!(t.now) ~until with
+                | Error e -> result := Error e
+                | Ok (_, e, last) ->
+                    t.energy := !(t.energy) +. e;
+                    if Fc.exact_gt last 0. then
+                      t.makespan := Float.max !(t.makespan) last
+              end)
+        t.processors;
+      match !result with
+      | Error _ as e -> e
+      | Ok () ->
+          t.now := until;
+          Ok ()
+    end
+
+  let record_reject t (j : Job.t) =
+    t.rejected := j.Job.id :: !(t.rejected);
+    t.penalty := !(t.penalty) +. j.Job.penalty
+
+  let reject t (j : Job.t) =
+    if Hashtbl.mem t.seen j.Job.id then
+      Error (Invalid "Admission.simulate: duplicate job ids")
+    else begin
+      Hashtbl.add t.seen j.Job.id ();
+      record_reject t j;
+      Ok ()
+    end
+
+  (* the per-arrival step: feasibility over the live processors, then the
+     policy. The decision instant is [now t] — deciding late (a queued
+     arrival) simply leaves the job less slack. *)
+  let decide t ~policy (j : Job.t) =
+    if Hashtbl.mem t.seen j.Job.id then
+      Error (Invalid "Admission.simulate: duplicate job ids")
+    else begin
+      Hashtbl.add t.seen j.Job.id ();
+      (* feasible processor with the cheapest marginal estimate *)
+      let best = ref None in
+      Array.iteri
+        (fun i actives ->
+          if t.alive.(i) then begin
+            let trial = { job = j; remaining = j.Job.cycles } :: !actives in
+            if
+              Rt_prelude.Float_cmp.leq
+                (density_speed trial ~now:!(t.now))
+                t.cap
+            then begin
+              let est =
+                marginal_estimate t.proc ~cap:t.cap !actives ~now:!(t.now) j
+              in
+              match !best with
+              | Some (_, eb) when Fc.exact_le eb est -> ()
+              | _ -> best := Some (actives, est)
+            end
+          end)
+        t.processors;
+      match !best with
+      | None ->
+          incr t.forced;
+          record_reject t j;
+          Ok Infeasible
+      | Some (actives, est) ->
+          let accept =
+            match policy with
+            | Admit_all -> true
+            | Profitable -> Rt_prelude.Float_cmp.leq est j.Job.penalty
+            | Density_threshold theta ->
+                (* tolerant: this is the paper's accept/reject boundary *)
+                Rt_prelude.Float_cmp.geq
+                  (j.Job.penalty /. j.Job.cycles)
+                  theta
+          in
+          if accept then begin
+            actives := { job = j; remaining = j.Job.cycles } :: !actives;
+            t.admitted := j.Job.id :: !(t.admitted);
+            Ok Admitted
+          end
+          else begin
+            record_reject t j;
+            Ok Declined
+          end
+    end
+
+  (* the degraded-tier decision: one density test on the first feasible
+     live processor, a penalty-per-cycle threshold, and no marginal-energy
+     estimate — the cheap path the watchdog falls back to. *)
+  let decide_cheap t ~theta (j : Job.t) =
+    if Hashtbl.mem t.seen j.Job.id then
+      Error (Invalid "Admission.simulate: duplicate job ids")
+    else begin
+      Hashtbl.add t.seen j.Job.id ();
+      let target = ref None in
+      Array.iteri
+        (fun i actives ->
+          if t.alive.(i) && !target = None then begin
+            let trial = { job = j; remaining = j.Job.cycles } :: !actives in
+            if
+              Rt_prelude.Float_cmp.leq
+                (density_speed trial ~now:!(t.now))
+                t.cap
+            then target := Some actives
+          end)
+        t.processors;
+      match !target with
+      | None ->
+          incr t.forced;
+          record_reject t j;
+          Ok Infeasible
+      | Some actives ->
+          if Rt_prelude.Float_cmp.geq (j.Job.penalty /. j.Job.cycles) theta
+          then begin
+            actives := { job = j; remaining = j.Job.cycles } :: !actives;
+            t.admitted := j.Job.id :: !(t.admitted);
+            Ok Admitted
+          end
+          else begin
+            record_reject t j;
+            Ok Declined
+          end
+    end
+
+  let residuals t ~proc =
+    if proc < 0 || proc >= Array.length t.processors then []
+    else List.map (fun a -> (a.job, a.remaining)) !(t.processors.(proc))
+
+  let density_of t ~proc ~extra =
+    if proc < 0 || proc >= Array.length t.processors then Float.infinity
+    else
+      density_pairs ~now:!(t.now)
+        (extra
+        @ List.map
+            (fun a -> (a.remaining, a.job.Job.deadline))
+            !(t.processors.(proc)))
+
+  let remove_active t ~id =
+    let found = ref None in
+    Array.iter
+      (fun actives ->
+        if Option.is_none !found then begin
+          match List.find_opt (fun a -> a.job.Job.id = id) !actives with
+          | None -> ()
+          | Some a ->
+              actives :=
+                List.filter (fun b -> b.job.Job.id <> id) !actives;
+              found := Some (a.job, a.remaining)
+        end)
+      t.processors;
+    !found
+
+  let place t ~proc (job, remaining) =
+    if proc < 0 || proc >= Array.length t.processors then
+      Error (Invalid "Admission.Exec.place: processor out of range")
+    else if not t.alive.(proc) then
+      Error (Invalid "Admission.Exec.place: processor is dead")
+    else begin
+      t.processors.(proc) := { job; remaining } :: !(t.processors.(proc));
+      Ok ()
+    end
+
+  (* un-admit a job already detached from its processor: the service pays
+     its rejection penalty instead of silently missing its deadline *)
+  let drop_admitted t (j : Job.t) =
+    t.admitted := List.filter (fun id -> id <> j.Job.id) !(t.admitted);
+    record_reject t j
+
+  let kill t ~proc =
+    if proc < 0 || proc >= Array.length t.processors then []
+    else begin
+      t.alive.(proc) <- false;
+      let orphans =
+        List.map (fun a -> (a.job, a.remaining)) !(t.processors.(proc))
+      in
+      t.processors.(proc) := [];
+      orphans
+    end
+
+  let inflate t ~id ~factor =
+    let hit = ref false in
+    Array.iter
+      (fun actives ->
+        List.iter
+          (fun a ->
+            if a.job.Job.id = id then begin
+              a.remaining <- a.remaining *. factor;
+              hit := true
+            end)
+          !actives)
+      t.processors;
+    !hit
+
+  let finish t =
+    (* drain the remaining work on every processor *)
+    let horizon =
       Array.fold_left
         (fun acc actives ->
-          match acc with
-          | Error _ as e -> e
-          | Ok () -> (
-              match advance proc actives ~now:!now ~until with
-              | Error e -> Error e
-              | Ok (_, e, last) ->
-                  energy := !energy +. e;
-                  if Fc.exact_gt last 0. then
-                    makespan := Float.max !makespan last;
-                  Ok ()))
-        (Ok ()) processors
+          List.fold_left
+            (fun acc a -> Float.max acc a.job.Job.deadline)
+            acc !actives)
+        !(t.now) t.processors
     in
-    let rec process = function
-      | [] -> Ok ()
-      | (j : Job.t) :: rest -> (
-          match advance_all ~until:j.Job.arrival with
-          | Error e -> Error e
-          | Ok () ->
-              now := j.Job.arrival;
-              (* feasible processor with the cheapest marginal estimate *)
-              let best = ref None in
-              Array.iter
-                (fun actives ->
-                  let trial =
-                    { job = j; remaining = j.Job.cycles } :: !actives
-                  in
-                  if
-                    Rt_prelude.Float_cmp.leq
-                      (density_speed trial ~now:!now)
-                      s_max
-                  then begin
-                    let est = marginal_estimate proc !actives ~now:!now j in
-                    match !best with
-                    | Some (_, eb) when Fc.exact_le eb est -> ()
-                    | _ -> best := Some (actives, est)
-                  end)
-                processors;
-              (match !best with
-              | None ->
-                  incr forced;
-                  rejected := j.Job.id :: !rejected;
-                  penalty := !penalty +. j.Job.penalty
-              | Some (actives, est) ->
-                  let accept =
-                    match policy with
-                    | Admit_all -> true
-                    | Profitable ->
-                        Rt_prelude.Float_cmp.leq est j.Job.penalty
-                    | Density_threshold theta ->
-                        (* tolerant: this is the paper's accept/reject boundary *)
-                        Rt_prelude.Float_cmp.geq
-                          (j.Job.penalty /. j.Job.cycles)
-                          theta
-                  in
-                  if accept then begin
-                    actives :=
-                      { job = j; remaining = j.Job.cycles } :: !actives;
-                    admitted := j.Job.id :: !admitted
-                  end
-                  else begin
-                    rejected := j.Job.id :: !rejected;
-                    penalty := !penalty +. j.Job.penalty
-                  end);
-              process rest)
-    in
-    match process jobs with
+    match advance_to t ~until:(horizon +. 1.) with
     | Error e -> Error e
-    | Ok () -> (
-        (* drain the remaining work on every processor *)
-        let horizon =
-          Array.fold_left
-            (fun acc actives ->
-              List.fold_left
-                (fun acc a -> Float.max acc a.job.Job.deadline)
-                acc !actives)
-            !now processors
+    | Ok () ->
+        if Array.exists (fun actives -> !actives <> []) t.processors then
+          Error (Invalid "Admission.simulate: work left after the last deadline")
+        else
+          Ok
+            {
+              energy = !(t.energy);
+              penalty = !(t.penalty);
+              total = !(t.energy) +. !(t.penalty);
+              admitted = List.sort compare !(t.admitted);
+              rejected = List.sort compare !(t.rejected);
+              forced_rejections = !(t.forced);
+              makespan = !(t.makespan);
+            }
+end
+
+let simulate_mp ~(proc : Processor.t) ~m ~policy jobs =
+  match Exec.create ~proc ~m with
+  | Error e -> Error e
+  | Ok t ->
+      if
+        not
+          (Rt_task.Task.distinct_ids
+             (List.map (fun (j : Job.t) -> j.Job.id) jobs))
+      then Error (Invalid "Admission.simulate: duplicate job ids")
+      else begin
+        let jobs = Job.by_arrival jobs in
+        let rec process = function
+          | [] -> Exec.finish t
+          | (j : Job.t) :: rest -> (
+              match Exec.advance_to t ~until:j.Job.arrival with
+              | Error e -> Error e
+              | Ok () -> (
+                  match Exec.decide t ~policy j with
+                  | Error e -> Error e
+                  | Ok _ -> process rest))
         in
-        match advance_all ~until:(horizon +. 1.) with
-        | Error e -> Error e
-        | Ok () ->
-            if Array.exists (fun actives -> !actives <> []) processors then
-              Error "Admission.simulate: work left after the last deadline"
-            else
-              Ok
-                {
-                  energy = !energy;
-                  penalty = !penalty;
-                  total = !energy +. !penalty;
-                  admitted = List.sort compare !admitted;
-                  rejected = List.sort compare !rejected;
-                  forced_rejections = !forced;
-                  makespan = !makespan;
-                })
-  end
+        process jobs
+      end
 
 let simulate ~proc ~policy jobs = simulate_mp ~proc ~m:1 ~policy jobs
 
-let lower_bound ~(proc : Processor.t) jobs =
+let job_bound ~(proc : Processor.t) (j : Job.t) =
   let s_max = Processor.s_max proc in
   let s_crit = critical proc in
-  List.fold_left
-    (fun acc (j : Job.t) ->
-      let s =
-        Rt_prelude.Float_cmp.clamp ~lo:1e-9 ~hi:s_max
-          (Float.max s_crit (Job.laxity_speed j))
-      in
-      let run_cost = j.Job.cycles *. Power_model.power proc.model s /. s in
-      acc +. Float.min j.Job.penalty run_cost)
-    0. jobs
+  let s =
+    Rt_prelude.Float_cmp.clamp ~lo:1e-9 ~hi:s_max
+      (Float.max s_crit (Job.laxity_speed j))
+  in
+  let run_cost = j.Job.cycles *. Power_model.power proc.model s /. s in
+  Float.min j.Job.penalty run_cost
+
+let lower_bound ~(proc : Processor.t) jobs =
+  List.fold_left (fun acc j -> acc +. job_bound ~proc j) 0. jobs

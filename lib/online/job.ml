@@ -31,16 +31,19 @@ let exponential rng ~mean =
   let u = Rt_prelude.Rng.float rng ~lo:1e-9 ~hi:1. in
   -.mean *. log u
 
-let stream rng ~n ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
-    ~penalty_factor =
-  if n < 0 then invalid_arg "Job.stream: n < 0";
+let stream_seq rng ?limit ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
+    ~penalty_factor () =
+  (match limit with
+  | Some n when n < 0 -> invalid_arg "Job.stream: n < 0"
+  | _ -> ());
   if Fc.exact_le rate 0. || Fc.exact_le s_max 0. || Fc.exact_le mean_cycles 0.
   then
     invalid_arg "Job.stream: non-positive parameter";
   if Fc.exact_lt slack_lo 1. || Fc.exact_lt slack_hi slack_lo then
     invalid_arg "Job.stream: need 1 <= slack_lo <= slack_hi";
-  let rec go i now acc =
-    if i = n then List.rev acc
+  let rec go i now () =
+    let exhausted = match limit with Some n -> i >= n | None -> false in
+    if exhausted then Seq.Nil
     else begin
       let arrival = now +. exponential rng ~mean:(1. /. rate) in
       let cycles = Float.max 1. (exponential rng ~mean:mean_cycles) in
@@ -53,8 +56,15 @@ let stream rng ~n ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
         penalty_factor *. cycles *. (s_max ** 2.)
         *. Rt_prelude.Rng.float rng ~lo:0.6 ~hi:1.4
       in
-      go (i + 1) arrival
-        (make ~id:i ~arrival ~cycles ~deadline ~penalty :: acc)
+      Seq.Cons
+        (make ~id:i ~arrival ~cycles ~deadline ~penalty, go (i + 1) arrival)
     end
   in
-  go 0 0. []
+  go 0 0.
+
+let stream rng ~n ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
+    ~penalty_factor =
+  if n < 0 then invalid_arg "Job.stream: n < 0";
+  List.of_seq
+    (stream_seq rng ~limit:n ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
+       ~penalty_factor ())

@@ -27,6 +27,19 @@ val by_arrival : t list -> t list
 (** Sorted by arrival (ties by id); the order {!Admission.simulate}
     expects. *)
 
+val stream_seq :
+  Rt_prelude.Rng.t -> ?limit:int -> rate:float -> s_max:float ->
+  mean_cycles:float -> slack_lo:float -> slack_hi:float ->
+  penalty_factor:float -> unit -> t Seq.t
+(** The lazy form of {!stream}: jobs are drawn from the [Rng] one at a
+    time as the sequence is pulled, so an unbounded trace ([limit]
+    omitted) runs in O(1) memory. The sequence is {e ephemeral} — each
+    element consumes randomness when forced, so traverse it exactly once
+    (re-traversal would consume fresh randomness and produce different
+    jobs). With [limit = n], forcing the whole sequence yields exactly
+    {!stream}'s list for the same [Rng] state, element for element.
+    @raise Invalid_argument as {!stream}. *)
+
 val stream :
   Rt_prelude.Rng.t -> n:int -> rate:float -> s_max:float ->
   mean_cycles:float -> slack_lo:float -> slack_hi:float ->
@@ -38,4 +51,5 @@ val stream :
     tightest schedulable-alone deadline), penalty = [penalty_factor] ×
     the job's top-speed energy on a normalized cubic processor, jittered.
     The offered load (expected utilization demand) is
-    [rate × mean_cycles / s_max]. *)
+    [rate × mean_cycles / s_max]. Materializes {!stream_seq} — the list
+    form kept for callers that replay or index the trace. *)

@@ -4,7 +4,13 @@ let scale a b = Float.max 1. (Float.max (Float.abs a) (Float.abs b))
 
 let approx_eq ?(eps = default_eps) a b = Float.abs (a -. b) <= eps *. scale a b
 
-let leq ?(eps = default_eps) a b = a <= b +. (eps *. scale a b)
+(* the tolerance slack only makes sense for finite operands: with
+   [a = infinity] the naive form degenerates to [inf <= inf] and calls
+   an infinite density "feasible" — infinite or NaN operands compare
+   exactly instead *)
+let leq ?(eps = default_eps) a b =
+  if Float.is_finite a && Float.is_finite b then a <= b +. (eps *. scale a b)
+  else a <= b
 
 let geq ?eps a b = leq ?eps b a
 

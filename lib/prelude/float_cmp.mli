@@ -14,7 +14,10 @@ val approx_eq : ?eps:float -> float -> float -> bool
     relative for large ones. *)
 
 val leq : ?eps:float -> float -> float -> bool
-(** [leq a b] is [a <= b] up to tolerance: [a <= b +. slack]. *)
+(** [leq a b] is [a <= b] up to tolerance: [a <= b +. slack]. Infinite
+    or NaN operands compare exactly (no slack): an infinite density is
+    never "at most" a finite cap — the degenerate case a feasibility
+    test on an already-expired deadline produces. *)
 
 val geq : ?eps:float -> float -> float -> bool
 (** [geq a b] is [b <= a] up to tolerance. *)

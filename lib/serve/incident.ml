@@ -1,0 +1,75 @@
+type tier = Exact | Threshold | Admit_none
+
+let tier_name = function
+  | Exact -> "exact"
+  | Threshold -> "threshold"
+  | Admit_none -> "admit-none"
+
+let tier_index = function Exact -> 0 | Threshold -> 1 | Admit_none -> 2
+let tiers = [ Exact; Threshold; Admit_none ]
+
+let next_down = function
+  | Exact -> Some Threshold
+  | Threshold -> Some Admit_none
+  | Admit_none -> None
+
+let next_up = function
+  | Exact -> None
+  | Threshold -> Some Exact
+  | Admit_none -> Some Threshold
+
+type t =
+  | Shed of { at : float; job_id : int; rate : float }
+  | Tier_down of { at : float; from_ : tier; to_ : tier; latency : float }
+  | Tier_up of { at : float; from_ : tier; to_ : tier }
+  | Overload_on of { at : float; offered : float }
+  | Overload_off of { at : float; offered : float }
+  | Fault_struck of { at : float; fault : Rt_fault.Fault.t }
+  | Replanned of { at : float; shed : int list; moved : int list }
+
+let at = function
+  | Shed { at; _ }
+  | Tier_down { at; _ }
+  | Tier_up { at; _ }
+  | Overload_on { at; _ }
+  | Overload_off { at; _ }
+  | Fault_struck { at; _ }
+  | Replanned { at; _ } ->
+      at
+
+let label = function
+  | Shed _ -> "shed"
+  | Tier_down _ -> "tier-down"
+  | Tier_up _ -> "tier-up"
+  | Overload_on _ -> "overload-on"
+  | Overload_off _ -> "overload-off"
+  | Fault_struck _ -> "fault"
+  | Replanned _ -> "replan"
+
+let pp_ids ppf ids =
+  Format.fprintf ppf "[@[<hov>%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Format.pp_print_int)
+    ids
+
+let pp ppf = function
+  | Shed { at; job_id; rate } ->
+      Format.fprintf ppf "t=%-10.4g shed         job %d (%.4g penalty/cycle)"
+        at job_id rate
+  | Tier_down { at; from_; to_; latency } ->
+      Format.fprintf ppf "t=%-10.4g tier-down    %s -> %s (decision took %.3gs)"
+        at (tier_name from_) (tier_name to_) latency
+  | Tier_up { at; from_; to_ } ->
+      Format.fprintf ppf "t=%-10.4g tier-up      %s -> %s" at (tier_name from_)
+        (tier_name to_)
+  | Overload_on { at; offered } ->
+      Format.fprintf ppf "t=%-10.4g overload-on  offered load %.4g" at offered
+  | Overload_off { at; offered } ->
+      Format.fprintf ppf "t=%-10.4g overload-off offered load %.4g" at offered
+  | Fault_struck { at; fault } ->
+      Format.fprintf ppf "t=%-10.4g fault        %a" at Rt_fault.Fault.pp_fault
+        fault
+  | Replanned { at; shed; moved } ->
+      Format.fprintf ppf "t=%-10.4g replan       shed %a, moved %a" at pp_ids
+        shed pp_ids moved

@@ -1,0 +1,64 @@
+(** The service's structured incident log.
+
+    Every robustness-layer action the engine takes — shedding ingress
+    load, changing admission tier, declaring or clearing overload, a
+    fault striking, re-planning committed work — is recorded as one
+    {!t}, timestamped in {e stream} (simulation) time. The log is the
+    service's audit trail: the end-of-run report carries it whole, the
+    CLI renders it with {!pp}, and the CI smoke test asserts it is
+    non-empty whenever a fault was injected. *)
+
+(** Admission degradation tiers, cheapest-first from the top:
+    {!Exact} runs the full admission step (exact density test over all
+    live processors plus the marginal-energy placement); {!Threshold}
+    keeps the exact feasibility test but replaces the energy estimate
+    with a fixed penalty-per-cycle threshold; {!Admit_none} rejects
+    unconditionally. Every tier is deadline-safe — degradation trades
+    decision {e quality} (energy/penalty optimality) for decision
+    {e latency}, never safety. *)
+type tier = Exact | Threshold | Admit_none
+
+val tier_name : tier -> string
+(** ["exact"], ["threshold"], ["admit-none"]. *)
+
+val tier_index : tier -> int
+(** 0, 1, 2 in {!tier} order — indexes the report's per-tier arrays. *)
+
+val tiers : tier list
+(** All three, best first. *)
+
+val next_down : tier -> tier option
+(** One tier worse ([None] from {!Admit_none}). *)
+
+val next_up : tier -> tier option
+(** One tier better ([None] from {!Exact}). *)
+
+type t =
+  | Shed of { at : float; job_id : int; rate : float }
+      (** ingress queue overflow dropped this undecided job;
+          [rate] is its penalty per cycle, the shed ordering key *)
+  | Tier_down of { at : float; from_ : tier; to_ : tier; latency : float }
+      (** the watchdog saw a decision take [latency] seconds of wall
+          clock, over budget, and degraded the admission tier *)
+  | Tier_up of { at : float; from_ : tier; to_ : tier }
+      (** enough consecutive in-budget decisions to recover one tier *)
+  | Overload_on of { at : float; offered : float }
+      (** the sliding-window offered-load estimate crossed the entry
+          threshold *)
+  | Overload_off of { at : float; offered : float }
+      (** ... and later fell below the exit threshold (hysteresis) *)
+  | Fault_struck of { at : float; fault : Rt_fault.Fault.t }
+      (** an injected fault was applied to the live executor *)
+  | Replanned of { at : float; shed : int list; moved : int list }
+      (** committed work was re-planned after a fault: [shed] ids were
+          dropped (paying their penalties, cheapest-per-cycle first),
+          [moved] ids were re-homed to surviving processors *)
+
+val at : t -> float
+(** The incident's stream-time stamp. *)
+
+val label : t -> string
+(** Short machine-friendly tag: ["shed"], ["tier-down"], ["tier-up"],
+    ["overload-on"], ["overload-off"], ["fault"], ["replan"]. *)
+
+val pp : Format.formatter -> t -> unit

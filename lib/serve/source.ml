@@ -1,0 +1,130 @@
+module Fc = Rt_prelude.Float_cmp
+module Job = Rt_online.Job
+
+type t = { next : unit -> (Job.t option, string) result }
+
+let next s = s.next ()
+
+let of_list jobs =
+  let rest = ref (Job.by_arrival jobs) in
+  {
+    next =
+      (fun () ->
+        match !rest with
+        | [] -> Ok None
+        | j :: tl ->
+            rest := tl;
+            Ok (Some j));
+  }
+
+let of_seq seq =
+  let state = ref seq in
+  let last = ref Float.neg_infinity in
+  {
+    next =
+      (fun () ->
+        match !state () with
+        | Seq.Nil ->
+            state := Seq.empty;
+            Ok None
+        | Seq.Cons (j, tl) ->
+            state := tl;
+            if Fc.exact_lt j.Job.arrival !last then
+              Error
+                (Printf.sprintf
+                   "job %d arrives at %.6g after a job at %.6g: sequence \
+                    sources must be sorted by arrival"
+                   j.Job.id j.Job.arrival !last)
+            else begin
+              last := j.Job.arrival;
+              Ok (Some j)
+            end);
+  }
+
+let synthetic ~seed ?limit ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
+    ~penalty_factor () =
+  let rng = Rt_prelude.Rng.create ~seed in
+  of_seq
+    (Job.stream_seq rng ?limit ~rate ~s_max ~mean_cycles ~slack_lo ~slack_hi
+       ~penalty_factor ())
+
+(* Trace files: parsed a line at a time on pull, so the handle stays open
+   for the life of the source and is closed at EOF or first error. *)
+
+let split_fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_line ~lineno line =
+  match split_fields line with
+  | [ id; arrival; cycles; deadline; penalty ] -> (
+      match
+        ( int_of_string_opt id,
+          float_of_string_opt arrival,
+          float_of_string_opt cycles,
+          float_of_string_opt deadline,
+          float_of_string_opt penalty )
+      with
+      | Some id, Some arrival, Some cycles, Some deadline, Some penalty -> (
+          match Job.make ~id ~arrival ~cycles ~deadline ~penalty with
+          | j -> Ok j
+          | exception Invalid_argument msg ->
+              Error (Printf.sprintf "trace line %d: %s" lineno msg))
+      | _ -> Error (Printf.sprintf "trace line %d: unparsable field" lineno))
+  | fields ->
+      Error
+        (Printf.sprintf "trace line %d: expected 5 fields, got %d" lineno
+           (List.length fields))
+
+let of_trace_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let done_ = ref false in
+      let lineno = ref 0 in
+      let last = ref Float.neg_infinity in
+      let finish r =
+        done_ := true;
+        close_in_noerr ic;
+        r
+      in
+      let rec pull () =
+        if !done_ then Ok None
+        else
+          match input_line ic with
+          | exception End_of_file -> finish (Ok None)
+          | line -> (
+              incr lineno;
+              let trimmed = String.trim line in
+              if trimmed = "" || trimmed.[0] = '#' then pull ()
+              else
+                match parse_line ~lineno:!lineno trimmed with
+                | Error _ as e -> finish e
+                | Ok j ->
+                    if Fc.exact_lt j.Job.arrival !last then
+                      finish
+                        (Error
+                           (Printf.sprintf
+                              "trace line %d: job %d arrives at %.6g after a \
+                               job at %.6g (traces must be sorted by arrival)"
+                              !lineno j.Job.id j.Job.arrival !last))
+                    else begin
+                      last := j.Job.arrival;
+                      Ok (Some j)
+                    end)
+      in
+      Ok { next = pull }
+
+let write_trace path jobs =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+      output_string oc "# rt_serve trace: id arrival cycles deadline penalty\n";
+      List.iter
+        (fun (j : Job.t) ->
+          Printf.fprintf oc "%d %.17g %.17g %.17g %.17g\n" j.id j.arrival
+            j.cycles j.deadline j.penalty)
+        (Job.by_arrival jobs);
+      close_out oc;
+      Ok ()

@@ -1,0 +1,49 @@
+(** Pull-based job sources for the streaming service.
+
+    The batch simulators take a fully materialized [Job.t list]; a
+    serving engine cannot — the stream may be unbounded, or produced by
+    another process. A {!t} is the minimal incremental contract:
+    {!next} yields the next job, signals exhaustion, or reports that
+    the source itself misbehaved. All constructors guarantee (or
+    enforce) non-decreasing arrival times, which is what lets the
+    engine advance its executors monotonically. *)
+
+type t
+
+val next : t -> (Rt_online.Job.t option, string) result
+(** Pull one job. [Ok None] means the source is exhausted and will stay
+    exhausted; [Error] means the source itself is broken (malformed
+    trace line, out-of-order arrivals) — the service surfaces it and
+    stops. *)
+
+val of_list : Rt_online.Job.t list -> t
+(** Replay a finite list, sorted by arrival internally
+    ({!Rt_online.Job.by_arrival}) so any order is accepted. *)
+
+val of_seq : Rt_online.Job.t Seq.t -> t
+(** Stream a sequence, one element per {!next}, in O(1) memory for lazy
+    producers. Arrivals must be non-decreasing: a regression is
+    reported as [Error] at the offending pull (the sequence cannot be
+    sorted without materializing it). The sequence is consumed — pair
+    with ephemeral producers like {!Rt_online.Job.stream_seq}. *)
+
+val synthetic :
+  seed:int -> ?limit:int -> rate:float -> s_max:float -> mean_cycles:float ->
+  slack_lo:float -> slack_hi:float -> penalty_factor:float -> unit -> t
+(** The seeded synthetic workload: {!Rt_online.Job.stream_seq} over a
+    private [Rng] created from [seed]; unbounded when [limit] is
+    omitted. Parameters as {!Rt_online.Job.stream}.
+    @raise Invalid_argument as {!Rt_online.Job.stream}. *)
+
+val of_trace_file : string -> (t, string) result
+(** Stream a whitespace-separated text trace: one
+    [id arrival cycles deadline penalty] record per line; blank lines
+    and [#]-comments skipped. The file is read lazily, line by line, so
+    arbitrarily long traces replay in O(1) memory; a malformed line, a
+    field violating {!Rt_online.Job.make}'s ranges, or an out-of-order
+    arrival surfaces as [Error] from {!next} with its line number.
+    Errors immediately only if the file cannot be opened. *)
+
+val write_trace : string -> Rt_online.Job.t list -> (unit, string) result
+(** Write jobs (sorted by arrival) in the {!of_trace_file} format, with
+    a header comment; floats are printed round-trip exact. *)

@@ -20,7 +20,7 @@ let job ~id ~arrival ~cycles ~deadline ~penalty =
 let simulate_exn ~policy jobs =
   match Admission.simulate ~proc ~policy jobs with
   | Ok o -> o
-  | Error e -> Alcotest.failf "simulate: %s" e
+  | Error e -> Alcotest.failf "simulate: %s" (Admission.error_to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Job *)
@@ -51,6 +51,31 @@ let test_stream_properties () =
     (List.for_all
        (fun (j : Job.t) -> Job.laxity_speed j <= 1. /. 2. +. 1e-9)
        jobs)
+
+let test_stream_seq_matches_stream () =
+  (* the lazy form forced to completion is the list form, element for
+     element, for the same seed *)
+  let materialize seed =
+    let rng = Rt_prelude.Rng.create ~seed in
+    Job.stream rng ~n:60 ~rate:0.05 ~s_max:1. ~mean_cycles:20. ~slack_lo:1.5
+      ~slack_hi:5. ~penalty_factor:1.2
+  in
+  let lazily seed =
+    let rng = Rt_prelude.Rng.create ~seed in
+    Job.stream_seq rng ~limit:60 ~rate:0.05 ~s_max:1. ~mean_cycles:20.
+      ~slack_lo:1.5 ~slack_hi:5. ~penalty_factor:1.2 ()
+    |> List.of_seq
+  in
+  check_bool "stream_seq = stream" true (materialize 9 = lazily 9);
+  (* unlimited form: pulling a prefix matches too, without forcing more *)
+  let rng = Rt_prelude.Rng.create ~seed:9 in
+  let prefix =
+    Job.stream_seq rng ~rate:0.05 ~s_max:1. ~mean_cycles:20. ~slack_lo:1.5
+      ~slack_hi:5. ~penalty_factor:1.2 ()
+    |> Seq.take 10 |> List.of_seq
+  in
+  check_bool "unbounded prefix matches" true
+    (prefix = List.filteri (fun i _ -> i < 10) (materialize 9))
 
 (* ------------------------------------------------------------------ *)
 (* Admission: hand-built scenarios *)
@@ -217,12 +242,12 @@ let test_mp_spreads_load () =
   let j0 = job ~id:0 ~arrival:0. ~cycles:90. ~deadline:100. ~penalty:10. in
   let j1 = job ~id:1 ~arrival:0. ~cycles:90. ~deadline:100. ~penalty:10. in
   (match Admission.simulate_mp ~proc ~m:2 ~policy:Admission.Admit_all [ j0; j1 ] with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Admission.error_to_string e)
   | Ok o ->
       check_int "both admitted on two processors" 2
         (List.length o.Admission.admitted));
   match Admission.simulate ~proc ~policy:Admission.Admit_all [ j0; j1 ] with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Admission.error_to_string e)
   | Ok o -> check_int "one forced out on one processor" 1 o.Admission.forced_rejections
 
 (* ------------------------------------------------------------------ *)
@@ -330,6 +355,8 @@ let () =
         [
           Alcotest.test_case "validation" `Quick test_job_validation;
           Alcotest.test_case "stream" `Quick test_stream_properties;
+          Alcotest.test_case "stream_seq lazy form" `Quick
+            test_stream_seq_matches_stream;
         ] );
       ( "admission",
         [

@@ -26,6 +26,13 @@ let test_leq_geq () =
   check_bool "leq equal" true (Float_cmp.leq 2.0 2.0);
   check_bool "leq slack" true (Float_cmp.leq (2.0 +. 1e-12) 2.0);
   check_bool "leq false" false (Float_cmp.leq 2.1 2.0);
+  (* infinite densities must never pass a finite feasibility cap: the
+     naive tolerant form degenerates to inf <= inf *)
+  check_bool "leq inf vs finite" false (Float_cmp.leq Float.infinity 2.0);
+  check_bool "leq finite vs inf" true (Float_cmp.leq 2.0 Float.infinity);
+  check_bool "leq inf vs inf" true
+    (Float_cmp.leq Float.infinity Float.infinity);
+  check_bool "leq nan" false (Float_cmp.leq Float.nan 2.0);
   check_bool "gt" true (Float_cmp.gt 2.1 2.0);
   check_bool "gt not on eps" false (Float_cmp.gt (2.0 +. 1e-13) 2.0);
   check_bool "lt" true (Float_cmp.lt 1.9 2.0)

@@ -228,6 +228,12 @@ type race = {
   par_nodes : int;
   race_domains : int;
   speedup : float;
+  steals : int option;
+      (* work-steal rows: total successful steals across the pool *)
+  completed : bool option;
+      (* work-steal rows: both sides ran to completion (neither
+         exhausted its budget) — the rows the CI wall-clock and
+         cost-equality gates apply to *)
 }
 
 (* The portfolio race: plain branch-and-bound from its own all-reject
@@ -269,35 +275,53 @@ let portfolio_race ~pool ~reps ~seed ~n ~m ~load =
     par_nodes = bb_nodes;
     race_domains = (match pool with None -> 1 | Some pl -> Rt_parallel.Pool.size pl);
     speedup = seq_wall /. Float.max 1e-9 par_wall;
+    steals = None;
+    completed = None;
   }
 
-(* The root-split race: the same exact search distributed over first-level
-   subtrees with a shared incumbent. On a single hardware core this is
-   bounded by ~1x; recorded anyway so the trajectory shows both axes. *)
-let root_split_race ~pool ~reps ~seed ~n ~m ~load =
+(* The work-stealing race: the same exact search dynamically balanced
+   over per-domain deques with a shared incumbent. Both sides get the
+   same wall-clock budget, so the larger instances record honest
+   exhausted-at-budget rows ([completed] false) rather than nothing.
+   On a single hardware core the wall-clock speedup is bounded by ~1x
+   (the deque and incumbent traffic is pure overhead there); the CI
+   wall-clock gate therefore keys on the recorded core count. Steal
+   totals land in the JSON so the trajectory tracks balancing activity
+   alongside raw time. *)
+let work_steal_race ~pool ~reps ~budget ~seed ~n ~m ~load =
   let p = instance ~seed ~n ~m ~load in
   let seq_wall, seq =
     time_wall ~reps (fun () ->
-        match Rt_core.Exact.branch_and_bound_budgeted p with
+        match Rt_core.Exact.branch_and_bound_budgeted ~time_budget:budget p with
         | Ok b -> b
         | Error e -> invalid_arg e)
   in
-  let par_wall, par =
+  let par_wall, (par, stats) =
     time_wall ~reps (fun () ->
-        match Rt_parallel.Par_search.solve ?pool p with
-        | Ok b -> b
+        match Rt_parallel.Par_search.solve_stats ?pool ~time_budget:budget p with
+        | Ok r -> r
         | Error e -> invalid_arg e)
+  in
+  let domains =
+    match pool with None -> 1 | Some pl -> Rt_parallel.Pool.size pl
   in
   {
-    race_name = Printf.sprintf "root-split bb n=%d m=%d seed=%d" n m seed;
+    race_name =
+      Printf.sprintf "work-steal bb n=%d m=%d seed=%d d=%d" n m seed domains;
     seq_wall;
     seq_cost = Rt_expkit.Instances.solution_total p seq.Rt_core.Exact.solution;
     seq_nodes = seq.Rt_core.Exact.nodes;
     par_wall;
     par_cost = Rt_expkit.Instances.solution_total p par.Rt_core.Exact.solution;
     par_nodes = par.Rt_core.Exact.nodes;
-    race_domains = (match pool with None -> 1 | Some pl -> Rt_parallel.Pool.size pl);
+    race_domains = domains;
     speedup = seq_wall /. Float.max 1e-9 par_wall;
+    steals =
+      Some (List.fold_left ( + ) 0 stats.Rt_parallel.Par_search.steals);
+    completed =
+      Some
+        ((not seq.Rt_core.Exact.exhausted)
+        && not par.Rt_core.Exact.exhausted);
   }
 
 (* The equal-budget race: on instances past the exact frontier (n >= 18)
@@ -342,24 +366,39 @@ let budget_race ~pool ~seed ~n ~m ~load ~budget =
     par_nodes = bb_nodes;
     race_domains = (match pool with None -> 1 | Some pl -> Rt_parallel.Pool.size pl);
     speedup = seq_wall /. Float.max 1e-9 par_wall;
+    steals = None;
+    completed = None;
   }
 
 let run_races () =
   let quick = Sys.getenv_opt "RT_BENCH_FULL" = None in
   let reps = if quick then 3 else 7 in
   let budget = if quick then 1.6 else 4.8 in
-  let domains = 4 in
-  Rt_parallel.Pool.with_pool ~domains (fun pl ->
-      let pool = Some pl in
-      [
-        portfolio_race ~pool ~reps ~seed:9 ~n:14 ~m:4 ~load:1.6;
-        portfolio_race ~pool ~reps ~seed:11 ~n:15 ~m:4 ~load:1.5;
-        budget_race ~pool ~seed:21 ~n:18 ~m:4 ~load:1.5 ~budget;
-        budget_race ~pool ~seed:22 ~n:20 ~m:4 ~load:1.5 ~budget;
-        budget_race ~pool ~seed:24 ~n:24 ~m:6 ~load:1.5 ~budget;
-        root_split_race ~pool ~reps ~seed:9 ~n:13 ~m:4 ~load:1.6;
-        root_split_race ~pool ~reps ~seed:11 ~n:14 ~m:4 ~load:1.5;
-      ])
+  let ws_rows pool reps' =
+    [
+      (* n=14 completes inside the budget; n=18/22 record honest
+         exhausted-at-budget rows on most machines *)
+      work_steal_race ~pool ~reps:reps' ~budget ~seed:11 ~n:14 ~m:4 ~load:1.5;
+      work_steal_race ~pool ~reps:1 ~budget ~seed:21 ~n:18 ~m:4 ~load:1.5;
+      work_steal_race ~pool ~reps:1 ~budget ~seed:23 ~n:22 ~m:4 ~load:1.5;
+    ]
+  in
+  let four =
+    Rt_parallel.Pool.with_pool ~domains:4 (fun pl ->
+        let pool = Some pl in
+        [
+          portfolio_race ~pool ~reps ~seed:9 ~n:14 ~m:4 ~load:1.6;
+          portfolio_race ~pool ~reps ~seed:11 ~n:15 ~m:4 ~load:1.5;
+          budget_race ~pool ~seed:21 ~n:18 ~m:4 ~load:1.5 ~budget;
+          budget_race ~pool ~seed:22 ~n:20 ~m:4 ~load:1.5 ~budget;
+          budget_race ~pool ~seed:24 ~n:24 ~m:6 ~load:1.5 ~budget;
+        ]
+        @ ws_rows pool reps)
+  in
+  let eight =
+    Rt_parallel.Pool.with_pool ~domains:8 (fun pl -> ws_rows (Some pl) 1)
+  in
+  four @ eight
 
 (* Lint runtime over the concurrency-critical roots: the analysis is
    part of the CI gate, so its wall time is a perf axis the trajectory
@@ -387,11 +426,20 @@ let json_of_kernel (name, ns) =
 
 let json_of_race r =
   Printf.sprintf
-    "  {\"kind\": \"race\", \"name\": %S, \"domains\": %d, \"seq_wall_s\": \
-     %.6f, \"seq_cost\": %.6f, \"seq_nodes\": %d, \"par_wall_s\": %.6f, \
-     \"par_cost\": %.6f, \"par_nodes\": %d, \"speedup\": %.3f}"
-    r.race_name r.race_domains r.seq_wall r.seq_cost r.seq_nodes r.par_wall
-    r.par_cost r.par_nodes r.speedup
+    "  {\"kind\": \"race\", \"name\": %S, \"domains\": %d, \"hw_cores\": %d, \
+     \"seq_wall_s\": %.6f, \"seq_cost\": %.6f, \"seq_nodes\": %d, \
+     \"par_wall_s\": %.6f, \"par_cost\": %.6f, \"par_nodes\": %d, \
+     \"speedup\": %.3f%s%s}"
+    r.race_name r.race_domains
+    (Domain.recommended_domain_count ())
+    r.seq_wall r.seq_cost r.seq_nodes r.par_wall r.par_cost r.par_nodes
+    r.speedup
+    (match r.steals with
+    | None -> ""
+    | Some s -> Printf.sprintf ", \"steals\": %d" s)
+    (match r.completed with
+    | None -> ""
+    | Some c -> Printf.sprintf ", \"completed\": %b" c)
 
 let write_json ~kernels ~races ~lint =
   let lints = Option.to_list lint in
@@ -432,4 +480,24 @@ let () =
         roots (1e3 *. wall) n
   | None -> print_endline "\n== lint runtime == (skipped: not at repo root)");
   write_json ~kernels ~races ~lint;
+  (* hard gate: a completed work-stealing row whose cost differs from
+     the sequential one is a determinism bug, not a perf regression —
+     fail the bench run outright *)
+  let cost_bugs =
+    List.filter
+      (fun r ->
+        r.completed = Some true
+        && not (Rt_prelude.Float_cmp.exact_eq r.seq_cost r.par_cost))
+      races
+  in
+  if cost_bugs <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.printf
+          "BENCH GATE FAILURE: %s completed with par_cost %.9f <> seq_cost \
+           %.9f\n"
+          r.race_name r.par_cost r.seq_cost)
+      cost_bugs;
+    exit 1
+  end;
   print_endline "\nbench: done"

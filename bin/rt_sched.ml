@@ -602,6 +602,42 @@ let portfolio proc_name penalty_name seed n m load node_budget time_budget
                 (validation_tag p o.Rt_parallel.Portfolio.solution);
               Ok ())
 
+let exact proc_name penalty_name seed n m load node_budget time_budget
+    split_factor jobs =
+  match build_instance ~proc_name ~penalty_name ~seed ~n ~m ~load with
+  | Error e -> Error e
+  | Ok (_, p) ->
+      with_jobs jobs (fun pool ->
+          let t0 = Rt_prelude.Clock.now () in
+          match
+            Rt_parallel.Par_search.solve_stats ?pool ?node_budget ?time_budget
+              ?split_factor p
+          with
+          | Error e -> Error (`Msg e)
+          | Ok (b, stats) ->
+              let wall = Rt_prelude.Clock.elapsed ~since:t0 in
+              Printf.printf
+                "work-stealing exact search on n=%d m=%d load=%.2f (seed %d, \
+                 %d domain%s, split factor %d)\n"
+                n m load seed stats.Rt_parallel.Par_search.domains
+                (if stats.Rt_parallel.Par_search.domains > 1 then "s" else "")
+                (Option.value split_factor
+                   ~default:Rt_parallel.Par_search.default_split_factor);
+              Printf.printf
+                "  wall %.1f ms   nodes %d   splits %d   subtree drops %d   \
+                 steals per domain [%s]\n"
+                (1e3 *. wall) b.Rt_core.Exact.nodes
+                stats.Rt_parallel.Par_search.splits
+                stats.Rt_parallel.Par_search.pruned
+                (String.concat "; "
+                   (List.map string_of_int stats.Rt_parallel.Par_search.steals));
+              if b.Rt_core.Exact.exhausted then
+                print_endline
+                  "  budget exhausted: best incumbent, not a proven optimum";
+              print_cost p b.Rt_core.Exact.solution;
+              Printf.printf "  %s\n" (validation_tag p b.Rt_core.Exact.solution);
+              Ok ())
+
 let fuzz seed count time_budget corpus_dir jobs =
   let config =
     {
@@ -934,6 +970,37 @@ let portfolio_cmd =
         (const portfolio $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
        $ load_arg $ node_budget_arg $ portfolio_time_budget_arg $ jobs_arg))
 
+let split_factor_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "split-factor" ] ~docv:"FACTOR"
+        ~doc:
+          "Work granulation: larger factors expand the search frontier \
+           into finer stealable subtrees. The result is identical at \
+           every value.")
+
+let exact_time_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget (monotonic) shared by all domains; on expiry \
+           the pending subtrees drain and the incumbent is returned.")
+
+let exact_cmd =
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:
+         "run the work-stealing exact branch-and-bound (deterministic: \
+          identical output at any domain count and split factor)")
+    Term.(
+      term_result
+        (const exact $ proc_arg $ penalty_arg $ seed_arg $ n_arg $ m_arg
+       $ load_arg $ node_budget_arg $ exact_time_budget_arg
+       $ split_factor_arg $ jobs_arg))
+
 let count_arg =
   Arg.(
     value
@@ -1034,6 +1101,7 @@ let cmd =
       serve_cmd;
       qos_cmd;
       faults_cmd;
+      exact_cmd;
       portfolio_cmd;
       fuzz_cmd;
       lint_cmd;

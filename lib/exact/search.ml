@@ -227,29 +227,47 @@ let search_core ?shared ~prune ~stop ~m ~capacity ~bucket_cost items =
   run_from ?shared ~prune ~stop e (root e)
 
 (* ---------------------------------------------------------------- *)
-(* Root splitting for the domain-parallel search (Rt_parallel.Par_search).
-   The frontier is grown breadth-first, level by level, preserving DFS
-   order, until it holds at least [width] nodes or every node is a
-   complete assignment. *)
+(* Incremental frontier generation for the domain-parallel search
+   (Rt_parallel.Par_search). A subtree is a search-tree node labelled
+   with its DFS path — the sequence of child indices from the root —
+   so subtrees produced on demand, at any depth and in any order, can
+   still be totally ordered by depth-first position. [expand_subtree]
+   refines one subtree into its children (the incremental analogue of
+   the old one-shot root split); work-stealing schedulers call it
+   whenever they need more independent units. *)
 
-type subtree = { engine : engine; state : state; index : int }
+type subtree = { engine : engine; state : state; path : int list }
 
-let split ~m ~capacity ~bucket_cost ~width items =
+let root_subtree ~m ~capacity ~bucket_cost items =
   check_args ~m ~capacity;
-  if width < 1 then invalid_arg "Search.split: width < 1";
   let e = prepare ~m ~capacity ~bucket_cost items in
-  let expandable level =
-    List.exists (fun st -> st.next < Array.length e.arr) level
-  in
-  let rec grow level =
-    if List.length level >= width || not (expandable level) then level
-    else grow (List.concat_map (expand e) level)
-  in
-  List.mapi
-    (fun index state -> { engine = e; state; index })
-    (grow [ root e ])
+  { engine = e; state = root e; path = [] }
 
-let subtree_index t = t.index
+let subtree_path t = t.path
+let subtree_open t = Array.length t.engine.arr - t.state.next
+
+let subtree_bound t =
+  let acc = ref (t.state.penalty +. t.engine.forced_penalty) in
+  for j = 0 to t.engine.m - 1 do
+    acc := !acc +. t.engine.bucket_cost t.state.loads.(j)
+  done;
+  !acc
+
+let expand_subtree t =
+  if t.state.next >= Array.length t.engine.arr then None
+  else
+    Some
+      (List.mapi
+         (fun i state -> { engine = t.engine; state; path = t.path @ [ i ] })
+         (expand t.engine t.state))
+
+let rec compare_path a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (x : int) :: a', y :: b' ->
+      if x < y then -1 else if x > y then 1 else compare_path a' b'
 
 let make_stop ?node_budget ?deadline () =
   let node_stop =

@@ -15,9 +15,10 @@
 
     Complexity is exponential — these are the ground-truth oracles for the
     small instances of experiment E1 and for the property tests, not
-    production algorithms. The {!shared} incumbent and the {!split} /
-    {!run_subtree} pair are the hooks {!Rt_parallel} races and distributes
-    these searches with; sequential callers can ignore them. *)
+    production algorithms. The {!shared} incumbent and the
+    {!root_subtree} / {!expand_subtree} / {!run_subtree} triple are the
+    hooks {!Rt_parallel} races and distributes these searches with;
+    sequential callers can ignore them. *)
 
 type solution = {
   partition : Rt_partition.Partition.t;
@@ -59,27 +60,60 @@ val publish : shared -> float -> unit
 (** Lower the cell to [cost] if it improves it (lock-free CAS loop).
     Publish only costs of feasible solutions the caller holds. *)
 
-(** {2 Root splitting}
+(** {2 Incremental frontier generation}
 
-    [split] enumerates a frontier of independent subtrees of the search
-    in depth-first order — all leaves of subtree [i] precede those of
-    subtree [i+1] — grown breadth-first until it holds at least [width]
-    nodes (or the instance is exhausted). Each subtree carries private
-    load/bucket state, so separate domains can {!run_subtree} them
-    concurrently with no sharing beyond an optional {!shared} cell.
-    Combining results by (cost, then {!subtree_index}) yields the same
-    solution as the sequential search whenever every subtree completes,
-    at any [width]. *)
+    A {!subtree} is one node of the search tree bundled with private
+    load/bucket state, ready to be explored independently — the unit of
+    work the domain-parallel searches schedule. Frontiers are produced
+    {e incrementally}: {!root_subtree} makes the whole search one
+    subtree, and {!expand_subtree} refines any subtree into its
+    children in depth-first visit order, on demand — the work-stealing
+    scheduler in {!Rt_parallel.Par_search} expands exactly as much
+    frontier as load balancing requires, instead of guessing a one-shot
+    split width up front.
+
+    Every subtree carries its DFS {!subtree_path} (the child indices
+    from the root), so subtrees expanded at {e different} depths, in any
+    order, on any domain, are still totally ordered by
+    {!compare_path} — all leaves of a path-lesser subtree precede all
+    leaves of a path-greater one in the sequential depth-first visit.
+    Combining completed results by (cost, then path, keeping strict
+    improvements) therefore yields the same solution as the sequential
+    search, for {e any} partition of the tree into disjoint subtrees and
+    any execution order. *)
 
 type subtree
 
-val split :
-  m:int -> capacity:float -> bucket_cost:(float -> float) -> width:int ->
-  Rt_task.Task.item list -> subtree list
-(** @raise Invalid_argument if [m < 1], [capacity <= 0] or [width < 1]. *)
+val root_subtree :
+  m:int -> capacity:float -> bucket_cost:(float -> float) ->
+  Rt_task.Task.item list -> subtree
+(** The whole search as a single subtree (path [[]]).
+    @raise Invalid_argument if [m < 1] or [capacity <= 0]. *)
 
-val subtree_index : subtree -> int
-(** Position in depth-first order; the deterministic tie-break key. *)
+val expand_subtree : subtree -> subtree list option
+(** The subtree's children in depth-first visit order (each placement
+    of the next item on an open processor, then its rejection), or
+    [None] when the subtree is a complete assignment — a leaf that can
+    only be {!run_subtree}. The children partition the parent's leaves:
+    running all of them visits exactly the parent's leaves, each once. *)
+
+val subtree_path : subtree -> int list
+(** Child indices from the root; [[]] for the root. The deterministic
+    depth-first tie-break key (see {!compare_path}). *)
+
+val subtree_open : subtree -> int
+(** Number of still-undecided items — the depth of the tree below this
+    subtree. Schedulers run small subtrees whole and expand large ones. *)
+
+val subtree_bound : subtree -> float
+(** The monotone lower bound of the subtree's prefix: committed bucket
+    energies + committed penalties + forced rejections. Every leaf below
+    costs at least this, so a scheduler may drop the whole subtree when
+    the bound is {e strictly} above the {!shared} incumbent without
+    affecting the returned solution. *)
+
+val compare_path : int list -> int list -> int
+(** Lexicographic order on paths = depth-first order on subtrees. *)
 
 val run_subtree :
   ?shared:shared -> ?node_budget:int -> ?deadline:float -> prune:bool ->

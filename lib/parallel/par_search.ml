@@ -1,10 +1,37 @@
 module Fc = Rt_prelude.Float_cmp
+module Clock = Rt_prelude.Clock
 module Search = Rt_exact.Search
 
 let default_split_factor = 4
 
+(* The split factor maps to a *grain*: a popped subtree with more than
+   [grain] undecided items is expanded (its children pushed on the
+   owner's deque, stealable); at or below it, the subtree is run whole.
+   Larger factors granulate finer. The floor of 3 keeps run units at
+   least a few hundred raw nodes, so deque traffic never dominates. *)
+let grain_of_split_factor sf =
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  max 3 (6 - log2 (max 1 sf))
+
+type stats = {
+  domains : int;
+  steals : int list;
+  splits : int;
+  pruned : int;
+  subtrees : (int list * int) list;
+}
+
+(* one worker's private tally, allocated inside its own thunk (fresh per
+   domain — nothing here crosses domains) and returned through the pool *)
+type worker_out = {
+  results : (int list * Search.anytime) list;
+  w_steals : int;
+  w_splits : int;
+  w_pruned : int;
+}
+
 let combine results =
-  (* submission order = subtree DFS order, so keeping only strict
+  (* results arrive DFS-sorted (by subtree path), so keeping only strict
      improvements makes the earliest subtree win ties — the same solution
      the sequential depth-first search would have returned *)
   List.fold_left
@@ -22,37 +49,194 @@ let combine results =
             })
     None results
 
-let branch_and_bound_budgeted ?pool ?(split_factor = default_split_factor)
-    ?node_budget ?time_budget ~m ~capacity ~bucket_cost items =
+(* ---------------------------------------------------------------- *)
+(* The work-stealing run.
+
+   [workers + 1] deques: one per worker plus an ownerless seed deque
+   holding the root subtree, so every worker's first unit of work — the
+   root-taker's included — arrives by stealing; bootstrapping is not a
+   special case. Each worker pops its own deque LIFO (depth-first), and
+   when empty sweeps the other deques' shallow ends. Workers coordinate
+   through three atomics:
+
+   - [outstanding]: subtrees in deques plus in flight. An expansion
+     converts one outstanding subtree into k (incremented *before* the
+     children are pushed, so a thief finishing a child early can never
+     drive the count to zero while the parent still holds work);
+     completing or pruning a subtree decrements. Zero means done.
+   - the shared incumbent (inside [Search.run_subtree]), which makes
+     pruning cooperative without threatening determinism: both the
+     in-search cut and the whole-subtree drop below fire only on
+     *strictly* worse bounds.
+   - [failed]: set when any worker's subtree run raises, so the others
+     stop hunting instead of spinning on an [outstanding] count that
+     will never reach zero; the pool then re-raises the exception and
+     stays usable (same contract as a plain failing batch).
+
+   Idle workers spin with [Domain.cpu_relax] between sweeps rather than
+   parking on a condition variable: run units are bounded by the grain
+   (a few hundred nodes, microseconds), so hunger gaps are short, and
+   spinning keeps every deque operation a single self-contained
+   [Mutex.protect] section — no cross-deque lock nesting for the
+   lock-order analysis to reason about. *)
+
+let run_ws ~workers ~grain ~prune ?node_budget ?deadline root =
+  let slots = workers + 1 in
+  let shared = Search.shared () in
+  let deques =
+    (Array.init slots (fun _ -> Deque.create ())
+    [@rt.domain_safe
+      "allocated and fully populated before the workers are submitted; \
+       indexed reads only afterwards — all mutation is inside Deque's own \
+       critical sections"])
+  in
+  let outstanding = Atomic.make 1 in
+  let failed = Atomic.make false in
+  (* set on the first budget-exhausted subtree run: the engine stops
+     expanding and drains — without this, a tiny [node_budget] on a big
+     instance would keep carving frontier (expansion visits no nodes,
+     so per-subtree budgets alone cannot bound the spine) *)
+  let drained = Atomic.make false in
+  Deque.push deques.(slots - 1) root;
+  let worker w () =
+    let results = ref [] in
+    let steals = ref 0 in
+    let splits = ref 0 in
+    let pruned = ref 0 in
+    let deadline_expired () =
+      match deadline with
+      | None -> false
+      | Some d -> Fc.exact_gt (Clock.now ()) d
+    in
+    let finish st =
+      (* an expired deadline turns the run into a drain: a zero node
+         budget stops at the first node, returning the subtree's
+         reject-the-rest seed incumbent with [exhausted = true] — every
+         pending subtree still yields a valid result, cheaply *)
+      let node_budget = if deadline_expired () then Some 0 else node_budget in
+      let a = Search.run_subtree ~shared ?node_budget ?deadline ~prune st in
+      if a.Search.exhausted then Atomic.set drained true;
+      results := (Search.subtree_path st, a) :: !results;
+      ignore (Atomic.fetch_and_add outstanding (-1))
+    in
+    let process st =
+      if
+        prune
+        && Fc.exact_gt (Search.subtree_bound st) (Search.shared_best shared)
+      then begin
+        (* strictly worse than a published feasible cost: no leaf below
+           can match the returned optimum, so dropping the subtree whole
+           preserves determinism (the subtree holding the optimum has
+           bound <= optimum <= shared and is never dropped) *)
+        incr pruned;
+        ignore (Atomic.fetch_and_add outstanding (-1))
+      end
+      else if
+        Search.subtree_open st > grain
+        && (not (Atomic.get drained))
+        && not (deadline_expired ())
+      then
+        match Search.expand_subtree st with
+        | None -> finish st
+        | Some children ->
+            incr splits;
+            ignore
+              (Atomic.fetch_and_add outstanding (List.length children - 1));
+            (* reversed, so the owner pops the first child next: the
+               local order stays depth-first, and the deque's shallow
+               end holds the latest (largest) unexplored siblings *)
+            List.iter (Deque.push deques.(w)) (List.rev children)
+      else finish st
+    in
+    let rec loop () =
+      if not (Atomic.get failed) then
+        match Deque.pop deques.(w) with
+        | Some st ->
+            process st;
+            loop ()
+        | None -> hunt 0
+    and hunt k =
+      if not (Atomic.get failed) then
+        if k = slots - 1 then begin
+          if Atomic.get outstanding <> 0 then begin
+            Domain.cpu_relax ();
+            hunt 0
+          end
+        end
+        else
+          let victim = (w + 1 + k) mod slots in
+          match Deque.steal deques.(victim) with
+          | Some st ->
+              incr steals;
+              process st;
+              loop ()
+          | None -> hunt (k + 1)
+    in
+    (match loop () with
+    | () -> ()
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Atomic.set failed true;
+        Printexc.raise_with_backtrace e bt);
+    {
+      results = !results;
+      w_steals = !steals;
+      w_splits = !splits;
+      w_pruned = !pruned;
+    }
+  in
+  worker
+
+let branch_and_bound_stats ?pool ?(split_factor = default_split_factor)
+    ?node_budget ?time_budget ?(prune = true) ~m ~capacity ~bucket_cost items
+    =
   if m < 1 then Error "Par_search: m < 1"
   else if Fc.exact_le capacity 0. then Error "Par_search: capacity <= 0"
   else begin
-    let domains = match pool with None -> 1 | Some p -> Pool.size p in
-    let width = max 1 (split_factor * domains) in
-    let subtrees = Search.split ~m ~capacity ~bucket_cost ~width items in
-    let shared = Search.shared () in
+    let workers = match pool with None -> 1 | Some p -> Pool.size p in
+    let grain = grain_of_split_factor split_factor in
     let deadline = Option.map Search.deadline_of_budget time_budget in
-    let results =
-      Pool.map ?pool
-        (Search.run_subtree ~shared ?node_budget ?deadline ~prune:true)
-        subtrees
+    let root = Search.root_subtree ~m ~capacity ~bucket_cost items in
+    let worker = run_ws ~workers ~grain ~prune ?node_budget ?deadline root in
+    let outs = Pool.map ?pool (fun w -> worker w ()) (List.init workers Fun.id) in
+    let sorted =
+      List.sort
+        (fun (p, _) (q, _) -> Search.compare_path p q)
+        (List.concat_map (fun o -> o.results) outs)
     in
-    match combine results with
-    | Some a -> Ok a
-    | None -> Error "Par_search: empty frontier"
+    match combine (List.map snd sorted) with
+    | None -> Error "Par_search: every subtree was pruned before running"
+    | Some a ->
+        Ok
+          ( a,
+            {
+              domains = workers;
+              steals = List.map (fun o -> o.w_steals) outs;
+              splits = List.fold_left (fun acc o -> acc + o.w_splits) 0 outs;
+              pruned = List.fold_left (fun acc o -> acc + o.w_pruned) 0 outs;
+              subtrees =
+                List.map (fun (p, (a : Search.anytime)) -> (p, a.Search.nodes))
+                  sorted;
+            } )
   end
 
-let solve ?pool ?split_factor ?node_budget ?time_budget (p : Rt_core.Problem.t)
-    =
+let branch_and_bound_budgeted ?pool ?split_factor ?node_budget ?time_budget ~m
+    ~capacity ~bucket_cost items =
+  Result.map fst
+    (branch_and_bound_stats ?pool ?split_factor ?node_budget ?time_budget ~m
+       ~capacity ~bucket_cost items)
+
+let solve_stats ?pool ?split_factor ?node_budget ?time_budget
+    (p : Rt_core.Problem.t) =
   match
-    branch_and_bound_budgeted ?pool ?split_factor ?node_budget ?time_budget
+    branch_and_bound_stats ?pool ?split_factor ?node_budget ?time_budget
       ~m:p.Rt_core.Problem.m
       ~capacity:(Rt_core.Problem.capacity p)
       ~bucket_cost:(Rt_core.Problem.bucket_energy p)
       p.Rt_core.Problem.items
   with
   | Error _ as e -> e
-  | Ok (a : Search.anytime) -> (
+  | Ok ((a : Search.anytime), stats) -> (
       let solution =
         {
           Rt_core.Solution.partition = a.Search.best.Search.partition;
@@ -69,8 +253,12 @@ let solve ?pool ?split_factor ?node_budget ?time_budget (p : Rt_core.Problem.t)
           then Error "Par_search: search cost disagrees with Solution.cost"
           else
             Ok
-              {
-                Rt_core.Exact.solution;
-                nodes = a.Search.nodes;
-                exhausted = a.Search.exhausted;
-              })
+              ( {
+                  Rt_core.Exact.solution;
+                  nodes = a.Search.nodes;
+                  exhausted = a.Search.exhausted;
+                },
+                stats ))
+
+let solve ?pool ?split_factor ?node_budget ?time_budget p =
+  Result.map fst (solve_stats ?pool ?split_factor ?node_budget ?time_budget p)

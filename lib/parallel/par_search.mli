@@ -1,45 +1,95 @@
-(** Root-split domain-parallel branch-and-bound.
+(** Work-stealing domain-parallel branch-and-bound.
 
-    The sequential {!Rt_exact.Search} explores one depth-first tree; here
-    the first levels of that tree are {!Rt_exact.Search.split} into a
-    frontier of independent subtrees — each a (bucket/reject) prefix with
-    its own private loads/buckets state — distributed across a
-    {!Pool}. The domains cooperate through one atomic shared incumbent:
-    any improvement found in one subtree immediately tightens the prune
-    bound of every other, so the parallel search visits {e fewer} nodes
-    than the sum of isolated subtree searches.
+    The sequential {!Rt_exact.Search} explores one depth-first tree;
+    here the tree is carved into subtrees {e on demand}: each domain
+    keeps a private LIFO {!Deque} of pending subtrees, pops the deepest
+    (depth-first, cache-hot), and expands any subtree larger than the
+    grain via {!Rt_exact.Search.expand_subtree} — pushing the children
+    where idle domains can {!Deque.steal} the {e shallowest} (largest)
+    one. The root enters an ownerless seed deque, so every domain's
+    first subtree is stolen and load balancing is the only distribution
+    mechanism there is. All domains cooperate through one atomic shared
+    incumbent: an improvement found anywhere immediately tightens every
+    prune bound, and a whole pending subtree is dropped when its lower
+    bound is {e strictly} above the published cost.
 
-    Determinism: results are combined by (cost, then subtree DFS index),
-    and the shared bound only prunes {e strictly} worse subtrees, so a
-    run that completes returns the same solution as the sequential
-    {!Rt_exact.Search.branch_and_bound} — at any pool size and any split
-    factor. Node counts (and with them, wall time) are the only
-    scheduling-dependent outputs. Budget-exhausted runs keep validity
-    (every subtree is seeded with its reject-the-rest incumbent) but not
-    this reproducibility guarantee; see docs/PARALLEL.md. *)
+    Determinism: a completed run is byte-identical to the sequential
+    {!Rt_exact.Search.branch_and_bound} at any pool size, split factor
+    and steal schedule. Three rules carry the contract: subtree results
+    combine by (cost, then DFS path, keeping strict improvements), the
+    shared bound prunes only {e strictly} worse subtrees (in-search and
+    whole-subtree drops alike), and
+    {!Rt_exact.Search.expand_subtree} partitions a subtree's leaves
+    exactly — so however the tree was carved and wherever the pieces
+    ran, the combined result is the depth-first-earliest optimum. Node
+    counts, steal counts and wall time are the only
+    scheduling-dependent outputs ({!stats}). See docs/PARALLEL.md.
+
+    Budget-exhausted runs keep {e validity} but not reproducibility:
+    every subtree — stolen or not — is seeded with its reject-the-rest
+    incumbent before exploring, so whatever subset of subtrees ran to
+    any depth, the combined solution is feasible ([exhausted = true]
+    marks it, and once the deadline has passed the remaining pending
+    subtrees drain at one node each, returning just their seeds). *)
 
 val default_split_factor : int
-(** 4 — the frontier targets four subtrees per domain, enough slack for
-    the work-stealing-free FIFO to balance uneven subtree sizes. *)
+(** 4 — mapped to a work grain of [max 3 (6 - log2 factor)] open items:
+    a popped subtree with more undecided items than the grain is
+    expanded into stealable children instead of run whole, so larger
+    factors granulate finer. Any value ≥ 1 is meaningful; {e results}
+    are identical at every value, only balance and overhead move. *)
+
+type stats = {
+  domains : int;  (** workers the run was scheduled across *)
+  steals : int list;  (** successful steals, per worker *)
+  splits : int;  (** subtrees expanded instead of run (spine nodes) *)
+  pruned : int;
+      (** pending subtrees dropped whole against the shared bound *)
+  subtrees : (int list * int) list;
+      (** (DFS path, nodes visited) for every subtree actually run, in
+          DFS order. The paths are pairwise prefix-free and cover the
+          tree exactly — the accounting the determinism suite asserts:
+          nodes here plus [splits] equals the sequential visit count on
+          prune-free runs. *)
+}
+
+val branch_and_bound_stats :
+  ?pool:Pool.t -> ?split_factor:int -> ?node_budget:int ->
+  ?time_budget:float -> ?prune:bool -> m:int -> capacity:float ->
+  bucket_cost:(float -> float) -> Rt_task.Task.item list ->
+  (Rt_exact.Search.anytime * stats, string) result
+(** The raw-level work-stealing search, with its scheduling telemetry.
+    [node_budget] bounds each {e subtree} run, and the first exhausted
+    run flips the engine into drain mode — no further expansion, every
+    pending subtree runs under its own budget — so the total visit
+    count stays bounded even though the frontier is dynamic.
+    [time_budget] is one monotonic wall-clock deadline shared by all
+    workers. Without [pool]
+    one worker runs on the calling domain — same machinery, same
+    answer, no spawns. [prune] (default [true]) exists for the test
+    battery: [~prune:false] disables both the in-search bound and the
+    whole-subtree drop, making node accounting exact. Errors on
+    [m < 1] or [capacity <= 0]. *)
 
 val branch_and_bound_budgeted :
   ?pool:Pool.t -> ?split_factor:int -> ?node_budget:int ->
   ?time_budget:float -> m:int -> capacity:float ->
   bucket_cost:(float -> float) -> Rt_task.Task.item list ->
   (Rt_exact.Search.anytime, string) result
-(** Raw-level parallel anytime search; mirrors
-    {!Rt_exact.Search.branch_and_bound_budgeted}. [node_budget] bounds
-    each {e subtree} (the frontier width times it bounds the whole run);
-    [time_budget] is one monotonic wall-clock deadline shared by all
-    subtrees. Without [pool] the subtrees run sequentially on the
-    calling domain — same answer, no spawns. [nodes] sums all subtrees.
-    Errors on [m < 1] or [capacity <= 0]. *)
+(** {!branch_and_bound_stats} without the telemetry; mirrors
+    {!Rt_exact.Search.branch_and_bound_budgeted}. *)
+
+val solve_stats :
+  ?pool:Pool.t -> ?split_factor:int -> ?node_budget:int ->
+  ?time_budget:float -> Rt_core.Problem.t ->
+  (Rt_core.Exact.budgeted * stats, string) result
+(** Problem-level wrapper with telemetry, and the same cross-check as
+    {!solve}: the search's internal cost must agree with
+    {!Rt_core.Solution.cost} on the returned solution. *)
 
 val solve :
   ?pool:Pool.t -> ?split_factor:int -> ?node_budget:int ->
   ?time_budget:float -> Rt_core.Problem.t ->
   (Rt_core.Exact.budgeted, string) result
 (** Problem-level wrapper mirroring
-    {!Rt_core.Exact.branch_and_bound_budgeted}, with the same
-    cross-check: the search's internal cost must agree with
-    {!Rt_core.Solution.cost} on the returned solution. *)
+    {!Rt_core.Exact.branch_and_bound_budgeted}. *)

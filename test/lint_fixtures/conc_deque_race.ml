@@ -1,0 +1,29 @@
+(* A work-stealing deque with a racy fast path: [steal] peeks at the
+   guarded [len] field before taking the lock, hoping to skip the mutex
+   on empty deques.  The peek races every concurrent [push] — expect a
+   [domain-unsafe] finding at exactly the unguarded read; the locked
+   slow path below must stay clean. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable items : 'a list; [@rt.guarded_by "lock"]
+  mutable len : int; [@rt.guarded_by "lock"]
+}
+
+let make () = { lock = Mutex.create (); items = []; len = 0 }
+
+let push t x =
+  Mutex.protect t.lock (fun () ->
+      t.items <- x :: t.items;
+      t.len <- t.len + 1)
+
+let steal t =
+  if t.len = 0 then None (* racy peek: len read outside the lock *)
+  else
+    Mutex.protect t.lock (fun () ->
+        match t.items with
+        | [] -> None
+        | x :: rest ->
+            t.items <- rest;
+            t.len <- t.len - 1;
+            Some x)

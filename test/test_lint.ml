@@ -205,6 +205,16 @@ let test_conc_cross_domain () =
     "annotated queued closure analysed" [ 10 ]
     (locations "domain-unsafe" "conc_cross_domain.ml")
 
+let test_conc_deque_race () =
+  (* the seeded work-stealing bug: a lock-free [len] peek in [steal]
+     racing every [push] — one finding, at the peek, nothing on the
+     properly locked slow path *)
+  Alcotest.(check (list int))
+    "racy deque peek flagged at its exact line" [ 21 ]
+    (locations "domain-unsafe" "conc_deque_race.ml");
+  check_int "locked slow path stays clean" 1
+    (List.length (findings_of "conc_deque_race.ml"))
+
 let test_conc_suppress () = clean "conc_suppress.ml" ()
 
 let test_conc_severity () =
@@ -315,6 +325,8 @@ let () =
             test_conc_blocking;
           Alcotest.test_case "[@rt.cross_domain] entry point" `Quick
             test_conc_cross_domain;
+          Alcotest.test_case "racy deque fast path" `Quick
+            test_conc_deque_race;
           Alcotest.test_case "pragma suppresses the race" `Quick
             test_conc_suppress;
           Alcotest.test_case "severities and gating" `Quick

@@ -1,5 +1,5 @@
 (* Tests for rt_parallel: the domain pool, the determinism contracts of
-   the portfolio / root-split search / parallel sweeps, and the
+   the portfolio / work-stealing search / parallel sweeps, and the
    wall-clock (not CPU-time) budget semantics. *)
 
 module Fc = Rt_prelude.Float_cmp
@@ -253,28 +253,174 @@ let test_portfolio_deterministic () =
         reference (outcomes domains))
     [ 1; 2; 4 ]
 
-let test_par_search_matches_sequential () =
+(* -- The work-stealing battery ------------------------------------- *)
+
+(* 20 seeded instances spanning n = 10..16 and m in {2, 3}. The n >= 14
+   instances run heavily overloaded (load 2.4): forced rejections keep
+   the trees small enough that the full battery — 20 instances x 4 pool
+   sizes x 3 split factors — completes in tens of seconds on one core,
+   while still exercising deep, irregular search trees. *)
+let battery_instances =
+  List.init 20 (fun i ->
+      let n = 10 + (i mod 7) in
+      let seed = 40 + (17 * i) in
+      let m = 2 + (i mod 2) in
+      let load = if n >= 14 then 2.4 else 1.6 in
+      (seed, n, m, instance ~seed ~n ~m ~load))
+
+(* The tentpole contract: a completed work-stealing run is byte-identical
+   to the sequential branch-and-bound at every pool size, split factor
+   and steal schedule. Pool sizes 1/2/4/8 and split factors 1/4/16 cover
+   no-parallelism, thief-heavy (8 workers on few cores), and the whole
+   coarse-to-fine granulation range. *)
+let test_ws_determinism_battery () =
+  let cost p s =
+    match Rt_core.Solution.cost p s with
+    | Ok c -> c.Rt_core.Solution.total
+    | Error e -> Alcotest.failf "cost: %s" e
+  in
+  let references =
+    List.map
+      (fun (seed, n, m, p) ->
+        (seed, n, m, p, Rt_core.Exact.branch_and_bound p))
+      battery_instances
+  in
   List.iter
-    (fun seed ->
-      let p = instance ~seed ~n:10 ~m:3 ~load:1.6 in
-      let reference = Rt_core.Exact.branch_and_bound p in
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          List.iter
+            (fun split_factor ->
+              List.iter
+                (fun (seed, n, m, p, reference) ->
+                  match
+                    Rt_parallel.Par_search.solve ~pool ~split_factor p
+                  with
+                  | Error e -> Alcotest.failf "par solve: %s" e
+                  | Ok b ->
+                      let tag =
+                        Printf.sprintf
+                          "seed %d n %d m %d domains %d split %d" seed n m
+                          domains split_factor
+                      in
+                      check_bool (tag ^ ": completed") false
+                        b.Rt_core.Exact.exhausted;
+                      check_bool (tag ^ ": cost bit-identical") true
+                        (Fc.exact_eq (cost p reference)
+                           (cost p b.Rt_core.Exact.solution));
+                      Alcotest.(check (list (pair int int)))
+                        tag (fingerprint reference)
+                        (fingerprint b.Rt_core.Exact.solution))
+                references)
+            [ 1; 4; 16 ]))
+    [ 1; 2; 4; 8 ]
+
+(* No subtree lost, none duplicated. With pruning disabled the parallel
+   run must visit the whole tree: every expansion replaces one counted
+   node by its children, so the subtree node counts plus the split count
+   equal the sequential exhaustive visit count exactly — any lost
+   subtree undercounts, any duplicated one overcounts. The per-subtree
+   paths double-check structurally: strictly ascending in DFS order
+   (each subtree ran exactly once) and pairwise prefix-free (no subtree
+   ran both whole and split). *)
+let test_ws_subtree_accounting () =
+  let is_prefix p q =
+    (* sorted lexicographically, a prefix immediately precedes its first
+       extension — checking adjacent pairs covers every pair *)
+    let rec go p q =
+      match (p, q) with
+      | [], _ -> true
+      | _, [] -> false
+      | (x : int) :: p', y :: q' -> x = y && go p' q'
+    in
+    go p q
+  in
+  List.iter
+    (fun (n, m, seed) ->
+      let p = instance ~seed ~n ~m ~load:1.6 in
+      let capacity = Rt_core.Problem.capacity p in
+      let bucket_cost = Rt_core.Problem.bucket_energy p in
+      let items = p.Rt_core.Problem.items in
+      let seq_nodes =
+        match
+          Rt_exact.Search.exhaustive_budgeted ~m ~capacity ~bucket_cost items
+        with
+        | Ok a ->
+            check_bool "exhaustive completed" false a.Rt_exact.Search.exhausted;
+            a.Rt_exact.Search.nodes
+        | Error e -> Alcotest.failf "exhaustive: %s" e
+      in
       List.iter
-        (fun (domains, split_factor) ->
-          let solve pool =
-            match Rt_parallel.Par_search.solve ?pool ~split_factor p with
-            | Error e -> Alcotest.failf "par solve: %s" e
-            | Ok b ->
-                check_bool "completed" false b.Rt_core.Exact.exhausted;
-                Alcotest.(check (list (pair int int)))
-                  (Printf.sprintf "seed %d domains %d split %d" seed domains
-                     split_factor)
-                  (fingerprint reference)
-                  (fingerprint b.Rt_core.Exact.solution)
+        (fun domains ->
+          let run pool =
+            List.iter
+              (fun split_factor ->
+                match
+                  Rt_parallel.Par_search.branch_and_bound_stats ?pool
+                    ~split_factor ~prune:false ~m ~capacity ~bucket_cost items
+                with
+                | Error e -> Alcotest.failf "par stats: %s" e
+                | Ok (a, st) ->
+                    let tag =
+                      Printf.sprintf "n %d m %d domains %d split %d" n m
+                        domains split_factor
+                    in
+                    let subtree_nodes =
+                      List.fold_left
+                        (fun acc (_, k) -> acc + k)
+                        0 st.Rt_parallel.Par_search.subtrees
+                    in
+                    check_int
+                      (tag ^ ": subtree nodes + splits = exhaustive nodes")
+                      seq_nodes
+                      (subtree_nodes + st.Rt_parallel.Par_search.splits);
+                    check_int (tag ^ ": combined node count")
+                      subtree_nodes a.Rt_exact.Search.nodes;
+                    let rec pairs = function
+                      | (p1, _) :: ((p2, _) :: _ as rest) ->
+                          check_bool
+                            (tag ^ ": paths strictly ascending (DFS)") true
+                            (Rt_exact.Search.compare_path p1 p2 < 0);
+                          check_bool (tag ^ ": paths prefix-free") false
+                            (is_prefix p1 p2);
+                          pairs rest
+                      | _ -> ()
+                    in
+                    pairs st.Rt_parallel.Par_search.subtrees)
+              [ 1; 4; 16 ]
           in
-          if domains = 0 then solve None
-          else Pool.with_pool ~domains (fun pool -> solve (Some pool)))
-        [ (0, 4); (1, 1); (2, 4); (4, 7) ])
-    (List.init 8 (fun i -> 30 + (11 * i)))
+          if domains = 0 then run None
+          else Pool.with_pool ~domains (fun pool -> run (Some pool)))
+        [ 0; 2; 4 ])
+    [ (10, 3, 40); (11, 2, 57); (12, 2, 74) ]
+
+(* Budget exhaustion on the parallel path: validity without
+   reproducibility. An expired deadline drains every pending subtree at
+   its reject-the-rest seed, so even a zero budget — and a tiny
+   per-subtree node budget on an instance far too big to finish — must
+   come back exhausted, feasible, and fast. *)
+let test_ws_budget_exhaustion_valid () =
+  let p = instance ~seed:21 ~n:18 ~m:4 ~load:1.5 in
+  let check_exhausted_valid tag b =
+    check_bool (tag ^ ": exhausted") true b.Rt_core.Exact.exhausted;
+    check_bool (tag ^ ": solution validates") true
+      (Result.is_ok (Rt_core.Solution.validate p b.Rt_core.Exact.solution))
+  in
+  Pool.with_pool ~domains:4 (fun pool ->
+      (match Rt_parallel.Par_search.solve ~pool ~time_budget:0. p with
+      | Error e -> Alcotest.failf "zero budget: %s" e
+      | Ok b -> check_exhausted_valid "zero budget" b);
+      (match Rt_parallel.Par_search.solve ~pool ~time_budget:0.05 p with
+      | Error e -> Alcotest.failf "50ms budget: %s" e
+      | Ok b -> check_exhausted_valid "50ms budget" b);
+      (* drain mode: the first exhausted subtree stops further expansion,
+         so the dynamic frontier cannot outrun a small node budget *)
+      let t0 = Rt_prelude.Clock.now () in
+      match Rt_parallel.Par_search.solve ~pool ~node_budget:200 p with
+      | Error e -> Alcotest.failf "node budget: %s" e
+      | Ok b ->
+          check_exhausted_valid "node budget 200" b;
+          check_bool "drain mode terminates promptly" true
+            (Fc.exact_lt (Rt_prelude.Clock.elapsed ~since:t0) 10.))
 
 let test_runner_replicate_par_identical () =
   let seeds = Rt_expkit.Runner.seeds ~base:7 ~n:24 in
@@ -353,8 +499,12 @@ let () =
         [
           Alcotest.test_case "incumbent snapshot immune" `Quick
             test_incumbent_snapshot_immune;
-          Alcotest.test_case "root split matches sequential" `Slow
-            test_par_search_matches_sequential;
+          Alcotest.test_case "work stealing: 20-instance determinism battery"
+            `Slow test_ws_determinism_battery;
+          Alcotest.test_case "work stealing: subtree accounting" `Slow
+            test_ws_subtree_accounting;
+          Alcotest.test_case "work stealing: budget exhaustion stays valid"
+            `Slow test_ws_budget_exhaustion_valid;
         ] );
       ( "determinism",
         [

@@ -165,37 +165,50 @@ let run_timings () =
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  (* minor_allocated rides along: the Gc.minor_words delta per run is the
+     allocation axis the hot-path lint (docs/PERF_LINT.md) optimizes *)
+  let raw =
+    Benchmark.all cfg Instance.[ monotonic_clock; minor_allocated ] tests
+  in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | None -> None
+    | Some ols -> (
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> Some x
+        | Some [] | None -> None)
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let words = Analyze.all ols Instance.minor_allocated raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) times [] in
+  let names = List.sort compare names in
   let rows =
     List.map
-      (fun (name, ols) ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (x :: _) -> Some x
-          | Some [] | None -> None
-        in
-        (name, ns))
-      rows
+      (fun name -> (name, estimate times name, estimate words name))
+      names
+  in
+  let fmt_opt = function
+    | Some x -> Printf.sprintf "%.1f" x
+    | None -> "n/a"
   in
   let table =
     List.fold_left
-      (fun t (name, ns) ->
-        let ns =
-          match ns with Some x -> Printf.sprintf "%.1f" x | None -> "n/a"
-        in
-        Rt_prelude.Tablefmt.add_row t [ name; ns ])
+      (fun t (name, ns, w) ->
+        Rt_prelude.Tablefmt.add_row t [ name; fmt_opt ns; fmt_opt w ])
       (Rt_prelude.Tablefmt.create
-         ~aligns:[ Rt_prelude.Tablefmt.Left; Rt_prelude.Tablefmt.Right ]
-         [ "benchmark"; "ns/run" ])
+         ~aligns:
+           [
+             Rt_prelude.Tablefmt.Left; Rt_prelude.Tablefmt.Right;
+             Rt_prelude.Tablefmt.Right;
+           ]
+         [ "benchmark"; "ns/run"; "minor words/run" ])
       rows
   in
-  print_endline "\n== timing (bechamel, monotonic clock, OLS ns/run) ==";
+  print_endline
+    "\n== timing (bechamel, monotonic clock, OLS ns/run + minor words/run) ==";
   Rt_prelude.Tablefmt.print table;
   rows
 
@@ -400,13 +413,16 @@ let run_races () =
   in
   four @ eight
 
-(* Lint runtime over the concurrency-critical roots: the analysis is
-   part of the CI gate, so its wall time is a perf axis the trajectory
-   should track — a rule whose cost explodes would slow every push.
-   Measured from the repo root (where dune exec runs) so the .cmt files
-   under _build/default are found; skipped gracefully elsewhere. *)
+(* Lint runtime over the concurrency-critical roots plus the hot-path
+   kernels: the analysis is part of the CI gate, so its wall time is a
+   perf axis the trajectory should track — a rule whose cost explodes
+   would slow every push. lib/core and lib/speed exercise the v4
+   hot-path prepass (interface marks, call graph, propagation) on the
+   annotated kernels. Measured from the repo root (where dune exec
+   runs) so the .cmt files under _build/default are found; skipped
+   gracefully elsewhere. *)
 let lint_timing () =
-  let roots = [ "lib/parallel"; "lib/check" ] in
+  let roots = [ "lib/parallel"; "lib/check"; "lib/core"; "lib/speed" ] in
   if List.for_all Sys.file_exists roots then
     let wall, findings =
       time_wall ~reps:3 (fun () -> Rt_lint_core.Lint_core.lint_paths roots)
@@ -419,10 +435,12 @@ let json_of_lint (roots, wall, n) =
     "  {\"kind\": \"lint\", \"name\": %S, \"wall_s\": %.6f, \"findings\": %d}"
     roots wall n
 
-let json_of_kernel (name, ns) =
-  Printf.sprintf "  {\"kind\": \"kernel\", \"name\": %S, \"ns_per_run\": %s}"
-    name
-    (match ns with Some x -> Printf.sprintf "%.1f" x | None -> "null")
+let json_of_kernel (name, ns, words) =
+  let num = function Some x -> Printf.sprintf "%.1f" x | None -> "null" in
+  Printf.sprintf
+    "  {\"kind\": \"kernel\", \"name\": %S, \"ns_per_run\": %s, \
+     \"minor_words_per_run\": %s}"
+    name (num ns) (num words)
 
 let json_of_race r =
   Printf.sprintf

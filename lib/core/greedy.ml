@@ -4,31 +4,37 @@ open Rt_task
 
 type algorithm = Problem.t -> Solution.t
 
-(* least-loaded processor on which the item still fits, if any *)
+(* least-loaded processor on which the item still fits, if any; an
+   unboxed index/load scan — earliest index wins ties, like the
+   [Array.iteri] fold it replaces *)
 let feasible_min_load (p : Problem.t) partition (it : Task.item) =
   let cap = Problem.capacity p in
   let loads = Rt_partition.Partition.loads partition in
-  let best = ref None in
-  Array.iteri
-    (fun j l ->
-      if Rt_prelude.Float_cmp.leq (l +. it.weight) cap then
-        match !best with
-        | Some (_, lbest) when Fc.exact_le lbest l -> ()
-        | _ -> best := Some (j, l))
-    loads;
-  Option.map fst !best
+  let n = Array.length loads in
+  let rec scan j best_j best_l =
+    if j >= n then if best_j < 0 then None else Some best_j
+    else
+      let l = loads.(j) in
+      if
+        Rt_prelude.Float_cmp.leq (l +. it.weight) cap
+        && (best_j < 0 || not (Fc.exact_le best_l l))
+      then scan (j + 1) j l
+      else scan (j + 1) best_j best_l
+  in
+  scan 0 (-1) 0.
 
 let place_or_reject (p : Problem.t) ~accept items =
-  List.fold_left
-    (fun (partition, rejected) it ->
-      match feasible_min_load p partition it with
-      | Some j when accept partition j it ->
-          (Rt_partition.Partition.add partition j it, rejected)
-      | Some _ | None -> (partition, it :: rejected))
-    (Rt_partition.Partition.empty ~m:p.m, [])
-    items
-  |> fun (partition, rejected) ->
-  { Solution.partition; rejected = List.rev rejected }
+  let rec place partition rejected = function
+    | [] -> { Solution.partition; rejected = List.rev rejected }
+    | it :: rest -> (
+        match feasible_min_load p partition it with
+        | Some j when accept partition j it ->
+            place (Rt_partition.Partition.add partition j it) rejected rest
+        | Some _ | None ->
+            (* lint: allow-hot-alloc-in-loop "the rejection list is the output, not churn; the SoA pass (ROADMAP item 3) batches it" *)
+            place partition (it :: rejected) rest)
+  in
+  place (Rt_partition.Partition.empty ~m:p.m) [] items
 
 let always _ _ _ = true
 

@@ -29,7 +29,10 @@
 type algorithm = Problem.t -> Solution.t
 
 val ltf_reject : algorithm
+  [@@rt.hot "inner loop of every offline experiment sweep"]
+
 val marginal_greedy : algorithm
+  [@@rt.hot "inner loop of every offline experiment sweep"]
 val density_reject : algorithm
 val unsorted_reject : algorithm
 val random_reject : Rt_prelude.Rng.t -> algorithm

@@ -51,37 +51,39 @@ let improve_state ~max_moves (p : Problem.t) (s : Solution.t) =
   let fits l w = Rt_prelude.Float_cmp.leq (l +. w) cap in
 
   let try_reject () =
-    let found = ref false in
-    let j = ref 0 in
-    while (not !found) && !j < m do
-      (match
-         List.find_opt
-           (fun (it : Task.item) ->
-             energy st.loads.(!j) -. energy (st.loads.(!j) -. it.weight)
-             -. it.item_penalty
-             |> Fun.flip Fc.exact_gt eps)
-           st.buckets.(!j)
-       with
-      | Some it ->
-          remove_item st !j it;
-          st.rejected <- it :: st.rejected;
-          found := true
-      | None -> ());
-      incr j
-    done;
-    !found
+    (* first item (buckets ascending, list order within) whose rejection
+       pays: saved marginal energy beats its penalty *)
+    let rec find_bucket j items =
+      match items with
+      | [] -> if j + 1 >= m then None else find_bucket (j + 1) st.buckets.(j + 1)
+      | (it : Task.item) :: rest ->
+          if
+            Fc.exact_gt
+              (energy st.loads.(j)
+              -. energy (st.loads.(j) -. it.weight)
+              -. it.item_penalty)
+              eps
+          then Some (j, it)
+          else find_bucket j rest
+    in
+    match find_bucket 0 st.buckets.(0) with
+    | Some (j, it) ->
+        remove_item st j it;
+        st.rejected <- it :: st.rejected;
+        true
+    | None -> false
   in
 
   let min_load_feasible w =
-    let best = ref None in
-    Array.iteri
-      (fun j l ->
-        if fits l w then
-          match !best with
-          | Some (_, lb) when Fc.exact_le lb l -> ()
-          | _ -> best := Some (j, l))
-      st.loads;
-    Option.map fst !best
+    let rec scan j best_j best_l =
+      if j >= m then if best_j < 0 then None else Some best_j
+      else
+        let l = st.loads.(j) in
+        if fits l w && (best_j < 0 || not (Fc.exact_le best_l l)) then
+          scan (j + 1) j l
+        else scan (j + 1) best_j best_l
+    in
+    scan 0 (-1) 0.
   in
 
   let try_accept () =
@@ -110,73 +112,75 @@ let improve_state ~max_moves (p : Problem.t) (s : Solution.t) =
         true
   in
 
+  (* relocation gain of moving [it] from processor [j] to [k]; pure in
+     the scan state, so the winning gain can be recomputed bit-for-bit
+     instead of carried in a boxed pair *)
+  let move_gain j (it : Task.item) k =
+    energy st.loads.(j) +. energy st.loads.(k)
+    -. energy (st.loads.(j) -. it.weight)
+    -. energy (st.loads.(k) +. it.weight)
+  in
+
   let try_move () =
-    let found = ref false in
-    let j = ref 0 in
-    while (not !found) && !j < m do
-      (match
-         List.find_map
-           (fun (it : Task.item) ->
-             let l_j = st.loads.(!j) in
-             let best = ref None in
-             Array.iteri
-               (fun k l_k ->
-                 if k <> !j && fits l_k it.weight then begin
-                   let gain =
-                     energy l_j +. energy l_k
-                     -. energy (l_j -. it.weight)
-                     -. energy (l_k +. it.weight)
-                   in
-                   match !best with
-                   | Some (_, g) when Fc.exact_ge g gain -> ()
-                   | _ -> best := Some (k, gain)
-                 end)
-               st.loads;
-             match !best with
-             | Some (k, gain) when Fc.exact_gt gain eps -> Some (it, k)
-             | _ -> None)
-           st.buckets.(!j)
-       with
-      | Some (it, k) ->
-          remove_item st !j it;
-          add_item st k it;
-          found := true
-      | None -> ());
-      incr j
-    done;
-    !found
+    let rec best_dest j (it : Task.item) k best_k best_gain =
+      if k >= m then best_k
+      else if k <> j && fits st.loads.(k) it.weight then begin
+        let gain = move_gain j it k in
+        if best_k < 0 || not (Fc.exact_ge best_gain gain) then
+          best_dest j it (k + 1) k gain
+        else best_dest j it (k + 1) best_k best_gain
+      end
+      else best_dest j it (k + 1) best_k best_gain
+    in
+    let rec scan_items j items =
+      match items with
+      | [] -> if j + 1 >= m then None else scan_items (j + 1) st.buckets.(j + 1)
+      | (it : Task.item) :: rest ->
+          let k = best_dest j it 0 (-1) 0. in
+          if k >= 0 && Fc.exact_gt (move_gain j it k) eps then Some (j, it, k)
+          else scan_items j rest
+    in
+    match scan_items 0 st.buckets.(0) with
+    | Some (j, it, k) ->
+        remove_item st j it;
+        add_item st k it;
+        true
+    | None -> false
   in
 
   let try_swap () =
-    let result = ref None in
-    (try
-       for j = 0 to m - 2 do
-         for k = j + 1 to m - 1 do
-           List.iter
-             (fun (a : Task.item) ->
-               List.iter
-                 (fun (b : Task.item) ->
-                   let lj = st.loads.(j) -. a.weight +. b.weight in
-                   let lk = st.loads.(k) -. b.weight +. a.weight in
-                   if
-                     Rt_prelude.Float_cmp.leq lj cap
-                     && Rt_prelude.Float_cmp.leq lk cap
-                   then begin
-                     let gain =
-                       energy st.loads.(j) +. energy st.loads.(k) -. energy lj
-                       -. energy lk
-                     in
-                     if Fc.exact_gt gain eps then begin
-                       result := Some (j, k, a, b);
-                       raise Exit
-                     end
-                   end)
-                 st.buckets.(k))
-             st.buckets.(j)
-         done
-       done
-     with Exit -> ());
-    match !result with
+    (* first improving exchange, scanned in the same order as the nested
+       for/iter loops this replaces: j < k ascending, [a] along bucket j,
+       [b] along bucket k — mutually recursive so nothing allocates and
+       finding a swap just returns instead of raising *)
+    let rec over_j j =
+      if j > m - 2 then None else over_k j (j + 1)
+    and over_k j k =
+      if k > m - 1 then over_j (j + 1) else scan_a j k st.buckets.(j)
+    and scan_a j k items =
+      match items with
+      | [] -> over_k j (k + 1)
+      | a :: rest -> (
+          match scan_b j k a st.buckets.(k) with
+          | Some _ as found -> found
+          | None -> scan_a j k rest)
+    and scan_b j k (a : Task.item) items =
+      match items with
+      | [] -> None
+      | (b : Task.item) :: rest ->
+          let lj = st.loads.(j) -. a.weight +. b.weight in
+          let lk = st.loads.(k) -. b.weight +. a.weight in
+          if
+            Rt_prelude.Float_cmp.leq lj cap
+            && Rt_prelude.Float_cmp.leq lk cap
+            && Fc.exact_gt
+                 (energy st.loads.(j) +. energy st.loads.(k) -. energy lj
+                 -. energy lk)
+                 eps
+          then Some (j, k, a, b)
+          else scan_b j k a rest
+    in
+    match over_j 0 with
     | None -> false
     | Some (j, k, a, b) ->
         remove_item st j a;
@@ -188,6 +192,7 @@ let improve_state ~max_moves (p : Problem.t) (s : Solution.t) =
 
   let moves = ref 0 in
   let progress = ref true in
+  (* lint: allow-budget-no-poll "the budget is a move count, not wall time: each applied move strictly decreases cost and a scan is O(m x items), so max_moves bounds the work" *)
   while !progress && !moves < max_moves do
     progress := try_reject () || try_accept () || try_move () || try_swap ();
     if !progress then incr moves

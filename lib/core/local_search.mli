@@ -26,12 +26,14 @@ type budgeted = {
 }
 
 val improve : ?max_moves:int -> Problem.t -> Solution.t -> Solution.t
+  [@@rt.hot "O(moves x m x items) scan dominates the anytime pipeline"]
 (** [max_moves] defaults to 10_000 (a safety valve; typical instances
     converge in far fewer). The input must be feasible ([Solution.cost]
     must succeed). @raise Invalid_argument otherwise. *)
 
 val improve_budgeted :
   ?max_moves:int -> Problem.t -> Solution.t -> (budgeted, string) result
+  [@@rt.hot "O(moves x m x items) scan dominates the anytime pipeline"]
 (** Anytime variant of {!improve}: an infeasible input is a typed error
     rather than an exception, and hitting [max_moves] is reported via
     [exhausted] instead of being silent. Since every applied move keeps

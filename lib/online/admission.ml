@@ -48,19 +48,20 @@ let density_pairs ~now pairs =
   let sorted =
     List.sort (fun (_, da) (_, db) -> Float.compare da db) pairs
   in
-  let _, best =
-    List.fold_left
-      (fun (work, best) (remaining, deadline) ->
+  (* unboxed accumulators: cumulative work and the running max density *)
+  let rec go work best = function
+    | [] -> best
+    | (remaining, deadline) :: rest ->
         let work = work +. remaining in
         let slack = deadline -. now in
-        if Fc.exact_le slack eps then (work, Float.infinity)
-        else (work, Float.max best (work /. slack)))
-      (0., 0.) sorted
+        if Fc.exact_le slack eps then go work Float.infinity rest
+        else go work (Float.max best (work /. slack)) rest
   in
-  best
+  go 0. 0. sorted
 
 let density_speed actives ~now =
   density_pairs ~now
+    (* lint: allow-hot-alloc-in-loop "the density probe materializes (remaining, deadline) pairs; keeping executor state in SoA arrays is ROADMAP item 3" *)
     (List.map (fun a -> (a.remaining, a.job.Job.deadline)) actives)
 
 let critical (proc : Processor.t) =
@@ -289,51 +290,59 @@ module Exec = struct
       Error (Invalid "Admission.simulate: duplicate job ids")
     else begin
       Hashtbl.add t.seen j.Job.id ();
-      (* feasible processor with the cheapest marginal estimate *)
-      let best = ref None in
-      Array.iteri
-        (fun i actives ->
-          if t.alive.(i) then begin
-            let trial = { job = j; remaining = j.Job.cycles } :: !actives in
-            if
-              Rt_prelude.Float_cmp.leq
-                (density_speed trial ~now:!(t.now))
-                t.cap
-            then begin
-              let est =
-                marginal_estimate t.proc ~cap:t.cap !actives ~now:!(t.now) j
-              in
-              match !best with
-              | Some (_, eb) when Fc.exact_le eb est -> ()
-              | _ -> best := Some (actives, est)
-            end
-          end)
-        t.processors;
-      match !best with
-      | None ->
-          incr t.forced;
-          record_reject t j;
-          Ok Infeasible
-      | Some (actives, est) ->
-          let accept =
-            match policy with
-            | Admit_all -> true
-            | Profitable -> Rt_prelude.Float_cmp.leq est j.Job.penalty
-            | Density_threshold theta ->
-                (* tolerant: this is the paper's accept/reject boundary *)
-                Rt_prelude.Float_cmp.geq
-                  (j.Job.penalty /. j.Job.cycles)
-                  theta
+      (* feasible processor with the cheapest marginal estimate: an
+         unboxed index/estimate scan.  One (index, estimate) pair is
+         built at the end — re-probing the winner would cost a full
+         marginal_estimate (itself allocating) per decision *)
+      let n = Array.length t.processors in
+      (* lint: allow-hot-boxed-float "one (index, estimate) pair per decision, not per scan step" *)
+      let rec best_proc i best_i best_est =
+        if i >= n then (best_i, best_est)
+        else if t.alive.(i) then begin
+          let actives = t.processors.(i) in
+          let trial =
+            (* lint: allow-hot-alloc-in-loop "the admission test probes a hypothetical pending set; SoA executor state (ROADMAP item 3) removes the cons" *)
+            { job = j; remaining = j.Job.cycles } :: !actives
           in
-          if accept then begin
-            actives := { job = j; remaining = j.Job.cycles } :: !actives;
-            t.admitted := j.Job.id :: !(t.admitted);
-            Ok Admitted
+          if Rt_prelude.Float_cmp.leq (density_speed trial ~now:!(t.now)) t.cap
+          then begin
+            let est =
+              marginal_estimate t.proc ~cap:t.cap !actives ~now:!(t.now) j
+            in
+            if best_i < 0 || not (Fc.exact_le best_est est) then
+              best_proc (i + 1) i est
+            else best_proc (i + 1) best_i best_est
           end
-          else begin
-            record_reject t j;
-            Ok Declined
-          end
+          else best_proc (i + 1) best_i best_est
+        end
+        else best_proc (i + 1) best_i best_est
+      in
+      let best_i, best_est = best_proc 0 (-1) 0. in
+      if best_i < 0 then begin
+        incr t.forced;
+        record_reject t j;
+        Ok Infeasible
+      end
+      else begin
+        let actives = t.processors.(best_i) in
+        let accept =
+          match policy with
+          | Admit_all -> true
+          | Profitable -> Rt_prelude.Float_cmp.leq best_est j.Job.penalty
+          | Density_threshold theta ->
+              (* tolerant: this is the paper's accept/reject boundary *)
+              Rt_prelude.Float_cmp.geq (j.Job.penalty /. j.Job.cycles) theta
+        in
+        if accept then begin
+          actives := { job = j; remaining = j.Job.cycles } :: !actives;
+          t.admitted := j.Job.id :: !(t.admitted);
+          Ok Admitted
+        end
+        else begin
+          record_reject t j;
+          Ok Declined
+        end
+      end
     end
 
   (* the degraded-tier decision: one density test on the first feasible
@@ -344,24 +353,29 @@ module Exec = struct
       Error (Invalid "Admission.simulate: duplicate job ids")
     else begin
       Hashtbl.add t.seen j.Job.id ();
-      let target = ref None in
-      Array.iteri
-        (fun i actives ->
-          if t.alive.(i) && !target = None then begin
-            let trial = { job = j; remaining = j.Job.cycles } :: !actives in
-            if
-              Rt_prelude.Float_cmp.leq
-                (density_speed trial ~now:!(t.now))
-                t.cap
-            then target := Some actives
-          end)
-        t.processors;
-      match !target with
-      | None ->
+      (* first feasible live processor, by index; early exit instead of
+         the latched-ref full sweep this replaces (same winner) *)
+      let n = Array.length t.processors in
+      let rec first_feasible i =
+        if i >= n then -1
+        else if t.alive.(i) then begin
+          let trial =
+            (* lint: allow-hot-alloc-in-loop "the admission test probes a hypothetical pending set; SoA executor state (ROADMAP item 3) removes the cons" *)
+            { job = j; remaining = j.Job.cycles } :: !(t.processors.(i))
+          in
+          if Rt_prelude.Float_cmp.leq (density_speed trial ~now:!(t.now)) t.cap
+          then i
+          else first_feasible (i + 1)
+        end
+        else first_feasible (i + 1)
+      in
+      match first_feasible 0 with
+      | -1 ->
           incr t.forced;
           record_reject t j;
           Ok Infeasible
-      | Some actives ->
+      | target ->
+          let actives = t.processors.(target) in
           if Rt_prelude.Float_cmp.geq (j.Job.penalty /. j.Job.cycles) theta
           then begin
             actives := { job = j; remaining = j.Job.cycles } :: !actives;

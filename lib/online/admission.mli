@@ -157,6 +157,7 @@ module Exec : sig
       was used without re-planning). *)
 
   val decide : t -> policy:policy -> Job.t -> (decision, error) result
+    [@@rt.hot "per-arrival step of the streaming admission service"]
   (** The full per-arrival step at time [now]: exact density feasibility
       over live processors, cheapest-marginal placement, then [policy].
       Records the outcome (admission, rejection penalty, forced count).
@@ -165,6 +166,7 @@ module Exec : sig
       duplicate id. *)
 
   val decide_cheap : t -> theta:float -> Job.t -> (decision, error) result
+    [@@rt.hot "per-arrival step of the degraded service tier"]
   (** The degraded-tier step: density feasibility on the {e first}
       feasible live processor and a penalty-per-cycle threshold [theta] —
       no marginal-energy estimate. Same bookkeeping as {!decide}. *)

@@ -30,13 +30,13 @@ let bucket t j =
 
 let size t = Array.fold_left (fun acc b -> acc + List.length b) 0 t.buckets
 
-let loads t =
-  Array.map
-    (fun b -> List.fold_left (fun acc (it : Task.item) -> acc +. it.weight) 0. b)
-    t.buckets
+(* hoisted so load queries on the hot path share one static closure
+   instead of building a fresh one per bucket *)
+let sum_weights b =
+  List.fold_left (fun acc (it : Task.item) -> acc +. it.weight) 0. b
 
-let load t j =
-  List.fold_left (fun acc (it : Task.item) -> acc +. it.weight) 0. (bucket t j)
+let loads t = Array.map sum_weights t.buckets
+let load t j = sum_weights (bucket t j)
 
 let makespan t = Array.fold_left Float.max 0. (loads t)
 

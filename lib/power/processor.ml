@@ -110,13 +110,16 @@ let critical_speed t =
       (* pick the level with minimal per-cycle energy; by unimodality it is
          one of the two levels around the unconstrained optimum, but scanning
          all levels is just as simple and obviously correct *)
-      Array.to_list levels
-      |> List.map (fun l -> (Power_model.energy_per_cycle t.model l, l))
-      |> List.fold_left
-           (fun acc c ->
-             if Rt_prelude.Float_cmp.exact_lt (fst c) (fst acc) then c else acc)
-           (Float.infinity, levels.(0))
-      |> snd
+      let n = Array.length levels in
+      let rec scan i best best_e =
+        if i >= n then best
+        else
+          let e = Power_model.energy_per_cycle t.model levels.(i) in
+          if Rt_prelude.Float_cmp.exact_lt e best_e then
+            scan (i + 1) levels.(i) e
+          else scan (i + 1) best best_e
+      in
+      scan 0 levels.(0) Float.infinity
 
 let idle_power t = t.model.Power_model.p_ind
 

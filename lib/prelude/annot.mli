@@ -40,6 +40,23 @@ val dim : string
     rule (docs/LINT.md), not by the concurrency rules; listed here so
     the registry is complete. *)
 
+val hot : string
+(** ["rt.hot"] — payload: none, or a string literal documenting why the
+    value is latency-critical. Marks a function as a hot-path root for
+    the allocation/boxing analysis (docs/PERF_LINT.md): hotness
+    propagates from it to every function it transitively calls, and the
+    hot rules (hot-boxed-float, hot-alloc-in-loop, hot-list-traversal)
+    fire only inside hot code. Placement: on a [val] declaration in an
+    [.mli] ([val ltf_reject : algorithm [@@rt.hot]]) or on a let
+    binding in an [.ml]. *)
+
+val cold : string
+(** ["rt.cold"] — payload: none, or a string literal saying why.
+    The propagation cut: a value marked cold is never considered hot,
+    and hotness does not flow through it to its callees — use it on
+    error paths, logging, and setup code reachable from a hot root.
+    Same placements as {!hot}. *)
+
 val all : string list
 (** Every attribute name above — what the lint treats as reserved in
     the [rt.] namespace. *)

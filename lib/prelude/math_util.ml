@@ -54,34 +54,31 @@ let golden_section_min ?(tol = 1e-10) ?(max_iter = 200) ~f ~lo ~hi () =
   if Float_cmp.exact_gt lo hi then
     invalid_arg "Math_util.golden_section_min: lo > hi";
   (* invariant: the minimum lies in [a, b]; xa < xb are the interior probes
-     with cached values fa, fb *)
-  let a = ref lo and b = ref hi in
-  let xa = ref (!b -. (invphi *. (!b -. !a))) in
-  let xb = ref (!a +. (invphi *. (!b -. !a))) in
-  let fa = ref (f !xa) and fb = ref (f !xb) in
-  let iter = ref 0 in
-  while
-    !iter < max_iter
-    && Float_cmp.exact_gt (!b -. !a)
-         (tol *. Float.max 1. (Float.abs !a +. Float.abs !b))
-  do
-    incr iter;
-    if !fa < !fb then begin
-      b := !xb;
-      xb := !xa;
-      fb := !fa;
-      xa := !b -. (invphi *. (!b -. !a));
-      fa := f !xa
-    end
-    else begin
-      a := !xa;
-      xa := !xb;
-      fa := !fb;
-      xb := !a +. (invphi *. (!b -. !a));
-      fb := f !xb
-    end
-  done;
-  let x = (!a +. !b) /. 2. in
+     with cached values fa, fb — carried as unboxed loop arguments rather
+     than a rack of float refs *)
+  let rec go iter a b xa xb fa fb =
+    if
+      iter < max_iter
+      && Float_cmp.exact_gt (b -. a)
+           (tol *. Float.max 1. (Float.abs a +. Float.abs b))
+    then
+      if fa < fb then begin
+        let b = xb in
+        let xa' = b -. (invphi *. (b -. a)) in
+        go (iter + 1) a b xa' xa (f xa') fa
+      end
+      else begin
+        let a = xa in
+        let xb' = a +. (invphi *. (b -. a)) in
+        go (iter + 1) a b xb xb' fb (f xb')
+      end
+    else (a +. b) /. 2.
+  in
+  let xa = hi -. (invphi *. (hi -. lo)) in
+  let xb = lo +. (invphi *. (hi -. lo)) in
+  let fa = f xa in
+  let fb = f xb in
+  let x = go 0 lo hi xa xb fa fb in
   (x, f x)
 
 let bisect_root ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =

@@ -19,38 +19,40 @@ let idle_rate (proc : Processor.t) =
   | Processor.Dormant_disable -> Processor.idle_power proc
 
 (* Lower convex hull (monotone chain) of points sorted by strictly
-   increasing x; the optimal mixing of "operating points" lies on it. *)
+   increasing x; the optimal mixing of "operating points" lies on it.
+   [pop] walks the hull as a suffix instead of rebuilding it, so one
+   fold step allocates exactly the surviving vertex's cons cell. *)
 let lower_hull points =
   let cross (ox, oy) (ax, ay) (bx, by) =
     ((ax -. ox) *. (by -. oy)) -. ((ay -. oy) *. (bx -. ox))
   in
-  List.fold_left
-    (fun hull p ->
-      let rec pop = function
-        | a :: b :: rest when Fc.exact_le (cross b a p) 0. -> pop (b :: rest)
-        | hull -> p :: hull
-      in
-      pop hull)
-    [] points
-  |> List.rev
+  let rec pop p hull =
+    match hull with
+    | a :: (b :: _ as older) when Fc.exact_le (cross b a p) 0. -> pop p older
+    | _ -> p :: hull
+  in
+  List.fold_left (fun hull p -> pop p hull) [] points |> List.rev
 
 (* Mix the two hull vertices around [u]; returns segments + rate. *)
 let mix_on_hull hull u =
+  (* the hull suffix starting at the vertex pair bracketing [u]; sharing
+     the suffix keeps the bracket unboxed (no per-call float pair) *)
   let rec find = function
-    | [ (x, y) ] ->
+    | [ (x, _) ] as last ->
         if
           Rt_prelude.Float_cmp.approx_eq x u
           || Rt_prelude.Float_cmp.exact_lt u x
-        then Some ((x, y), (x, y))
+        then Some last
         else None
-    | (x1, y1) :: ((x2, _) :: _ as rest) ->
+    | (_ :: ((x2, _) :: _ as rest)) as bracket ->
         if Rt_prelude.Float_cmp.exact_gt u x2 then find rest
-        else Some ((x1, y1), List.hd rest)
+        else Some bracket
     | [] -> None
   in
   match find hull with
-  | None -> None
-  | Some ((x1, y1), (x2, y2)) ->
+  | None | Some [] -> None
+  | Some ((x1, y1) :: rest) ->
+      let x2, y2 = match rest with [] -> (x1, y1) | v :: _ -> v in
       if Rt_prelude.Float_cmp.approx_eq x1 x2 then
         Some ([ { speed = x2; fraction = 1. } ], y2)
       else begin
@@ -90,6 +92,7 @@ let optimal ?power_factor (proc : Processor.t) ~u =
               (* lint: allow-no-raise "unreachable: guarded by the Levels match above" *)
               assert false
         in
+        (* lint: allow-hot-alloc-in-loop "bounded by the processor's static level count, not instance size; caching per-processor hulls is ROADMAP item 3 territory" *)
         let points = (0., idle_rate proc) :: List.map (fun l -> (l, power l)) levels in
         let hull = lower_hull points in
         Option.map

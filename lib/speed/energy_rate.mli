@@ -36,6 +36,7 @@ type plan = {
 }
 
 val optimal : ?power_factor:float -> Rt_power.Processor.t -> u:float -> plan option
+  [@@rt.hot "evaluated per candidate placement by every scheduler"]
 (** [optimal proc ~u] is the minimum-average-power plan delivering required
     speed [u >= 0], or [None] when [u] exceeds [s_max] (no feasible plan).
     [power_factor] scales the speed-dependent power (heterogeneous tasks).
@@ -44,11 +45,13 @@ val optimal : ?power_factor:float -> Rt_power.Processor.t -> u:float -> plan opt
 val rate :
   ?power_factor:float -> Rt_power.Processor.t -> u:float ->
   float option [@rt.dim "watts"]
+  [@@rt.hot "evaluated per candidate placement by every scheduler"]
 (** Average power of the optimal plan. *)
 
 val energy :
   ?power_factor:float -> Rt_power.Processor.t -> u:float -> horizon:float ->
   float option [@rt.dim "joules"]
+  [@@rt.hot "evaluated per candidate placement by every scheduler"]
 (** [rate × horizon]. @raise Invalid_argument on negative horizon. *)
 
 val plan_rate :

@@ -1,0 +1,13 @@
+(* must-flag: per-iteration allocation in a kernel two calls below the
+   annotated entry point — hotness propagates entry -> middle -> kernel
+   even though neither [middle] nor [kernel] carries an annotation *)
+
+let kernel n =
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    out := (i, i * i) :: !out
+  done;
+  !out
+
+let middle n = kernel (n + 1)
+let entry n = middle (n * 2)

@@ -1,0 +1,3 @@
+val kernel : int -> (int * int) list
+val middle : int -> (int * int) list
+val entry : int -> (int * int) list [@@rt.hot "fixture: only the entry is annotated"]

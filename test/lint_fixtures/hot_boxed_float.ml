@@ -1,0 +1,6 @@
+(* must-flag: a float accumulator boxed in a ref on a hot path *)
+
+let sum (xs : float array) =
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. x) xs;
+  !acc

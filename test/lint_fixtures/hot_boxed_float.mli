@@ -1,0 +1,1 @@
+val sum : float array -> float [@@rt.hot "fixture: annotated kernel"]

@@ -1,0 +1,21 @@
+(* budget-no-poll: [drain_budgeted] loops without ever consulting the
+   clock and must be flagged at its driver loop; [poll_budgeted] calls
+   Clock.spent in the loop condition and must pass *)
+
+module Clock = struct
+  let spent () = 0
+end
+
+let poll_budgeted limit =
+  let i = ref 0 in
+  while !i < limit + Clock.spent () do
+    incr i
+  done;
+  !i
+
+let drain_budgeted limit =
+  let i = ref 0 in
+  while !i < limit do
+    incr i
+  done;
+  !i

@@ -1,0 +1,2 @@
+val poll_budgeted : int -> int
+val drain_budgeted : int -> int

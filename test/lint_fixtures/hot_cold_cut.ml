@@ -1,0 +1,11 @@
+(* must-pass: [@rt.cold] on the helper cuts hotness propagation before
+   its allocating loop, even though the hot entry calls it *)
+
+let slow_path n =
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    out := (i, i + 1) :: !out
+  done;
+  !out
+
+let entry n = slow_path n

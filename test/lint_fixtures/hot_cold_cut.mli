@@ -1,0 +1,4 @@
+val slow_path : int -> (int * int) list
+[@@rt.cold "fixture: error-reporting path"]
+
+val entry : int -> (int * int) list [@@rt.hot "fixture: annotated entry"]

@@ -1,0 +1,6 @@
+(* must-pass: a hot kernel in allocation-free style — unboxed float
+   accumulator, flat float-array access, tail recursion *)
+
+let rec sum_sq (xs : float array) i acc =
+  if i >= Array.length xs then acc
+  else sum_sq xs (i + 1) (acc +. (xs.(i) *. xs.(i)))

@@ -1,0 +1,2 @@
+val sum_sq : float array -> int -> float -> float
+[@@rt.hot "fixture: annotated kernel"]

@@ -1,0 +1,3 @@
+(* must-note: a full-list traversal on a hot path (advisory only) *)
+
+let count (xs : int list) = List.length xs

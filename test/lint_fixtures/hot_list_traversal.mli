@@ -1,0 +1,1 @@
+val count : int list -> int [@@rt.hot "fixture: annotated kernel"]

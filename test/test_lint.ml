@@ -217,6 +217,55 @@ let test_conc_deque_race () =
 
 let test_conc_suppress () = clean "conc_suppress.ml" ()
 
+(* ------------------------------------------------------------------ *)
+(* hot paths: allocation/boxing with call-graph hotness propagation *)
+
+let severity_of rule path =
+  match
+    findings_of path
+    |> List.filter (fun (f : Lint_core.finding) -> f.Lint_core.rule = rule)
+  with
+  | f :: _ -> f.Lint_core.severity
+  | [] -> Alcotest.fail ("no " ^ rule ^ " finding in " ^ path)
+
+let test_hot_boxed_float () =
+  Alcotest.(check (list int))
+    "float ref flagged at its allocation" [ 4 ]
+    (locations "hot-boxed-float" "hot_boxed_float.ml");
+  check_bool "boxing is a warning" true
+    (severity_of "hot-boxed-float" "hot_boxed_float.ml" = Finding.Warning)
+
+let test_hot_alloc_loop () =
+  (* the annotated entry is two calls above the kernel: hotness reaches
+     the allocating loop through an unannotated intermediate *)
+  Alcotest.(check (list int))
+    "per-iteration allocation flagged inside the loop" [ 8 ]
+    (locations "hot-alloc-in-loop" "hot_alloc_loop.ml");
+  check_bool "loop churn is a warning" true
+    (severity_of "hot-alloc-in-loop" "hot_alloc_loop.ml" = Finding.Warning)
+
+let test_hot_list_traversal () =
+  Alcotest.(check (list int))
+    "traversal noted at its call" [ 3 ]
+    (locations "hot-list-traversal" "hot_list_traversal.ml");
+  match findings_of "hot_list_traversal.ml" with
+  | [ f ] ->
+      check_bool "advisory severity" true (f.Lint_core.severity = Finding.Note);
+      check_bool "notes do not gate" false (Finding.gates f)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_hot_budget_no_poll () =
+  (* [drain_budgeted] never consults the clock: one error at its driver
+     loop; [poll_budgeted] reads Clock in its condition and stays clean *)
+  Alcotest.(check (list int))
+    "witness at the clockless driver loop only" [ 18 ]
+    (locations "budget-no-poll" "hot_budget_no_poll.ml");
+  check_bool "missing poll is an error" true
+    (severity_of "budget-no-poll" "hot_budget_no_poll.ml" = Finding.Error)
+
+let test_hot_good () = clean "hot_good.ml" ()
+let test_hot_cold_cut () = clean "hot_cold_cut.ml" ()
+
 let test_conc_severity () =
   let sev rule path =
     match
@@ -331,5 +380,19 @@ let () =
             test_conc_suppress;
           Alcotest.test_case "severities and gating" `Quick
             test_conc_severity;
+        ] );
+      ( "hot",
+        [
+          Alcotest.test_case "boxed float ref" `Quick test_hot_boxed_float;
+          Alcotest.test_case "allocation under a propagated-hot loop" `Quick
+            test_hot_alloc_loop;
+          Alcotest.test_case "list traversal is advisory" `Quick
+            test_hot_list_traversal;
+          Alcotest.test_case "budgeted loop without a poll" `Quick
+            test_hot_budget_no_poll;
+          Alcotest.test_case "allocation-free kernel clean" `Quick
+            test_hot_good;
+          Alcotest.test_case "[@rt.cold] cuts propagation" `Quick
+            test_hot_cold_cut;
         ] );
     ]

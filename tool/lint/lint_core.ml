@@ -296,11 +296,30 @@ type typed_source =
   | Best_effort  (** try standalone; skip the typed pass on failure *)
   | Untyped  (** syntactic pass only *)
 
-let typed_findings ~dims ~source ~in_lib ~check_floats path parsetree =
+let typed_findings ~dims ~hot ~source ~in_lib ~check_floats path parsetree =
   let modname = Dim_table.modname_of_path path in
+  (* with no repo-wide hotset (the standalone fixture path), hotness is
+     resolved from this unit alone: its sibling interface's marks, its
+     own [@rt.hot] let bindings, and its intra-unit call edges *)
+  let hot_findings str =
+    match hot with
+    | Some hotset -> Hot_lint.check ~hot:hotset ~file:path ~modname str
+    | None ->
+        let marks = Hot_lint.create_marks () in
+        let mli = path ^ "i" in
+        let mark_errs =
+          if Sys.file_exists mli then Hot_lint.add_interface marks mli
+          else []
+        in
+        let graph = Hot_lint.create_graph () in
+        Hot_lint.scan_unit graph ~modname str;
+        let hotset = Hot_lint.resolve marks graph in
+        mark_errs @ Hot_lint.check ~hot:hotset ~file:path ~modname str
+  in
   let run str =
     Typed_lint.check ~dims ~file:path ~modname ~in_lib ~check_floats str
     @ Conc_lint.check ~file:path ~modname str
+    @ hot_findings str
   in
   match source with
   | Untyped -> []
@@ -319,7 +338,7 @@ let typed_findings ~dims ~source ~in_lib ~check_floats path parsetree =
                 [ { file = path; line = 1; col = 0; rule = "typecheck"; severity = Finding.Error; msg } ]
               else []))
 
-let lint_file_with ~dims ~source ?as_lib path =
+let lint_file_with ~dims ?hot ~source ?as_lib path =
   let in_lib = match as_lib with Some b -> b | None -> under_lib path in
   let pragmas = scan_pragmas path in
   let ctx = { path; in_lib; found = []; spans = []; bad_attrs = [] } in
@@ -345,7 +364,7 @@ let lint_file_with ~dims ~source ?as_lib path =
   let typed =
     if has_suffix path ".mli" then []
     else
-      typed_findings ~dims ~source ~in_lib
+      typed_findings ~dims ~hot ~source ~in_lib
         ~check_floats:(not (is_float_cmp_module path))
         path !parsetree
   in
@@ -467,30 +486,69 @@ let cmt_index roots =
 (* The repo walk                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* when invoked on individual .ml files, their sibling interfaces still
+   carry the annotations — harvest them even though they are not linted *)
+let interfaces_of files =
+  List.filter_map
+    (fun f ->
+      if has_suffix f ".mli" then Some f
+      else
+        let mli = f ^ "i" in
+        if (not (List.mem mli files)) && Sys.file_exists mli then Some mli
+        else None)
+    files
+  |> List.sort_uniq compare
+
 let build_dim_table files =
   let dims = Dim_table.create () in
-  (* when invoked on individual .ml files, their sibling interfaces still
-     carry the annotations — harvest them even though they are not linted *)
-  let interfaces =
-    List.filter_map
-      (fun f ->
-        if has_suffix f ".mli" then Some f
-        else
-          let mli = f ^ "i" in
-          if (not (List.mem mli files)) && Sys.file_exists mli then Some mli
-          else None)
-      files
-    |> List.sort_uniq compare
-  in
   let errors =
-    List.concat_map (fun f -> Dim_table.add_interface dims f) interfaces
+    List.concat_map
+      (fun f -> Dim_table.add_interface dims f)
+      (interfaces_of files)
   in
   (dims, errors)
+
+(* The hotness prepass: harvest [@rt.hot]/[@rt.cold] marks from every
+   interface, build the intra-repo call graph from every typeable unit,
+   and resolve once so hotness propagates across compilation units.  The
+   typedtrees are re-read by the per-file pass afterwards; the walk is
+   cheap next to the typing they both rely on. *)
+let build_hotset files cmts =
+  let marks = Hot_lint.create_marks () in
+  let errors =
+    List.concat_map
+      (fun f -> Hot_lint.add_interface marks f)
+      (interfaces_of files)
+  in
+  let graph = Hot_lint.create_graph () in
+  List.iter
+    (fun f ->
+      if not (has_suffix f ".mli") then begin
+        let modname = Dim_table.modname_of_path f in
+        let str =
+          match Hashtbl.find_opt cmts f with
+          | Some cmt -> (
+              match Typed_lint.read_cmt cmt with
+              | Ok str -> Some str
+              | Error _ -> None)
+          | None -> (
+              match Pparse.parse_implementation ~tool_name:"rt-lint" f with
+              | exception _ -> None
+              | pt -> (
+                  match Typed_lint.type_standalone pt with
+                  | Ok str -> Some str
+                  | Error _ -> None))
+        in
+        Option.iter (Hot_lint.scan_unit graph ~modname) str
+      end)
+    files;
+  (Hot_lint.resolve marks graph, errors)
 
 let lint_paths ?(require_cmts = false) paths =
   let files = List.fold_left walk [] paths in
   let dims, dim_errors = build_dim_table files in
   let cmts = cmt_index paths in
+  let hotset, hot_errors = build_hotset files cmts in
   let findings =
     List.concat_map
       (fun f ->
@@ -506,10 +564,10 @@ let lint_paths ?(require_cmts = false) paths =
             | None -> Best_effort
         in
         let mli = match missing_mli f with Some x -> [ x ] | None -> [] in
-        mli @ lint_file_with ~dims ~source f)
+        mli @ lint_file_with ~dims ~hot:hotset ~source f)
       files
   in
-  List.sort Finding.compare (dim_errors @ findings)
+  List.sort Finding.compare (dim_errors @ hot_errors @ findings)
 
 let dim_coverage paths ~under =
   let files = List.fold_left walk [] paths in

@@ -26,7 +26,9 @@ val compare_finding : finding -> finding -> int
 val lint_file : ?as_lib:bool -> string -> finding list
 (** Parse, type (against the standard library alone) and lint one [.ml]
     or [.mli] file.  Dimension annotations are read from the file's own
-    [[@@rt.dim]] bindings and a sibling [.mli] when one exists.  [as_lib]
+    [[@@rt.dim]] bindings and a sibling [.mli] when one exists; hotness
+    for the {!Hot_lint} rules is likewise resolved from the unit itself
+    plus its sibling interface.  [as_lib]
     forces whether the lib-only rules (no-print, no-raise, wallclock,
     ambient-random) apply; by default it is inferred from the path
     containing a [lib] component.  Unparseable files yield a single
@@ -45,7 +47,10 @@ val lint_paths : ?require_cmts:bool -> string list -> finding list
     sources without a [.cmt] fall back to standalone typing, silently
     skipping the typed rules when that fails — unless [require_cmts] is
     set, in which case the typing failure is reported as a [typecheck]
-    finding.  Results are sorted. *)
+    finding.  A prepass harvests [[@rt.hot]]/[[@rt.cold]] marks from
+    every interface and builds the cross-unit call graph, so hotness
+    propagates between compilation units (docs/PERF_LINT.md).  Results
+    are sorted. *)
 
 val dim_coverage : string list -> under:string list -> Dim_table.coverage
 (** Walk the given roots, build the dimension table, and report

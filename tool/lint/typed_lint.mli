@@ -10,7 +10,16 @@
 val path_parts : Path.t -> string list
 (** Decompose a typedtree path into its source-level components, undoing
     dune's module wrapping ([Rt_prelude__Rng.float] becomes
-    [["Rt_prelude"; "Rng"; "float"]]).  Shared with {!Conc_lint}. *)
+    [["Rt_prelude"; "Rng"; "float"]]).  Shared with {!Conc_lint} and
+    {!Hot_lint}. *)
+
+val is_float : Types.type_expr -> bool
+(** Is this type exactly [float] (including the [Float.t] alias)? *)
+
+val contains_float : Types.type_expr -> bool
+(** Structural float occurrence: recurses through tuples and type
+    constructor arguments; nominal record/variant contents are not
+    expanded (.cmt files keep only summarized environments). *)
 
 val read_cmt : string -> (Typedtree.structure, string) result
 (** Load the typedtree of an implementation [.cmt]. *)

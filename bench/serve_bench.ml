@@ -36,7 +36,10 @@ type row = {
   max_latency_s : float;
   shed_fraction : float;
   ratio_lower_bound : float;
-  ratio_yds : float;
+  ratio_yds : float option;
+      (* None when the YDS bound was not computed for this case; the JSON
+         carries an explicit null — a 0.0 sentinel would read as "the
+         online run used no energy at all" and poison ratio statistics *)
 }
 
 let json_of_row r =
@@ -44,9 +47,12 @@ let json_of_row r =
     "  {\"case\": %S, \"jobs\": %d, \"wall_s\": %.6f, \"jobs_per_min\": \
      %.1f, \"p99_latency_s\": %.9f, \"max_latency_s\": %.9f, \
      \"shed_fraction\": %.6f, \"ratio_lower_bound\": %.6f, \"ratio_yds\": \
-     %.6f}"
+     %s}"
     r.case r.jobs r.wall_s r.jobs_per_min r.p99_latency_s r.max_latency_s
-    r.shed_fraction r.ratio_lower_bound r.ratio_yds
+    r.shed_fraction r.ratio_lower_bound
+    (match r.ratio_yds with
+    | Some x -> Printf.sprintf "%.6f" x
+    | None -> "null")
 
 let row_of_report ~case ~n ~wall (r : Rt_serve.Serve.report) =
   {
@@ -60,10 +66,9 @@ let row_of_report ~case ~n ~wall (r : Rt_serve.Serve.report) =
     ratio_lower_bound =
       r.outcome.Rt_online.Admission.total /. Float.max 1e-9 r.lower_bound;
     ratio_yds =
-      (match r.yds_energy with
-      | Some yds ->
-          r.outcome.Rt_online.Admission.energy /. Float.max 1e-9 yds
-      | None -> 0.);
+      Option.map
+        (fun yds -> r.outcome.Rt_online.Admission.energy /. Float.max 1e-9 yds)
+        r.yds_energy;
   }
 
 let () =
@@ -148,9 +153,9 @@ let () =
          vs-lb %.3f%s\n"
         r.case r.jobs r.wall_s r.jobs_per_min r.p99_latency_s r.shed_fraction
         r.ratio_lower_bound
-        (if Rt_prelude.Float_cmp.exact_gt r.ratio_yds 0. then
-           Printf.sprintf "  vs-yds %.3f" r.ratio_yds
-         else ""))
+        (match r.ratio_yds with
+        | Some x -> Printf.sprintf "  vs-yds %.3f" x
+        | None -> ""))
     rows;
   if Rt_prelude.Float_cmp.exact_lt row1.jobs_per_min 1_000_000. then begin
     Printf.printf "throughput below 1M jobs/min target\n";

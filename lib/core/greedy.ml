@@ -4,56 +4,103 @@ open Rt_task
 
 type algorithm = Problem.t -> Solution.t
 
-(* least-loaded processor on which the item still fits, if any; an
-   unboxed index/load scan — earliest index wins ties, like the
-   [Array.iteri] fold it replaces *)
-let feasible_min_load (p : Problem.t) partition (it : Task.item) =
-  let cap = Problem.capacity p in
-  let loads = Rt_partition.Partition.loads partition in
-  let n = Array.length loads in
-  let rec scan j best_j best_l =
-    if j >= n then if best_j < 0 then None else Some best_j
-    else
-      let l = loads.(j) in
-      if
-        Rt_prelude.Float_cmp.leq (l +. it.weight) cap
-        && (best_j < 0 || not (Fc.exact_le best_l l))
-      then scan (j + 1) j l
-      else scan (j + 1) best_j best_l
-  in
-  scan 0 (-1) 0.
+(* least-loaded processor on which weight [w] still fits, or -1; an
+   unboxed recursive scan, hoisted so the packing loop shares one static
+   closure — earliest index wins ties, like the [Array.iteri] fold the
+   original list version replaced *)
+let rec feasible_scan loads m cap w j best_j best_l =
+  if j >= m then best_j
+  else
+    let l = loads.(j) in
+    if
+      Rt_prelude.Float_cmp.leq (l +. w) cap
+      && (best_j < 0 || not (Fc.exact_le best_l l))
+    then feasible_scan loads m cap w (j + 1) j l
+    else feasible_scan loads m cap w (j + 1) best_j best_l
 
-let place_or_reject (p : Problem.t) ~accept items =
-  let rec place partition rejected = function
-    | [] -> { Solution.partition; rejected = List.rev rejected }
-    | it :: rest -> (
-        match feasible_min_load p partition it with
-        | Some j when accept partition j it ->
-            place (Rt_partition.Partition.add partition j it) rejected rest
-        | Some _ | None ->
-            (* lint: allow-hot-alloc-in-loop "the rejection list is the output, not churn; the SoA pass (ROADMAP item 3) batches it" *)
-            place partition (it :: rejected) rest)
-  in
-  place (Rt_partition.Partition.empty ~m:p.m) [] items
+(* The packing core on the SoA view: items are *positions* into
+   [Problem.soa], loads live in a scratch array updated in place, and the
+   partition is materialized once at the end — no per-placement bucket
+   copies or list folds. [accept loads j i] may veto the least-loaded
+   feasible processor [j] for positional item [i]. *)
+let pack_positions (p : Problem.t) ~accept (order : int array) =
+  let s = Problem.soa p in
+  let cap = Problem.capacity p in
+  let m = p.m in
+  let loads = Array.make m 0. in
+  let buckets = Array.make m [] in
+  let rejected = ref [] in
+  Array.iter
+    (fun i ->
+      let w = s.Problem.weights.(i) in
+      let j = feasible_scan loads m cap w 0 (-1) 0. in
+      if j >= 0 && accept loads j i then begin
+        (* lint: allow-hot-alloc-in-loop "the bucket lists are the output partition, not churn" *)
+        buckets.(j) <- s.Problem.item_arr.(i) :: buckets.(j);
+        loads.(j) <- loads.(j) +. w
+      end
+      else
+        (* lint: allow-hot-alloc-in-loop "the rejection list is the output, not churn" *)
+        rejected := s.Problem.item_arr.(i) :: !rejected)
+    order;
+  {
+    Solution.partition = Rt_partition.Partition.of_buckets buckets;
+    rejected = List.rev !rejected;
+  }
+
+let positions (s : Problem.soa) = Array.init s.Problem.n (fun i -> i)
+
+(* positional mirror of [Task.compare_item_weight_desc]: weight
+   descending, id ascending on ties — a total order, so [Array.sort]'s
+   instability is unobservable. The branches below are [Float.compare]
+   unfolded for finite arguments (item weights are finite in any
+   well-formed instance). Full-instance runs should use the precomputed
+   [s.order_weight_desc] instead (sorted once per instance — the
+   per-run sort was over half of an ltf run at n=10^3); this entry
+   point remains for subset re-sorts (density repair). *)
+let sort_weight_desc (s : Problem.soa) order =
+  let w = s.Problem.weights in
+  let ids = s.Problem.ids in
+  Array.sort
+    (fun a b ->
+      let wa = w.(a) in
+      let wb = w.(b) in
+      if Fc.exact_lt wb wa then -1
+      else if Fc.exact_lt wa wb then 1
+      else Int.compare ids.(a) ids.(b))
+    order;
+  order
 
 let always _ _ _ = true
 
 let ltf_reject (p : Problem.t) =
-  place_or_reject p ~accept:always
-    (List.sort Task.compare_item_weight_desc p.items)
+  let s = Problem.soa p in
+  pack_positions p ~accept:always s.Problem.order_weight_desc
 
-let unsorted_reject (p : Problem.t) = place_or_reject p ~accept:always p.items
-
-let marginal_accept (p : Problem.t) partition j (it : Task.item) =
-  let l = Rt_partition.Partition.load partition j in
-  let marginal =
-    Problem.bucket_energy p (l +. it.weight) -. Problem.bucket_energy p l
-  in
-  Rt_prelude.Float_cmp.leq marginal it.item_penalty
+let unsorted_reject (p : Problem.t) =
+  pack_positions p ~accept:always (positions (Problem.soa p))
 
 let marginal_greedy (p : Problem.t) =
-  place_or_reject p ~accept:(marginal_accept p)
-    (List.sort Task.compare_item_weight_desc p.items)
+  let s = Problem.soa p in
+  (* per-processor memo of [energy loads.(j)]: [energy] is a pure
+     function of the load, so reusing the previous value while the load
+     is unchanged (no placement landed on [j]) yields the same bits as
+     re-evaluating — halving the energy calls of a probe-heavy run. The
+     NaN sentinel never matches a real load, so first probes fill in. *)
+  let cached_load = Array.make p.m Float.nan in
+  let cached_energy = Array.make p.m 0. in
+  let accept loads j i =
+    let l = loads.(j) in
+    if not (Fc.exact_eq cached_load.(j) l) then begin
+      cached_load.(j) <- l;
+      cached_energy.(j) <- s.Problem.energy l
+    end;
+    let marginal =
+      s.Problem.energy (l +. s.Problem.weights.(i)) -. cached_energy.(j)
+    in
+    Rt_prelude.Float_cmp.leq marginal s.Problem.penalties.(i)
+  in
+  pack_positions p ~accept s.Problem.order_weight_desc
 
 let random_reject rng (p : Problem.t) =
   let cap = Problem.capacity p in
@@ -83,62 +130,69 @@ let total_cost (p : Problem.t) solution =
   | Ok c -> c.Solution.total
   | Error msg -> invalid_arg ("Greedy: internal solution invalid: " ^ msg)
 
-let density_asc (a : Task.item) (b : Task.item) =
+(* positional mirror of the old density comparator: penalty per unit
+   weight ascending, id ascending on ties *)
+let density_asc (s : Problem.soa) a b =
   let c =
-    Float.compare (a.item_penalty /. a.weight) (b.item_penalty /. b.weight)
+    Float.compare
+      (s.Problem.penalties.(a) /. s.Problem.weights.(a))
+      (s.Problem.penalties.(b) /. s.Problem.weights.(b))
   in
-  if c <> 0 then c else compare a.item_id b.item_id
+  if c <> 0 then c else Int.compare s.Problem.ids.(a) s.Problem.ids.(b)
 
 (* pack by LTF; if some item does not fit, drop the cheapest-density item
    and retry *)
 let density_reject (p : Problem.t) =
+  let s = Problem.soa p in
   let cap = Problem.capacity p in
   let pack accepted =
-    place_or_reject p ~accept:always
-      (List.sort Task.compare_item_weight_desc accepted)
+    pack_positions p ~accept:always
+      (sort_weight_desc s (Array.of_list accepted))
   in
+  let items_of positions = List.map (fun i -> s.Problem.item_arr.(i)) positions in
   (* phase 1: repair to feasibility (ltf_reject already force-rejects
      overflow; we instead choose *which* item to drop by density) *)
   let rec repair accepted rejected =
     let trial = pack accepted in
     if trial.Solution.rejected = [] then (trial, rejected)
     else begin
-      match List.sort density_asc accepted with
+      match List.sort (density_asc s) accepted with
       | [] -> (trial, rejected)
       | cheapest :: _ ->
           repair
-            (List.filter
-               (fun (x : Task.item) -> x.item_id <> cheapest.item_id)
-               accepted)
+            (List.filter (fun i -> i <> cheapest) accepted)
             (cheapest :: rejected)
     end
   in
   let fitting, oversize =
     List.partition
-      (fun (it : Task.item) -> Rt_prelude.Float_cmp.leq it.weight cap)
-      p.items
+      (fun i -> Rt_prelude.Float_cmp.leq s.Problem.weights.(i) cap)
+      (Array.to_list (positions s))
   in
   let packed, dropped = repair fitting oversize in
   let base =
-    { packed with Solution.rejected = packed.Solution.rejected @ dropped }
+    { packed with Solution.rejected = packed.Solution.rejected @ items_of dropped }
   in
   (* phase 2: trimming — reject any further item that still pays off *)
+  let position_of (it : Task.item) =
+    Hashtbl.find s.Problem.index_of it.item_id
+  in
   let rec trim solution =
     let current = total_cost p solution in
-    let accepted = Rt_partition.Partition.all_items solution.Solution.partition in
-    let try_drop (it : Task.item) =
-      let remaining =
-        List.filter
-          (fun (x : Task.item) -> x.item_id <> it.item_id)
-          accepted
-      in
+    let accepted =
+      List.map position_of
+        (Rt_partition.Partition.all_items solution.Solution.partition)
+    in
+    let try_drop i =
+      let remaining = List.filter (fun x -> x <> i) accepted in
       let repacked = pack remaining in
       if repacked.Solution.rejected <> [] then None
       else begin
         let candidate =
           {
             repacked with
-            Solution.rejected = it :: solution.Solution.rejected;
+            Solution.rejected =
+              s.Problem.item_arr.(i) :: solution.Solution.rejected;
           }
         in
         let c = total_cost p candidate in
@@ -148,7 +202,7 @@ let density_reject (p : Problem.t) =
         else None
       end
     in
-    match List.find_map try_drop (List.sort density_asc accepted) with
+    match List.find_map try_drop (List.sort (density_asc s) accepted) with
     | Some better -> trim better
     | None -> solution
   in

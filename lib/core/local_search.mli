@@ -42,3 +42,32 @@ val improve_budgeted :
 
 val with_local_search : ?max_moves:int -> Greedy.algorithm -> Greedy.algorithm
 (** Compose: run the algorithm, then polish with [improve]. *)
+
+(** Test access to the delta-cost state: the search maintains per-processor
+    loads and bucket energies incrementally (O(1) per applied move) and
+    renormalizes them from scratch every few thousand moves to bound float
+    drift. This submodule lets the drift property test drive the same
+    update/renormalize machinery with {e random accepted} (feasible but not
+    necessarily improving) moves and compare against a from-scratch
+    {!Solution.cost} re-evaluation. Not part of the stable API. *)
+module Drift_test : sig
+  type t
+
+  val init : Problem.t -> Solution.t -> t
+  (** @raise Invalid_argument when the solution is infeasible. *)
+
+  val random_step : Rt_prelude.Rng.t -> t -> bool
+  (** Propose one random move or swap; apply it iff it keeps every load
+      within capacity. Returns whether a move was applied. *)
+
+  val renormalize : t -> unit
+  (** Rebuild loads and bucket energies from scratch, in the same
+      summation order as [Solution.cost] uses. *)
+
+  val loads : t -> float array
+  val cost : t -> float
+  (** Incrementally-maintained total (Σ bucket energies + Σ penalties),
+      associated exactly as [Solution.cost] computes it. *)
+
+  val solution : t -> Solution.t
+end

@@ -2,12 +2,59 @@ module Fc = Rt_prelude.Float_cmp
 
 open Rt_task
 
+type soa = {
+  n : int;
+  ids : int array;
+  weights : float array;
+  penalties : float array;
+  item_arr : Task.item array;
+  index_of : (int, int) Hashtbl.t;
+  order_weight_desc : int array;
+  energy : float -> float;
+}
+
 type t = {
   proc : Rt_power.Processor.t;
   m : int;
   horizon : float;
   items : Task.item list;
+  soa : soa;
 }
+
+(* Built once per instance at [make] time (immutable afterwards, so the
+   view is safe to share across domains): positional float arrays replace
+   the item-list walks on the hot paths, [index_of] gives O(1) id lookup,
+   and [energy] is the prepared {!Rt_speed.Energy_rate.prepare_energy}
+   evaluator — hull and critical speed hoisted out of the per-load call,
+   one flat closure per call, no plan/option boxed (the schedulers only
+   compare the scalar; [prepare_energy] is bit-identical to
+   [optimal]'s rate × horizon, and raises past capacity, which the
+   schedulers pre-check). *)
+let build_soa ~proc ~horizon items =
+  let item_arr = Array.of_list items in
+  let n = Array.length item_arr in
+  let ids = Array.map (fun (i : Task.item) -> i.item_id) item_arr in
+  let weights = Array.map (fun (i : Task.item) -> i.weight) item_arr in
+  let penalties = Array.map (fun (i : Task.item) -> i.item_penalty) item_arr in
+  let index_of = Hashtbl.create (max 16 (2 * n)) in
+  Array.iteri (fun idx id -> Hashtbl.replace index_of id idx) ids;
+  let energy = Rt_speed.Energy_rate.prepare_energy proc ~horizon in
+  (* the canonical LTF visit order (weight descending, id ascending on
+     ties — [Task.compare_item_weight_desc] positionally, with
+     [Float.compare] unfolded for the finite weights of a well-formed
+     instance): a pure function of the instance, so sorted once here
+     rather than on every greedy run. Read-only by contract — callers
+     iterate it, never permute it. *)
+  let order_weight_desc = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let wa = weights.(a) in
+      let wb = weights.(b) in
+      if Fc.exact_lt wb wa then -1
+      else if Fc.exact_lt wa wb then 1
+      else Int.compare ids.(a) ids.(b))
+    order_weight_desc;
+  { n; ids; weights; penalties; item_arr; index_of; order_weight_desc; energy }
 
 let make ~proc ~m ~horizon items =
   if m < 1 then Error "Problem.make: m < 1"
@@ -21,7 +68,7 @@ let make ~proc ~m ~horizon items =
       (fun (i : Task.item) -> not (Fc.exact_eq i.item_power_factor 1.))
       items
   then Error "Problem.make: non-unit power factors (see Rt_partition.Hetero)"
-  else Ok { proc; m; horizon; items }
+  else Ok { proc; m; horizon; items; soa = build_soa ~proc ~horizon items }
 
 let of_frame ~proc ~m ~frame_length tasks =
   match Taskset.well_formed_frame tasks with
@@ -53,15 +100,14 @@ let load_factor t =
 
 let total_penalty t = Taskset.total_penalty_items t.items
 
-let item t id = Taskset.item_by_id t.items id
+let soa t = t.soa
 
-let bucket_energy t load =
-  match Rt_speed.Energy_rate.energy t.proc ~u:load ~horizon:t.horizon with
-  | Some e -> e
-  | None ->
-      invalid_arg
-        (Printf.sprintf "Problem.bucket_energy: load %.6g exceeds capacity %.6g"
-           load (capacity t))
+let item t id =
+  match Hashtbl.find_opt t.soa.index_of id with
+  | Some idx -> Some t.soa.item_arr.(idx)
+  | None -> None
+
+let bucket_energy t load = t.soa.energy load
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>m=%d, horizon=%g, proc=%a@,load factor %.3f@,%a@]"

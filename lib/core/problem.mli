@@ -13,11 +13,34 @@
     instances with load factor above 1 {e force} rejections — the regime
     the target paper introduces. *)
 
+type soa = {
+  n : int;  (** item count; every array below has length [n] *)
+  ids : int array;  (** [ids.(i)] is the id of positional item [i] *)
+  weights : float array;  (** [weights.(i)] — required-speed contribution *)
+  penalties : float array;  (** [penalties.(i)] — rejection penalty *)
+  item_arr : Rt_task.Task.item array;
+      (** the same items as [t.items], in list order *)
+  index_of : (int, int) Hashtbl.t;
+      (** id -> position; read-only after construction *)
+  order_weight_desc : int array;
+      (** positions sorted weight-descending, id-ascending on ties — the
+          canonical LTF visit order, sorted once per instance; iterate
+          it, never permute it *)
+  energy : float -> float;
+      (** prepared per-load bucket energy — identical results to
+          {!bucket_energy} with the hull / critical-speed setup hoisted *)
+}
+(** Struct-of-arrays view of an instance: unboxed positional arrays for
+    the hot paths (greedy packing, local-search deltas, online admission)
+    so they index instead of walking [Task.item list]s. Built once by
+    {!make} and immutable afterwards — do not mutate the arrays. *)
+
 type t = private {
   proc : Rt_power.Processor.t;
   m : int;
   horizon : float; [@rt.dim "seconds"]
   items : Rt_task.Task.item list;
+  soa : soa;
 }
 
 val make :
@@ -47,8 +70,11 @@ val load_factor : t -> float [@rt.dim "1"]
 
 val total_penalty : t -> float [@rt.dim "penalty"]
 
+val soa : t -> soa
+(** The struct-of-arrays view (same object as [t.soa]). *)
+
 val item : t -> int -> Rt_task.Task.item option
-(** Lookup by id. *)
+(** Lookup by id — O(1) via the SoA id index. *)
 
 val bucket_energy : t -> float -> float [@rt.dim "joules"]
 (** [horizon · rate(load)] — the cost one processor contributes at the

@@ -38,12 +38,129 @@ let error_to_string = function
 
 type decision = Admitted | Declined | Infeasible
 
-type active = { job : Job.t; mutable remaining : float }
-
 let eps = 1e-9
 
-(* the minimum constant speed meeting every pending commitment from [now]:
-   max over deadlines of cumulative-work-due / time-to-deadline *)
+(* ------------------------------------------------------------------ *)
+(* One processor's pending set in struct-of-arrays form: parallel arrays
+   sorted by (deadline ascending, newest admission first among exact
+   ties) — exactly the order the old [density_pairs] produced by
+   stable-sorting the newest-first cons list this layout replaces, so
+   every density fold visits the same floats in the same order. [seqs]
+   records admission recency so the cold snapshots (residuals, kill,
+   miss logs) can still present jobs newest-first, like the list did. *)
+
+type pending = {
+  mutable len : int;
+  mutable jobs : Job.t array;
+  mutable remaining : float array;  (** unboxed EDF work left, per job *)
+  mutable deadlines : float array;  (** unboxed cache of [jobs.(i).deadline] *)
+  mutable seqs : int array;  (** admission order; larger = newer *)
+}
+
+let pending_create () =
+  { len = 0; jobs = [||]; remaining = [||]; deadlines = [||]; seqs = [||] }
+
+(* grow the parallel arrays; [j] only seeds the fresh [Job.t] slots *)
+let pending_grow pen (j : Job.t) =
+  let cap = Int.max 4 (2 * Array.length pen.jobs) in
+  let jobs = Array.make cap j in
+  Array.blit pen.jobs 0 jobs 0 pen.len;
+  let remaining = Array.make cap 0. in
+  Array.blit pen.remaining 0 remaining 0 pen.len;
+  let deadlines = Array.make cap 0. in
+  Array.blit pen.deadlines 0 deadlines 0 pen.len;
+  let seqs = Array.make cap 0 in
+  Array.blit pen.seqs 0 seqs 0 pen.len;
+  pen.jobs <- jobs;
+  pen.remaining <- remaining;
+  pen.deadlines <- deadlines;
+  pen.seqs <- seqs
+
+(* leftmost slot whose deadline is >= d: inserting there keeps every
+   exact-tie group newest-first, which is where a stable sort of the
+   newest-first cons list would have put a fresh arrival *)
+let rec insert_pos pen d i =
+  if i >= pen.len || Float.compare pen.deadlines.(i) d >= 0 then i
+  else insert_pos pen d (i + 1)
+
+let pending_insert pen (j : Job.t) ~remaining ~seq =
+  if pen.len >= Array.length pen.jobs then pending_grow pen j;
+  let pos = insert_pos pen j.Job.deadline 0 in
+  let shift = pen.len - pos in
+  Array.blit pen.jobs pos pen.jobs (pos + 1) shift;
+  Array.blit pen.remaining pos pen.remaining (pos + 1) shift;
+  Array.blit pen.deadlines pos pen.deadlines (pos + 1) shift;
+  Array.blit pen.seqs pos pen.seqs (pos + 1) shift;
+  pen.jobs.(pos) <- j;
+  pen.remaining.(pos) <- remaining;
+  pen.deadlines.(pos) <- j.Job.deadline;
+  pen.seqs.(pos) <- seq;
+  pen.len <- pen.len + 1
+
+let pending_remove pen pos =
+  let shift = pen.len - pos - 1 in
+  Array.blit pen.jobs (pos + 1) pen.jobs pos shift;
+  Array.blit pen.remaining (pos + 1) pen.remaining pos shift;
+  Array.blit pen.deadlines (pos + 1) pen.deadlines pos shift;
+  Array.blit pen.seqs (pos + 1) pen.seqs pos shift;
+  pen.len <- pen.len - 1
+
+(* positions in admission-recency order (newest first) — the order the
+   cons list used to present its items; only the cold snapshot paths
+   need it. [seqs] are distinct, so the comparator is a total order. *)
+let recency_positions pen =
+  let idx = Array.init pen.len (fun i -> i) in
+  Array.sort (fun a b -> Int.compare pen.seqs.(b) pen.seqs.(a)) idx;
+  idx
+
+(* the minimum constant speed meeting every pending commitment from
+   [now]: max over deadlines of cumulative-work-due / time-to-deadline.
+   The arrays are deadline-sorted, so this is one allocation-free pass
+   with unboxed accumulators. *)
+let rec density_go pen now i work best =
+  if i >= pen.len then best
+  else begin
+    let work = work +. pen.remaining.(i) in
+    let slack = pen.deadlines.(i) -. now in
+    if Fc.exact_le slack eps then density_go pen now (i + 1) work Float.infinity
+    else density_go pen now (i + 1) work (Float.max best (work /. slack))
+  end
+
+let pending_density pen ~now = density_go pen now 0 0. 0.
+
+(* density of the pending set plus one hypothetical job, without
+   materializing the trial set: a merge walk that folds the trial in
+   where a stable sort of the consed trial list would have placed it
+   (leftmost among exact deadline ties), so the accumulation order —
+   and thus every float result — matches the old cons-and-sort probe *)
+let rec density_trial_go pen now r_t d_t placed i work best =
+  if (not placed) && (i >= pen.len || Float.compare pen.deadlines.(i) d_t >= 0)
+  then begin
+    let work = work +. r_t in
+    let slack = d_t -. now in
+    if Fc.exact_le slack eps then
+      density_trial_go pen now r_t d_t true i work Float.infinity
+    else
+      density_trial_go pen now r_t d_t true i work
+        (Float.max best (work /. slack))
+  end
+  else if i >= pen.len then best
+  else begin
+    let work = work +. pen.remaining.(i) in
+    let slack = pen.deadlines.(i) -. now in
+    if Fc.exact_le slack eps then
+      density_trial_go pen now r_t d_t placed (i + 1) work Float.infinity
+    else
+      density_trial_go pen now r_t d_t placed (i + 1) work
+        (Float.max best (work /. slack))
+  end
+
+let pending_density_with pen ~now ~remaining ~deadline =
+  density_trial_go pen now remaining deadline false 0 0. 0.
+
+(* the same fold over an explicit pair list — the re-planning probe
+   ([Exec.density_of]) splices caller-supplied hypothetical work in
+   front of the pending set, exactly as the list-based executor did *)
 let density_pairs ~now pairs =
   let sorted =
     List.sort (fun (_, da) (_, db) -> Float.compare da db) pairs
@@ -59,11 +176,6 @@ let density_pairs ~now pairs =
   in
   go 0. 0. sorted
 
-let density_speed actives ~now =
-  density_pairs ~now
-    (* lint: allow-hot-alloc-in-loop "the density probe materializes (remaining, deadline) pairs; keeping executor state in SoA arrays is ROADMAP item 3" *)
-    (List.map (fun a -> (a.remaining, a.job.Job.deadline)) actives)
-
 let critical (proc : Processor.t) =
   match proc.dormancy with
   | Processor.Dormant_enable _ -> Processor.critical_speed proc
@@ -76,25 +188,40 @@ let idle_power (proc : Processor.t) =
 
 (* the structured state an incident log wants when an admitted job is
    late: who was pending, how much work was left, and the density the
-   executor was trying to sustain (only evaluated on the error path) *)
-let miss_of actives ~now (ed : active) =
+   executor was trying to sustain (only evaluated on the error path).
+   The backlog sums in admission-recency order, as the cons list did. *)
+let miss_of pen ~now (late : Job.t) =
+  let order = recency_positions pen in
   {
-    job_id = ed.job.Job.id;
+    job_id = late.Job.id;
     at = now;
-    deadline = ed.job.Job.deadline;
+    deadline = late.Job.deadline;
     active_ids =
-      List.sort compare (List.map (fun a -> a.job.Job.id) actives);
-    density = density_speed actives ~now;
-    backlog = List.fold_left (fun acc a -> acc +. a.remaining) 0. actives;
+      List.sort compare
+        (Array.to_list (Array.map (fun p -> pen.jobs.(p).Job.id) order));
+    density = pending_density pen ~now;
+    backlog =
+      Array.fold_left (fun acc p -> acc +. pen.remaining.(p)) 0. order;
   }
+
+(* earliest deadline lives at position 0 of the sorted arrays; scan the
+   exact-tie prefix for the smallest id so the EDF pick stays the same
+   total order the list fold used *)
+let rec edf_scan pen d0 i best =
+  if i >= pen.len || not (Fc.exact_eq pen.deadlines.(i) d0) then best
+  else
+    edf_scan pen d0 (i + 1)
+      (if pen.jobs.(i).Job.id < pen.jobs.(best).Job.id then i else best)
+
+let edf_pick pen = edf_scan pen pen.deadlines.(0) 1 0
 
 (* run EDF from [now] to [until] (or to work exhaustion), returning the new
    time, accumulated energy, and the completion time of the last finished
    job; fails if an admitted job misses its deadline. [cap] is the
    effective top speed — [s_max] on a healthy platform, lower under a
-   derating fault. *)
-let advance (proc : Processor.t) ~cap actives ~now ~until =
-  let s_crit = critical proc in
+   derating fault. [s_crit] and [p_idle] are the processor's critical
+   speed and idle draw, hoisted to the executor by the caller. *)
+let advance (proc : Processor.t) ~cap ~s_crit ~p_idle pen ~now ~until =
   let energy = ref 0. in
   let last_completion = ref Float.neg_infinity in
   let now = ref now in
@@ -102,56 +229,40 @@ let advance (proc : Processor.t) ~cap actives ~now ~until =
   let rec run () =
     if !err <> None then ()
     else if Fc.exact_ge !now (until -. eps) then ()
+    else if pen.len = 0 then begin
+      (* idle to the horizon of this segment *)
+      energy := !energy +. (p_idle *. (until -. !now));
+      now := until
+    end
     else begin
-      match !actives with
-      | [] ->
-          (* idle to the horizon of this segment *)
-          energy := !energy +. (idle_power proc *. (until -. !now));
-          now := until
-      | jobs ->
-          let speed =
-            Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:cap
-              (Float.max s_crit (density_speed jobs ~now:!now))
-          in
-          if Fc.exact_le speed 0. then begin
-            (* zero density with work pending cannot happen (cycles > 0) *)
-            err := Some (Invalid "Admission: zero speed with pending work")
-          end
+      let speed =
+        Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:cap
+          (Float.max s_crit (pending_density pen ~now:!now))
+      in
+      if Fc.exact_le speed 0. then begin
+        (* zero density with work pending cannot happen (cycles > 0) *)
+        err := Some (Invalid "Admission: zero speed with pending work")
+      end
+      else begin
+        let i = edf_pick pen in
+        let jb = pen.jobs.(i) in
+        let finish = !now +. (pen.remaining.(i) /. speed) in
+        let t_next = Float.min finish until in
+        let dt = t_next -. !now in
+        energy := !energy +. (dt *. Power_model.power proc.model speed);
+        pen.remaining.(i) <- pen.remaining.(i) -. (dt *. speed);
+        now := t_next;
+        if Fc.exact_le pen.remaining.(i) (eps *. Float.max 1. jb.Job.cycles)
+        then begin
+          if Fc.exact_gt !now (jb.Job.deadline +. 1e-6) then
+            err := Some (Deadline_miss (miss_of pen ~now:!now jb))
           else begin
-            let ed =
-              List.fold_left
-                (fun best a ->
-                  match best with
-                  | None -> Some a
-                  | Some b ->
-                      if
-                        (* exact tie-break keeps the EDF order total *)
-                        Fc.exact_lt a.job.Job.deadline b.job.Job.deadline
-                        || (Fc.exact_eq a.job.Job.deadline b.job.Job.deadline
-                           && a.job.Job.id < b.job.Job.id)
-                      then Some a
-                      else best)
-                None jobs
-              |> Option.get
-            in
-            let finish = !now +. (ed.remaining /. speed) in
-            let t_next = Float.min finish until in
-            let dt = t_next -. !now in
-            energy := !energy +. (dt *. Power_model.power proc.model speed);
-            ed.remaining <- ed.remaining -. (dt *. speed);
-            now := t_next;
-            if Fc.exact_le ed.remaining (eps *. Float.max 1. ed.job.Job.cycles)
-            then begin
-              if Fc.exact_gt !now (ed.job.Job.deadline +. 1e-6) then
-                err := Some (Deadline_miss (miss_of !actives ~now:!now ed))
-              else begin
-                last_completion := Float.max !last_completion !now;
-                actives :=
-                  List.filter (fun a -> a.job.Job.id <> ed.job.Job.id) !actives
-              end
-            end;
-            run ()
+            last_completion := Float.max !last_completion !now;
+            pending_remove pen i
           end
+        end;
+        run ()
+      end
     end
   in
   run ();
@@ -159,11 +270,12 @@ let advance (proc : Processor.t) ~cap actives ~now ~until =
   | Some e -> Error e
   | None -> Ok (!now, !energy, !last_completion)
 
-let marginal_estimate (proc : Processor.t) ~cap actives ~now (j : Job.t) =
-  let trial = { job = j; remaining = j.Job.cycles } :: actives in
+let marginal_estimate (proc : Processor.t) ~cap ~s_crit pen ~now (j : Job.t) =
   let s =
     Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:cap
-      (Float.max (critical proc) (density_speed trial ~now))
+      (Float.max s_crit
+         (pending_density_with pen ~now ~remaining:j.Job.cycles
+            ~deadline:j.Job.deadline))
   in
   if Fc.exact_le s 0. then Float.infinity
   else j.Job.cycles *. Power_model.power proc.model s /. s
@@ -179,9 +291,12 @@ module Exec = struct
   type t = {
     proc : Processor.t;
     mutable cap : float;
-    processors : active list ref array;
+    pendings : pending array;
     alive : bool array;
     seen : (int, unit) Hashtbl.t;
+    s_crit : float;  (** [critical proc], hoisted out of the hot loops *)
+    p_idle : float;  (** [idle_power proc], likewise *)
+    mutable seq : int;  (** admission recency counter for the snapshots *)
     energy : float ref;
     penalty : float ref;
     admitted : int list ref;
@@ -200,9 +315,12 @@ module Exec = struct
         {
           proc;
           cap = Processor.s_max proc;
-          processors = Array.init m (fun _ -> ref []);
+          pendings = Array.init m (fun _ -> pending_create ());
           alive = Array.make m true;
           seen = Hashtbl.create 97;
+          s_crit = critical proc;
+          p_idle = idle_power proc;
+          seq = 0;
           energy = ref 0.;
           penalty = ref 0.;
           admitted = ref [];
@@ -213,7 +331,7 @@ module Exec = struct
         }
 
   let now t = !(t.now)
-  let m t = Array.length t.processors
+  let m t = Array.length t.pendings
   let speed_cap t = t.cap
 
   let set_speed_cap t cap =
@@ -230,15 +348,20 @@ module Exec = struct
     List.rev !acc
 
   let active_count t =
-    Array.fold_left
-      (fun acc actives -> acc + List.length !actives)
-      0 t.processors
+    Array.fold_left (fun acc pen -> acc + pen.len) 0 t.pendings
 
   let backlog t =
     Array.fold_left
-      (fun acc actives ->
-        List.fold_left (fun acc a -> acc +. a.remaining) acc !actives)
-      0. t.processors
+      (fun acc pen ->
+        Array.fold_left
+          (fun acc p -> acc +. pen.remaining.(p))
+          acc (recency_positions pen))
+      0. t.pendings
+
+  (* attach [j] as the newest pending entry on processor [i] *)
+  let attach t i (j : Job.t) ~remaining =
+    t.seq <- t.seq + 1;
+    pending_insert t.pendings.(i) j ~remaining ~seq:t.seq
 
   (* advance every live processor to [until]; they do not interact.
      Crashed processors execute nothing and burn nothing; whatever work
@@ -249,19 +372,22 @@ module Exec = struct
     else begin
       let result = ref (Ok ()) in
       Array.iteri
-        (fun i actives ->
+        (fun i pen ->
           match !result with
           | Error _ -> ()
           | Ok () ->
               if t.alive.(i) then begin
-                match advance t.proc ~cap:t.cap actives ~now:!(t.now) ~until with
+                match
+                  advance t.proc ~cap:t.cap ~s_crit:t.s_crit ~p_idle:t.p_idle
+                    pen ~now:!(t.now) ~until
+                with
                 | Error e -> result := Error e
                 | Ok (_, e, last) ->
                     t.energy := !(t.energy) +. e;
                     if Fc.exact_gt last 0. then
                       t.makespan := Float.max !(t.makespan) last
               end)
-        t.processors;
+        t.pendings;
       match !result with
       | Error _ as e -> e
       | Ok () ->
@@ -293,21 +419,22 @@ module Exec = struct
       (* feasible processor with the cheapest marginal estimate: an
          unboxed index/estimate scan.  One (index, estimate) pair is
          built at the end — re-probing the winner would cost a full
-         marginal_estimate (itself allocating) per decision *)
-      let n = Array.length t.processors in
+         marginal_estimate per decision *)
+      let n = Array.length t.pendings in
       (* lint: allow-hot-boxed-float "one (index, estimate) pair per decision, not per scan step" *)
       let rec best_proc i best_i best_est =
         if i >= n then (best_i, best_est)
         else if t.alive.(i) then begin
-          let actives = t.processors.(i) in
-          let trial =
-            (* lint: allow-hot-alloc-in-loop "the admission test probes a hypothetical pending set; SoA executor state (ROADMAP item 3) removes the cons" *)
-            { job = j; remaining = j.Job.cycles } :: !actives
-          in
-          if Rt_prelude.Float_cmp.leq (density_speed trial ~now:!(t.now)) t.cap
+          let pen = t.pendings.(i) in
+          if
+            Rt_prelude.Float_cmp.leq
+              (pending_density_with pen ~now:!(t.now) ~remaining:j.Job.cycles
+                 ~deadline:j.Job.deadline)
+              t.cap
           then begin
             let est =
-              marginal_estimate t.proc ~cap:t.cap !actives ~now:!(t.now) j
+              marginal_estimate t.proc ~cap:t.cap ~s_crit:t.s_crit pen
+                ~now:!(t.now) j
             in
             if best_i < 0 || not (Fc.exact_le best_est est) then
               best_proc (i + 1) i est
@@ -324,7 +451,6 @@ module Exec = struct
         Ok Infeasible
       end
       else begin
-        let actives = t.processors.(best_i) in
         let accept =
           match policy with
           | Admit_all -> true
@@ -334,7 +460,7 @@ module Exec = struct
               Rt_prelude.Float_cmp.geq (j.Job.penalty /. j.Job.cycles) theta
         in
         if accept then begin
-          actives := { job = j; remaining = j.Job.cycles } :: !actives;
+          attach t best_i j ~remaining:j.Job.cycles;
           t.admitted := j.Job.id :: !(t.admitted);
           Ok Admitted
         end
@@ -355,18 +481,16 @@ module Exec = struct
       Hashtbl.add t.seen j.Job.id ();
       (* first feasible live processor, by index; early exit instead of
          the latched-ref full sweep this replaces (same winner) *)
-      let n = Array.length t.processors in
+      let n = Array.length t.pendings in
       let rec first_feasible i =
         if i >= n then -1
-        else if t.alive.(i) then begin
-          let trial =
-            (* lint: allow-hot-alloc-in-loop "the admission test probes a hypothetical pending set; SoA executor state (ROADMAP item 3) removes the cons" *)
-            { job = j; remaining = j.Job.cycles } :: !(t.processors.(i))
-          in
-          if Rt_prelude.Float_cmp.leq (density_speed trial ~now:!(t.now)) t.cap
-          then i
-          else first_feasible (i + 1)
-        end
+        else if
+          t.alive.(i)
+          && Rt_prelude.Float_cmp.leq
+               (pending_density_with t.pendings.(i) ~now:!(t.now)
+                  ~remaining:j.Job.cycles ~deadline:j.Job.deadline)
+               t.cap
+        then i
         else first_feasible (i + 1)
       in
       match first_feasible 0 with
@@ -375,10 +499,9 @@ module Exec = struct
           record_reject t j;
           Ok Infeasible
       | target ->
-          let actives = t.processors.(target) in
           if Rt_prelude.Float_cmp.geq (j.Job.penalty /. j.Job.cycles) theta
           then begin
-            actives := { job = j; remaining = j.Job.cycles } :: !actives;
+            attach t target j ~remaining:j.Job.cycles;
             t.admitted := j.Job.id :: !(t.admitted);
             Ok Admitted
           end
@@ -389,40 +512,64 @@ module Exec = struct
     end
 
   let residuals t ~proc =
-    if proc < 0 || proc >= Array.length t.processors then []
-    else List.map (fun a -> (a.job, a.remaining)) !(t.processors.(proc))
+    if proc < 0 || proc >= Array.length t.pendings then []
+    else begin
+      let pen = t.pendings.(proc) in
+      Array.to_list
+        (Array.map
+           (fun p -> (pen.jobs.(p), pen.remaining.(p)))
+           (recency_positions pen))
+    end
 
   let density_of t ~proc ~extra =
-    if proc < 0 || proc >= Array.length t.processors then Float.infinity
-    else
-      density_pairs ~now:!(t.now)
-        (extra
-        @ List.map
-            (fun a -> (a.remaining, a.job.Job.deadline))
-            !(t.processors.(proc)))
+    if proc < 0 || proc >= Array.length t.pendings then Float.infinity
+    else begin
+      let pen = t.pendings.(proc) in
+      let pairs =
+        Array.to_list
+          (Array.map
+             (fun p -> (pen.remaining.(p), pen.deadlines.(p)))
+             (recency_positions pen))
+      in
+      density_pairs ~now:!(t.now) (extra @ pairs)
+    end
 
   let remove_active t ~id =
     let found = ref None in
     Array.iter
-      (fun actives ->
+      (fun pen ->
         if Option.is_none !found then begin
-          match List.find_opt (fun a -> a.job.Job.id = id) !actives with
-          | None -> ()
-          | Some a ->
-              actives :=
-                List.filter (fun b -> b.job.Job.id <> id) !actives;
-              found := Some (a.job, a.remaining)
+          (* find the entry, then purge every slot with this id — the
+             List.find_opt + List.filter pair this replaces did both *)
+          let rec find i =
+            if i >= pen.len then ()
+            else if pen.jobs.(i).Job.id = id then
+              found := Some (pen.jobs.(i), pen.remaining.(i))
+            else find (i + 1)
+          in
+          find 0;
+          if Option.is_some !found then begin
+            let rec purge i =
+              if i < pen.len then
+                if pen.jobs.(i).Job.id = id then begin
+                  pending_remove pen i;
+                  purge i
+                end
+                else purge (i + 1)
+            in
+            purge 0
+          end
         end)
-      t.processors;
+      t.pendings;
     !found
 
   let place t ~proc (job, remaining) =
-    if proc < 0 || proc >= Array.length t.processors then
+    if proc < 0 || proc >= Array.length t.pendings then
       Error (Invalid "Admission.Exec.place: processor out of range")
     else if not t.alive.(proc) then
       Error (Invalid "Admission.Exec.place: processor is dead")
     else begin
-      t.processors.(proc) := { job; remaining } :: !(t.processors.(proc));
+      attach t proc job ~remaining;
       Ok ()
     end
 
@@ -433,44 +580,54 @@ module Exec = struct
     record_reject t j
 
   let kill t ~proc =
-    if proc < 0 || proc >= Array.length t.processors then []
+    if proc < 0 || proc >= Array.length t.pendings then []
     else begin
       t.alive.(proc) <- false;
+      let pen = t.pendings.(proc) in
       let orphans =
-        List.map (fun a -> (a.job, a.remaining)) !(t.processors.(proc))
+        Array.to_list
+          (Array.map
+             (fun p -> (pen.jobs.(p), pen.remaining.(p)))
+             (recency_positions pen))
       in
-      t.processors.(proc) := [];
+      pen.len <- 0;
+      (* drop the job references so a dead processor holds nothing *)
+      pen.jobs <- [||];
+      pen.remaining <- [||];
+      pen.deadlines <- [||];
+      pen.seqs <- [||];
       orphans
     end
 
   let inflate t ~id ~factor =
     let hit = ref false in
     Array.iter
-      (fun actives ->
-        List.iter
-          (fun a ->
-            if a.job.Job.id = id then begin
-              a.remaining <- a.remaining *. factor;
-              hit := true
-            end)
-          !actives)
-      t.processors;
+      (fun pen ->
+        for i = 0 to pen.len - 1 do
+          if pen.jobs.(i).Job.id = id then begin
+            pen.remaining.(i) <- pen.remaining.(i) *. factor;
+            hit := true
+          end
+        done)
+      t.pendings;
     !hit
 
   let finish t =
     (* drain the remaining work on every processor *)
     let horizon =
       Array.fold_left
-        (fun acc actives ->
-          List.fold_left
-            (fun acc a -> Float.max acc a.job.Job.deadline)
-            acc !actives)
-        !(t.now) t.processors
+        (fun acc pen ->
+          let acc = ref acc in
+          for i = 0 to pen.len - 1 do
+            acc := Float.max !acc pen.jobs.(i).Job.deadline
+          done;
+          !acc)
+        !(t.now) t.pendings
     in
     match advance_to t ~until:(horizon +. 1.) with
     | Error e -> Error e
     | Ok () ->
-        if Array.exists (fun actives -> !actives <> []) t.processors then
+        if Array.exists (fun pen -> pen.len > 0) t.pendings then
           Error (Invalid "Admission.simulate: work left after the last deadline")
         else
           Ok

@@ -7,6 +7,9 @@
 type t = private {
   m : int;
   buckets : Rt_task.Task.item list array;  (** length [m]; most recent first *)
+  sums : float array;
+      (** cached per-bucket weight totals, kept in sync by the
+          constructors; read through {!loads} / {!load}, never mutated *)
 }
 
 val empty : m:int -> t
@@ -25,9 +28,12 @@ val all_items : t -> Rt_task.Task.item list
 val size : t -> int
 
 val loads : t -> float array
-(** Per-processor weight sums. *)
+(** Per-processor weight sums (a fresh copy of the cache — callers may
+    mutate the result freely). *)
 
 val load : t -> int -> float
+(** O(1) cached read. @raise Invalid_argument if [j] is out of range. *)
+
 val makespan : t -> float
 (** Largest per-processor load (0. for an all-empty partition). *)
 

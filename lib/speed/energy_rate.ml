@@ -73,57 +73,86 @@ let mix_on_hull hull u =
         Some (segments, y1 +. (a *. (y2 -. y1)))
       end
 
-let optimal ?power_factor (proc : Processor.t) ~u =
-  if Fc.exact_lt u (-1e-9) || not (Float.is_finite u) then
-    invalid_arg "Energy_rate.optimal: u must be finite and >= 0";
-  (* arithmetic on loads (repeated add/remove) can leave -1e-17 residues *)
-  let u = Float.max 0. u in
-  if Rt_prelude.Float_cmp.gt u (Processor.s_max proc) then None
-  else begin
-    let model = factored_model ?power_factor proc.model in
-    let power s = Power_model.power model s in
-    let dynamic s = Power_model.dynamic_power model s in
+(* The per-processor preparation the hot path wants hoisted out of the
+   per-[u] evaluation: the factored model, the lower hull of the level
+   points (Levels domain), and the numeric critical speed (dormant ideal
+   domain) depend only on the processor. [prepare] computes them once and
+   returns a closure that performs exactly the per-[u] arithmetic
+   [optimal] always did — same operations in the same order — so a
+   prepared evaluator is bit-identical to calling [optimal] directly. *)
+let prepare ?power_factor (proc : Processor.t) =
+  let model = factored_model ?power_factor proc.model in
+  let power s = Power_model.power model s in
+  let dynamic s = Power_model.dynamic_power model s in
+  let top = Processor.s_max proc in
+  let eval =
     match proc.domain with
-    | Processor.Levels _ ->
-        let levels =
-          match proc.domain with
-          | Processor.Levels ls -> Array.to_list ls
-          | Processor.Ideal _ ->
-              (* lint: allow-no-raise "unreachable: guarded by the Levels match above" *)
-              assert false
+    | Processor.Levels ls ->
+        let levels = Array.to_list ls in
+        let points =
+          (* lint: allow-hot-alloc-in-loop "bounded by the processor's static level count and built once per prepared evaluator, not per evaluation" *)
+          (0., idle_rate proc) :: List.map (fun l -> (l, power l)) levels
         in
-        (* lint: allow-hot-alloc-in-loop "bounded by the processor's static level count, not instance size; caching per-processor hulls is ROADMAP item 3 territory" *)
-        let points = (0., idle_rate proc) :: List.map (fun l -> (l, power l)) levels in
         let hull = lower_hull points in
-        Option.map
-          (fun (segments, rate) -> { segments; rate })
-          (mix_on_hull hull u)
+        fun u ->
+          Option.map
+            (fun (segments, rate) -> { segments; rate })
+            (mix_on_hull hull u)
     | Processor.Ideal { s_min; s_max } -> (
         match proc.dormancy with
         | Processor.Dormant_disable ->
-            if Fc.exact_eq u 0. && Fc.exact_eq s_min 0. then
-              Some
-                {
-                  segments = [ { speed = 0.; fraction = 1. } ];
-                  rate = Processor.idle_power proc;
-                }
-            else begin
-              let s_run = Float.max u s_min in
-              let s_run = Float.min s_run s_max in
-              if Fc.exact_le s_run 0. then
+            fun u ->
+              if Fc.exact_eq u 0. && Fc.exact_eq s_min 0. then
                 Some
                   {
                     segments = [ { speed = 0.; fraction = 1. } ];
                     rate = Processor.idle_power proc;
                   }
               else begin
-                let busy = Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run) in
-                let rate = Processor.idle_power proc +. (busy *. dynamic s_run) in
+                let s_run = Float.max u s_min in
+                let s_run = Float.min s_run s_max in
+                if Fc.exact_le s_run 0. then
+                  Some
+                    {
+                      segments = [ { speed = 0.; fraction = 1. } ];
+                      rate = Processor.idle_power proc;
+                    }
+                else begin
+                  let busy =
+                    Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run)
+                  in
+                  let rate =
+                    Processor.idle_power proc +. (busy *. dynamic s_run)
+                  in
+                  let segments =
+                    if Fc.exact_ge busy 1. then
+                      [ { speed = s_run; fraction = 1. } ]
+                    else if Fc.exact_le busy 0. then
+                      [ { speed = 0.; fraction = 1. } ]
+                    else
+                      [
+                        { speed = s_run; fraction = busy };
+                        { speed = 0.; fraction = 1. -. busy };
+                      ]
+                  in
+                  Some { segments; rate }
+                end
+              end
+        | Processor.Dormant_enable _ ->
+            let s_crit = Power_model.critical_speed model ~s_max in
+            fun u ->
+              if Fc.exact_eq u 0. then
+                Some { segments = [ { speed = 0.; fraction = 1. } ]; rate = 0. }
+              else begin
+                let s_run = Float.max (Float.max u s_min) s_crit in
+                let s_run = Float.min s_run s_max in
+                let busy =
+                  Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run)
+                in
+                let rate = busy *. power s_run in
                 let segments =
                   if Fc.exact_ge busy 1. then
                     [ { speed = s_run; fraction = 1. } ]
-                  else if Fc.exact_le busy 0. then
-                    [ { speed = 0.; fraction = 1. } ]
                   else
                     [
                       { speed = s_run; fraction = busy };
@@ -131,28 +160,135 @@ let optimal ?power_factor (proc : Processor.t) ~u =
                     ]
                 in
                 Some { segments; rate }
+              end)
+  in
+  fun u ->
+    if Fc.exact_lt u (-1e-9) || not (Float.is_finite u) then
+      invalid_arg "Energy_rate.optimal: u must be finite and >= 0";
+    (* arithmetic on loads (repeated add/remove) can leave -1e-17 residues *)
+    let u = Float.max 0. u in
+    if Rt_prelude.Float_cmp.gt u top then None else eval u
+
+(* Rate of the optimal mix on the hull — [mix_on_hull] minus the segment
+   list. The rate arithmetic is copied verbatim (same bracket search,
+   same clamp, same interpolation), so the value is bit-identical; only
+   the plan materialization is skipped. *)
+let rate_on_hull hull u =
+  let rec find = function
+    | [ (x, _) ] as last ->
+        if
+          Rt_prelude.Float_cmp.approx_eq x u
+          || Rt_prelude.Float_cmp.exact_lt u x
+        then Some last
+        else None
+    | (_ :: ((x2, _) :: _ as rest)) as bracket ->
+        if Rt_prelude.Float_cmp.exact_gt u x2 then find rest
+        else Some bracket
+    | [] -> None
+  in
+  match find hull with
+  | None | Some [] -> None
+  | Some ((x1, y1) :: rest) ->
+      let x2, y2 = match rest with [] -> (x1, y1) | v :: _ -> v in
+      if Rt_prelude.Float_cmp.approx_eq x1 x2 then Some y2
+      else begin
+        let a = (u -. x1) /. (x2 -. x1) in
+        let a = Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. a in
+        Some (y1 +. (a *. (y2 -. y1)))
+      end
+
+(* [prepare] collapsed to the scalar the schedulers actually compare:
+   [prepare_energy proc ~horizon u] is exactly
+   [(Option.get (prepare proc u)).rate *. horizon] bit for bit — every
+   rate below is the same expression as the corresponding [prepare]
+   branch — but computed by ONE flat closure per processor kind, with
+   the argument guards inlined (direct calls) and no plan, segment list
+   or option materialized. The marginal-energy inner loops (Greedy,
+   Local_search) evaluate this thousands of times per instance, so the
+   per-call closure depth and boxing are what this variant removes.
+   Raises where [prepare] returns [None] (required speed over s_max):
+   the schedulers pre-check capacity, so that is an internal error. *)
+let prepare_energy ?power_factor (proc : Processor.t) ~horizon =
+  if Fc.exact_lt horizon 0. then
+    invalid_arg "Energy_rate.prepare_energy: negative horizon";
+  let model = factored_model ?power_factor proc.model in
+  let power s = Power_model.power model s in
+  let dynamic s = Power_model.dynamic_power model s in
+  let top = Processor.s_max proc in
+  let invalid_u () : float =
+    invalid_arg "Energy_rate.optimal: u must be finite and >= 0"
+  in
+  let overload u : float =
+    invalid_arg
+      (Printf.sprintf
+         "Energy_rate.prepare_energy: required speed %.6g exceeds s_max %.6g"
+         u top)
+  in
+  match proc.domain with
+  | Processor.Levels ls ->
+      let levels = Array.to_list ls in
+      let points =
+        (* lint: allow-hot-alloc-in-loop "bounded by the processor's static level count and built once per prepared evaluator, not per evaluation" *)
+        (0., idle_rate proc) :: List.map (fun l -> (l, power l)) levels
+      in
+      let hull = lower_hull points in
+      fun u ->
+        if Fc.exact_lt u (-1e-9) || not (Float.is_finite u) then invalid_u ()
+        else begin
+          (* arithmetic on loads (repeated add/remove) leaves -1e-17 residues *)
+          let u = Float.max 0. u in
+          if Rt_prelude.Float_cmp.gt u top then overload u
+          else
+            match rate_on_hull hull u with
+            | Some r -> r *. horizon
+            | None -> overload u
+        end
+  | Processor.Ideal { s_min; s_max } -> (
+      match proc.dormancy with
+      | Processor.Dormant_disable ->
+          fun u ->
+            if Fc.exact_lt u (-1e-9) || not (Float.is_finite u) then
+              invalid_u ()
+            else begin
+              let u = Float.max 0. u in
+              if Rt_prelude.Float_cmp.gt u top then overload u
+              else if Fc.exact_eq u 0. && Fc.exact_eq s_min 0. then
+                Processor.idle_power proc *. horizon
+              else begin
+                let s_run = Float.max u s_min in
+                let s_run = Float.min s_run s_max in
+                if Fc.exact_le s_run 0. then
+                  Processor.idle_power proc *. horizon
+                else begin
+                  let busy =
+                    Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run)
+                  in
+                  (Processor.idle_power proc +. (busy *. dynamic s_run))
+                  *. horizon
+                end
               end
             end
-        | Processor.Dormant_enable _ ->
-            if Fc.exact_eq u 0. then
-              Some { segments = [ { speed = 0.; fraction = 1. } ]; rate = 0. }
+      | Processor.Dormant_enable _ ->
+          let s_crit = Power_model.critical_speed model ~s_max in
+          fun u ->
+            if Fc.exact_lt u (-1e-9) || not (Float.is_finite u) then
+              invalid_u ()
             else begin
-              let s_crit = Power_model.critical_speed model ~s_max in
-              let s_run = Float.max (Float.max u s_min) s_crit in
-              let s_run = Float.min s_run s_max in
-              let busy = Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run) in
-              let rate = busy *. power s_run in
-              let segments =
-                if Fc.exact_ge busy 1. then [ { speed = s_run; fraction = 1. } ]
-                else
-                  [
-                    { speed = s_run; fraction = busy };
-                    { speed = 0.; fraction = 1. -. busy };
-                  ]
-              in
-              Some { segments; rate }
+              let u = Float.max 0. u in
+              if Rt_prelude.Float_cmp.gt u top then overload u
+              else if Fc.exact_eq u 0. then 0. *. horizon
+              else begin
+                let s_run = Float.max (Float.max u s_min) s_crit in
+                let s_run = Float.min s_run s_max in
+                let busy =
+                  Rt_prelude.Float_cmp.clamp ~lo:0. ~hi:1. (u /. s_run)
+                in
+                busy *. power s_run *. horizon
+              end
             end)
-  end
+
+let optimal ?power_factor (proc : Processor.t) ~u =
+  prepare ?power_factor proc u
 
 let rate ?power_factor proc ~u =
   Option.map (fun p -> p.rate) (optimal ?power_factor proc ~u)

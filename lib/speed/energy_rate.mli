@@ -42,6 +42,29 @@ val optimal : ?power_factor:float -> Rt_power.Processor.t -> u:float -> plan opt
     [power_factor] scales the speed-dependent power (heterogeneous tasks).
     @raise Invalid_argument on negative or non-finite [u]. *)
 
+val prepare :
+  ?power_factor:float -> Rt_power.Processor.t -> (float -> plan option)
+  [@@rt.hot "amortizes hull/critical-speed setup across many evaluations"]
+(** [prepare proc] hoists the per-processor setup of {!optimal} — the
+    factored power model, the lower convex hull of the level points, the
+    numeric critical speed — and returns an evaluator [fun u -> ...] whose
+    results are bit-identical to [optimal proc ~u]. Build it once per
+    instance and call it per candidate load (the SoA hot path). *)
+
+val prepare_energy :
+  ?power_factor:float -> Rt_power.Processor.t -> horizon:float ->
+  (float -> float [@rt.dim "joules"])
+  [@@rt.hot "scalar evaluator for the marginal-energy inner loops"]
+(** Like {!prepare} but the evaluator returns only the plan's energy over
+    [horizon] — [prepare_energy proc ~horizon u] equals
+    [(Option.get (prepare proc u)).rate *. horizon] bit for bit, computed
+    by one flat closure without materializing segments, plan or option.
+    This is the evaluator behind [Rt_core.Problem.bucket_energy]: the
+    greedy and local-search inner loops only ever need the scalar, and
+    they pre-check capacity, so a required speed above [s_max] (where
+    {!prepare} returns [None]) raises [Invalid_argument] here.
+    @raise Invalid_argument on negative horizon or invalid [u]. *)
+
 val rate :
   ?power_factor:float -> Rt_power.Processor.t -> u:float ->
   float option [@rt.dim "watts"]

@@ -349,6 +349,49 @@ let test_corpus_replays () =
           Alcotest.fail (Printf.sprintf "%s: %s" (Filename.basename path) msg))
     (Lazy.force entries)
 
+(* Corpus replay for the delta-cost machinery: drive the local search's
+   incremental loads/energies with random accepted moves on every corpus
+   instance, then renormalize — the result must agree *exactly* (no eps)
+   with a from-scratch Solution.cost re-evaluation. The corpus instances
+   are minimized past failures, so any incremental-bookkeeping bug that
+   once slipped through replays here forever. *)
+let test_corpus_drift_exact () =
+  List.iter
+    (fun (path, e) ->
+      match Instance.to_problem e.Corpus.instance with
+      | Error msg ->
+          Alcotest.fail (Printf.sprintf "%s: %s" (Filename.basename path) msg)
+      | Ok p ->
+          let s = Rt_core.Greedy.ltf_reject p in
+          let d = Rt_core.Local_search.Drift_test.init p s in
+          let rng = Rt_prelude.Rng.create ~seed:7 in
+          for _ = 1 to 10_000 do
+            ignore (Rt_core.Local_search.Drift_test.random_step rng d)
+          done;
+          Rt_core.Local_search.Drift_test.renormalize d;
+          let sol = Rt_core.Local_search.Drift_test.solution d in
+          (match Rt_core.Solution.cost p sol with
+          | Error msg ->
+              Alcotest.fail
+                (Printf.sprintf "%s: %s" (Filename.basename path) msg)
+          | Ok fresh ->
+              let fresh_loads =
+                Rt_partition.Partition.loads sol.Rt_core.Solution.partition
+              in
+              let inc_loads = Rt_core.Local_search.Drift_test.loads d in
+              check_bool
+                (Filename.basename path ^ " loads renormalize exactly")
+                true
+                (Array.for_all2 Rt_prelude.Float_cmp.exact_eq inc_loads
+                   fresh_loads);
+              check_bool
+                (Filename.basename path ^ " cost renormalizes exactly")
+                true
+                (Rt_prelude.Float_cmp.exact_eq
+                   (Rt_core.Local_search.Drift_test.cost d)
+                   fresh.Rt_core.Solution.total)))
+    (Lazy.force entries)
+
 let test_corpus_minimized () =
   List.iter
     (fun (path, e) ->
@@ -426,6 +469,8 @@ let () =
           Alcotest.test_case "non-empty" `Quick test_corpus_nonempty;
           Alcotest.test_case "canonical files" `Quick test_corpus_canonical;
           Alcotest.test_case "entries replay" `Quick test_corpus_replays;
+          Alcotest.test_case "delta-cost drift replay" `Quick
+            test_corpus_drift_exact;
           Alcotest.test_case "entries minimized" `Quick test_corpus_minimized;
           Alcotest.test_case "save/load" `Quick test_corpus_save_load;
         ] );

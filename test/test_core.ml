@@ -245,6 +245,54 @@ let prop_local_search_converges_as_loads_grow =
           && (cost_exn p b.Local_search.solution).Solution.total
              <= (cost_exn p s0).Solution.total +. 1e-9)
 
+(* The delta-cost invariant: after thousands of random accepted (feasible
+   but not improving) moves and swaps, the incrementally-maintained loads
+   and bucket energies must renormalize to *exact* agreement with a
+   from-scratch [Solution.cost] re-evaluation — the renormalization pass
+   sums in the same order [Partition.of_buckets] does, so any surviving
+   difference is a bookkeeping bug, not float drift. *)
+let drift_agrees ~steps ~rng_seed p =
+  let s = Greedy.ltf_reject p in
+  let d = Local_search.Drift_test.init p s in
+  let rng = Rt_prelude.Rng.create ~seed:rng_seed in
+  let applied = ref 0 in
+  for _ = 1 to steps do
+    if Local_search.Drift_test.random_step rng d then incr applied
+  done;
+  Local_search.Drift_test.renormalize d;
+  let sol = Local_search.Drift_test.solution d in
+  let fresh = cost_exn p sol in
+  let fresh_loads = Rt_partition.Partition.loads sol.Solution.partition in
+  let inc_loads = Local_search.Drift_test.loads d in
+  Array.for_all2 Fc.exact_eq inc_loads fresh_loads
+  && Fc.exact_eq (Local_search.Drift_test.cost d) fresh.Solution.total
+
+let prop_drift_renormalizes_exactly =
+  qtest ~count:20 "10^4 random moves: renormalized state = from-scratch cost"
+    QCheck2.Gen.(
+      triple (int_range 1 10_000) (int_range 2 6) (float_range 0.5 2.0))
+    (fun (seed, m, load) ->
+      let p = random_instance ~seed ~n:30 ~m ~load () in
+      drift_agrees ~steps:10_000 ~rng_seed:(seed + 1) p)
+
+(* O(1) SoA id lookup vs the O(n) list scan it replaced: they must agree
+   on every present id and on misses, for any duplicate-free instance *)
+let prop_item_lookup_matches_list_scan =
+  qtest ~count:60 "Problem.item = list scan"
+    QCheck2.Gen.(pair (int_range 1 10_000) (float_range 0.3 2.5))
+    (fun (seed, load) ->
+      let p = random_instance ~seed ~n:25 ~m:3 ~load () in
+      let scan id =
+        List.find_opt (fun (it : Task.item) -> it.item_id = id) p.Problem.items
+      in
+      List.for_all
+        (fun (it : Task.item) ->
+          Problem.item p it.item_id = scan it.item_id
+          && Problem.item p it.item_id = Some it)
+        p.Problem.items
+      && Problem.item p (-1) = None
+      && Problem.item p max_int = scan max_int)
+
 let test_local_search_budgeted () =
   let p = random_instance ~seed:42 ~n:12 ~m:3 ~load:1.8 () in
   let s = Greedy.ltf_reject p in
@@ -451,6 +499,8 @@ let () =
           prop_all_algorithms_valid;
           prop_local_search_never_hurts;
           prop_local_search_converges_as_loads_grow;
+          prop_drift_renormalizes_exactly;
+          prop_item_lookup_matches_list_scan;
           Alcotest.test_case "budgeted local search" `Quick
             test_local_search_budgeted;
           prop_heuristics_above_optimal;
